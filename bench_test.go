@@ -1,0 +1,532 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index), plus the design-
+// choice ablations and micro-benchmarks of the core mechanisms.
+//
+// Figure benches report custom metrics (wips, speedup, recovery_sec, ...)
+// via b.ReportMetric; absolute host-time metrics (ns/op) are meaningless for
+// them since each iteration is one compressed-time experiment.
+//
+// Run: go test -bench=. -benchmem
+package dmv_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dmv/internal/exec"
+	"dmv/internal/experiments"
+	"dmv/internal/heap"
+	"dmv/internal/tpcw"
+	"dmv/internal/value"
+)
+
+func quick() experiments.Durations { return experiments.QuickDurations() }
+
+// --- Figure 3: throughput scaling vs. stand-alone InnoDB ---------------------
+
+func benchFigure3(b *testing.B, mix tpcw.Mix) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultFig3Opts(quick())
+		opts.Mixes = []tpcw.Mix{mix}
+		opts.SlaveCounts = []int{1, 8}
+		rows, err := experiments.Figure3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.WIPS, "wips_"+r.Config)
+			if r.Config == "dmv-8" {
+				b.ReportMetric(r.Speedup, "speedup_dmv8")
+				b.ReportMetric(r.AbortPct, "aborts_pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3_Browsing(b *testing.B) { benchFigure3(b, tpcw.BrowsingMix) }
+func BenchmarkFigure3_Shopping(b *testing.B) { benchFigure3(b, tpcw.ShoppingMix) }
+func BenchmarkFigure3_Ordering(b *testing.B) { benchFigure3(b, tpcw.OrderingMix) }
+
+// --- Figures 4-9: fail-over experiments --------------------------------------
+
+func reportFailover(b *testing.B, r *experiments.FailoverResult) {
+	b.ReportMetric(r.Baseline, "baseline_wips")
+	b.ReportMetric(r.DipMin, "dip_wips")
+	b.ReportMetric(r.PostMean, "postfault_wips")
+	b.ReportMetric(r.Recovery.Seconds(), "recovery_sec")
+}
+
+func BenchmarkFigure4_Reintegration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(tpcw.FailoverScale(), quick(), 400*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFailover(b, r)
+	}
+}
+
+func BenchmarkFigure5_InnoDBStale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5InnoDB(tpcw.FailoverScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFailover(b, r)
+		if replay, ok := r.Stages["DB Update (log replay)"]; ok {
+			b.ReportMetric(replay.Seconds(), "replay_sec")
+		}
+	}
+}
+
+func BenchmarkFigure5_DMVStale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5DMV(tpcw.FailoverScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFailover(b, r)
+	}
+}
+
+func BenchmarkFigure6_StageBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, dmv, inno, err := experiments.Figure6(tpcw.FailoverScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			name := fmt.Sprintf("%s_%s_sec", row.System, row.Stage)
+			b.ReportMetric(row.Seconds, sanitizeMetric(name))
+		}
+		b.ReportMetric(dmv.Recovery.Seconds(), "dmv_recovery_sec")
+		b.ReportMetric(inno.Recovery.Seconds(), "innodb_recovery_sec")
+	}
+}
+
+func sanitizeMetric(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out = append(out, r)
+		case r == ' ', r == '(', r == ')':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFigure7_ColdBackup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(tpcw.FailoverScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFailover(b, r)
+	}
+}
+
+func BenchmarkFigure8_WarmQueryShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8(tpcw.FailoverScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFailover(b, r)
+	}
+}
+
+func BenchmarkFigure9_WarmPageIDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(tpcw.FailoverScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFailover(b, r)
+	}
+}
+
+// --- ablations (DESIGN.md section 5) ------------------------------------------
+
+func BenchmarkAblation_VersionAffinity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		withPct, withoutPct, err := experiments.AblationVersionAffinity(tpcw.BenchScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(withPct, "aborts_affinity_pct")
+		b.ReportMetric(withoutPct, "aborts_noaffinity_pct")
+	}
+}
+
+func BenchmarkAblation_ConflictClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		single, multi, err := experiments.AblationConflictClasses(tpcw.BenchScale(), quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(single, "wips_single_master")
+		b.ReportMetric(multi, "wips_two_classes")
+	}
+}
+
+// BenchmarkAblation_LazyVsEagerApply measures the cost structure behind lazy
+// application: applying a write-set eagerly on receipt (per page) versus the
+// enqueue-only path plus one lazy materialization.
+func BenchmarkAblation_LazyVsEagerApply(b *testing.B) {
+	mkEngines := func() (*heap.Engine, *heap.Engine, int) {
+		master := heap.NewEngine(heap.Options{})
+		slave := heap.NewEngine(heap.Options{})
+		for _, e := range []*heap.Engine{master, slave} {
+			tid, err := e.CreateTable(heap.TableDef{
+				Name: "t",
+				Cols: []heap.Column{{Name: "id", Type: value.TInt}, {Name: "v", Type: value.TInt}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.CreateIndex(tid, heap.IndexDef{Name: "pk", Cols: []int{0}, Unique: true}); err != nil {
+				b.Fatal(err)
+			}
+			rows := make([]value.Row, 1000)
+			for i := range rows {
+				rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(0)}
+			}
+			if err := e.Load(tid, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tid, _ := master.TableID("t")
+		return master, slave, tid
+	}
+	b.Run("lazy", func(b *testing.B) {
+		master, slave, tid := mkEngines()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := master.BeginUpdate()
+			rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(i % 1000))})
+			row, _, _ := tx.Fetch(tid, rids[0])
+			row[1] = value.NewInt(int64(i))
+			if err := tx.Update(tid, rids[0], row); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Commit(func(ws *heap.WriteSet) error { return slave.ApplyWriteSet(ws) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(slave.PendingMods()), "pending_mods")
+	})
+	b.Run("eager", func(b *testing.B) {
+		master, slave, tid := mkEngines()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := master.BeginUpdate()
+			rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(i % 1000))})
+			row, _, _ := tx.Fetch(tid, rids[0])
+			row[1] = value.NewInt(int64(i))
+			if err := tx.Update(tid, rids[0], row); err != nil {
+				b.Fatal(err)
+			}
+			ver, err := tx.Commit(func(ws *heap.WriteSet) error { return slave.ApplyWriteSet(ws) })
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Eager: materialize immediately instead of waiting for a reader.
+			if err := slave.MaterializeAll(ver); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_PageShipVsLogReplay compares catching a stale node up by
+// page-delta shipping (the paper's data migration, which collapses long
+// modification chains) against replaying the equivalent statement log.
+func BenchmarkAblation_PageShipVsLogReplay(b *testing.B) {
+	const hotRows = 50
+	build := func() (*heap.Engine, *heap.Engine, *heap.Engine, int, []*heap.WriteSet) {
+		master := heap.NewEngine(heap.Options{})
+		support := heap.NewEngine(heap.Options{})
+		stale := heap.NewEngine(heap.Options{})
+		var tid int
+		for _, e := range []*heap.Engine{master, support, stale} {
+			id, err := e.CreateTable(heap.TableDef{
+				Name: "t",
+				Cols: []heap.Column{{Name: "id", Type: value.TInt}, {Name: "v", Type: value.TInt}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tid = id
+			if _, err := e.CreateIndex(tid, heap.IndexDef{Name: "pk", Cols: []int{0}, Unique: true}); err != nil {
+				b.Fatal(err)
+			}
+			rows := make([]value.Row, hotRows)
+			for i := range rows {
+				rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(0)}
+			}
+			if err := e.Load(tid, rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// 2000 updates hammering the same hot rows: long modification
+		// chains that page shipping collapses.
+		var log []*heap.WriteSet
+		for i := 0; i < 2000; i++ {
+			tx := master.BeginUpdate()
+			rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(i % hotRows))})
+			row, _, _ := tx.Fetch(tid, rids[0])
+			row[1] = value.NewInt(int64(i))
+			if err := tx.Update(tid, rids[0], row); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tx.Commit(func(ws *heap.WriteSet) error {
+				log = append(log, ws)
+				return support.ApplyWriteSet(ws)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return master, support, stale, tid, log
+	}
+	// Build the committed history once; each iteration only needs a fresh
+	// stale replica (cheap) — rebuilding the 2000-commit history inside the
+	// b.N loop would make the unmeasured setup dominate wall time.
+	master, support, _, tid, log := build()
+	target := master.MaxVersions()
+	freshStale := func() *heap.Engine {
+		e := heap.NewEngine(heap.Options{})
+		id, _ := e.CreateTable(heap.TableDef{
+			Name: "t",
+			Cols: []heap.Column{{Name: "id", Type: value.TInt}, {Name: "v", Type: value.TInt}},
+		})
+		_, _ = e.CreateIndex(id, heap.IndexDef{Name: "pk", Cols: []int{0}, Unique: true})
+		rows := make([]value.Row, hotRows)
+		for i := range rows {
+			rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(0)}
+		}
+		_ = e.Load(id, rows)
+		return e
+	}
+	_ = tid
+	b.Run("page-ship", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			stale := freshStale()
+			b.StartTimer()
+			have := stale.PageVersions()
+			delta, err := support.DeltaSince(have, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := stale.InstallDelta(delta); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(delta)), "pages_shipped")
+		}
+	})
+	b.Run("log-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			stale := freshStale()
+			b.StartTimer()
+			for _, ws := range log {
+				if err := stale.ApplyWriteSet(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := stale.MaterializeAll(log[len(log)-1].Version); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(log)), "records_replayed")
+		}
+	})
+}
+
+// BenchmarkAblation_CheckpointPeriod relates checkpoint age to the
+// reintegration delta size (older checkpoints -> more pages to ship).
+func BenchmarkAblation_CheckpointPeriod(b *testing.B) {
+	// One master per staleness level, built once; iterations reuse it and
+	// only rebuild the cheap stale replica.
+	mkEngine := func() (*heap.Engine, int) {
+		e := heap.NewEngine(heap.Options{})
+		tid, _ := e.CreateTable(heap.TableDef{
+			Name: "t",
+			Cols: []heap.Column{{Name: "id", Type: value.TInt}, {Name: "v", Type: value.TInt}},
+		})
+		_, _ = e.CreateIndex(tid, heap.IndexDef{Name: "pk", Cols: []int{0}, Unique: true})
+		rows := make([]value.Row, 2000)
+		for j := range rows {
+			rows[j] = value.Row{value.NewInt(int64(j)), value.NewInt(0)}
+		}
+		_ = e.Load(tid, rows)
+		return e, tid
+	}
+	for _, commitsBehind := range []int{100, 1000, 4000} {
+		master, tid := mkEngine()
+		for j := 0; j < commitsBehind; j++ {
+			tx := master.BeginUpdate()
+			rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(j % 2000))})
+			row, _, _ := tx.Fetch(tid, rids[0])
+			row[1] = value.NewInt(int64(j))
+			_ = tx.Update(tid, rids[0], row)
+			if _, err := tx.Commit(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("behind-%d", commitsBehind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				stale, _ := mkEngine()
+				b.StartTimer()
+				have := stale.PageVersions()
+				delta, err := master.DeltaSince(have, master.MaxVersions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := stale.InstallDelta(delta); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(delta)), "pages_shipped")
+			}
+		})
+	}
+}
+
+// --- micro-benchmarks of the core mechanisms ----------------------------------
+
+func newBenchEngine(b *testing.B, rows int) (*heap.Engine, int) {
+	b.Helper()
+	e := heap.NewEngine(heap.Options{})
+	tid, err := e.CreateTable(heap.TableDef{
+		Name: "t",
+		Cols: []heap.Column{
+			{Name: "id", Type: value.TInt},
+			{Name: "grp", Type: value.TInt},
+			{Name: "v", Type: value.TString},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.CreateIndex(tid, heap.IndexDef{Name: "pk", Cols: []int{0}, Unique: true}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.CreateIndex(tid, heap.IndexDef{Name: "grp", Cols: []int{1}}); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]value.Row, rows)
+	for i := range data {
+		data[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 100)), value.NewString("payload")}
+	}
+	if err := e.Load(tid, data); err != nil {
+		b.Fatal(err)
+	}
+	return e, tid
+}
+
+func BenchmarkHeap_PointRead(b *testing.B) {
+	e, tid := newBenchEngine(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.BeginRead(nil)
+		rids, err := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(i % 10000))})
+		if err != nil || len(rids) != 1 {
+			b.Fatalf("lookup: %v (%d)", err, len(rids))
+		}
+		if _, ok, err := tx.Fetch(tid, rids[0]); err != nil || !ok {
+			b.Fatalf("fetch: %v", err)
+		}
+	}
+}
+
+func BenchmarkHeap_UpdateCommit(b *testing.B) {
+	e, tid := newBenchEngine(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.BeginUpdate()
+		rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(i % 10000))})
+		row, _, _ := tx.Fetch(tid, rids[0])
+		row[2] = value.NewString("updated")
+		if err := tx.Update(tid, rids[0], row); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Commit(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeap_WriteSetApply(b *testing.B) {
+	master, tid := newBenchEngine(b, 10000)
+	slave, _ := newBenchEngine(b, 10000)
+	sets := make([]*heap.WriteSet, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		tx := master.BeginUpdate()
+		rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(int64(i % 10000))})
+		row, _, _ := tx.Fetch(tid, rids[0])
+		row[2] = value.NewString("x")
+		_ = tx.Update(tid, rids[0], row)
+		_, err := tx.Commit(func(ws *heap.WriteSet) error { sets = append(sets, ws); return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for _, ws := range sets {
+		if err := slave.ApplyWriteSet(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQL_ParseSelect(b *testing.B) {
+	const q = `
+		SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, SUM(ol.ol_qty) AS qty
+		FROM item i
+		JOIN order_line ol ON ol.ol_i_id = i.i_id
+		JOIN orders o ON ol.ol_o_id = o.o_id
+		JOIN author a ON i.i_a_id = a.a_id
+		WHERE o.o_id > ? AND i.i_subject = ?
+		GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname
+		ORDER BY qty DESC LIMIT 50`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Prepare(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPCW_BestSellersQuery(b *testing.B) {
+	e := heap.NewEngine(heap.Options{})
+	for _, d := range tpcw.SchemaDDL() {
+		if err := exec.ExecDDL(e, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tpcw.BenchScale().Load(e); err != nil {
+		b.Fatal(err)
+	}
+	p, err := exec.Prepare(`
+		SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, SUM(ol.ol_qty) AS qty
+		FROM item i
+		JOIN order_line ol ON ol.ol_i_id = i.i_id
+		JOIN orders o ON ol.ol_o_id = o.o_id
+		JOIN author a ON i.i_a_id = a.a_id
+		WHERE o.o_id > ? AND i.i_subject = ?
+		GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname
+		ORDER BY qty DESC LIMIT 50`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.BeginRead(nil)
+		if _, err := p.Exec(tx, []value.Value{value.NewInt(0), value.NewString(tpcw.Subjects[i%len(tpcw.Subjects)])}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

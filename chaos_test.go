@@ -1,0 +1,205 @@
+package dmv_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmv"
+)
+
+// TestChaosNoLostUpdates is the capstone correctness test: a mixed workload
+// runs while masters, slaves, and spares are killed and rebooted at random.
+// Every acknowledged increment must be visible at the end — across master
+// elections, spare activations, checkpoint restores, and reintegrations —
+// and reads must never observe a counter sum larger than the number of
+// acknowledged increments (no phantom or partially-propagated commits).
+func TestChaosNoLostUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	const (
+		counters = 32
+		workers  = 6
+		duration = 3 * time.Second
+	)
+	c := openTestCluster(t, dmv.Config{
+		Slaves:           3,
+		Spares:           1,
+		PeerSchedulers:   1,
+		CheckpointPeriod: 50 * time.Millisecond,
+		CheckpointDir:    t.TempDir(),
+		MaxRetries:       100,
+		Schema: []string{
+			`CREATE TABLE ctr (id INT PRIMARY KEY, n INT)`,
+		},
+		Load: func(l *dmv.Loader) error {
+			rows := make([][]any, 0, counters)
+			for i := 1; i <= counters; i++ {
+				rows = append(rows, []any{i, 0})
+			}
+			return l.Load("ctr", rows)
+		},
+	})
+
+	var (
+		acked    atomic.Int64
+		readErrs atomic.Int64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := rng.Intn(counters) + 1
+				err := c.Update([]string{"ctr"}, func(tx *dmv.Tx) error {
+					_, err := tx.Exec(`UPDATE ctr SET n = n + 1 WHERE id = ?`, id)
+					return err
+				})
+				if err == nil {
+					acked.Add(1)
+				}
+				// Interleave a consistency probe: the sum may lag behind
+				// acked (in-flight commits) but must never exceed it.
+				if i%5 == 0 {
+					var sum int64
+					err := c.Read([]string{"ctr"}, func(tx *dmv.Tx) error {
+						rows, err := tx.Query(`SELECT SUM(n) FROM ctr`)
+						if err != nil {
+							return err
+						}
+						sum = rows.Int(0, 0)
+						return nil
+					})
+					if err != nil {
+						readErrs.Add(1)
+						continue
+					}
+					// A commit becomes visible before its worker bumps
+					// `acked`, so up to `workers` increments may be in that
+					// window; beyond that the sum would prove phantom or
+					// partially-propagated commits.
+					if limit := acked.Load() + workers; sum > limit {
+						t.Errorf("phantom commits: sum %d > acked+inflight %d", sum, limit)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Chaos injector: kill and restart nodes, fail the scheduler over. Each
+	// master election permanently consumes one read replica (the promoted
+	// slave) and the single spare covers one failure, so kills are budgeted
+	// to never drop below one active slave — the tier's availability
+	// guarantee covers single-node failures, not losing the whole fleet.
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(99))
+		killedScheduler := false
+		masterKills := 0
+		deadline := time.Now().Add(duration - 500*time.Millisecond)
+		var downSlave string
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Duration(200+rng.Intn(300)) * time.Millisecond)
+			switch rng.Intn(4) {
+			case 0: // master failure (each one consumes a slave)
+				if masterKills < 2 && len(c.Slaves()) >= 2 {
+					_ = c.KillMaster()
+					masterKills++
+				}
+			case 1: // slave failure (keep at most one down, keep one alive)
+				if downSlave == "" {
+					slaves := c.Slaves()
+					if len(slaves) >= 2 {
+						downSlave = slaves[rng.Intn(len(slaves))]
+						_ = c.Kill(downSlave)
+					}
+				}
+			case 2: // reboot the downed slave
+				if downSlave != "" {
+					if err := c.Restart(downSlave); err == nil {
+						downSlave = ""
+					}
+				}
+			case 3: // scheduler fail-over (once; one peer configured)
+				if !killedScheduler {
+					if err := c.KillScheduler(); err == nil {
+						killedScheduler = true
+					}
+				}
+			}
+		}
+		// Bring the downed slave back before the audit.
+		if downSlave != "" {
+			rebootDeadline := time.Now().Add(3 * time.Second)
+			for time.Now().Before(rebootDeadline) {
+				if err := c.Restart(downSlave); err == nil {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	<-chaosDone
+	close(stop)
+	wg.Wait()
+
+	// Final audit: the surviving tier must expose exactly the acknowledged
+	// increments. Retry briefly: the last failure may still be settling.
+	var (
+		finalSum int64
+		auditErr error
+		audited  bool
+	)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		auditErr = c.Read([]string{"ctr"}, func(tx *dmv.Tx) error {
+			rows, err := tx.Query(`SELECT SUM(n) FROM ctr`)
+			if err != nil {
+				return err
+			}
+			finalSum = rows.Int(0, 0)
+			return nil
+		})
+		if auditErr == nil {
+			audited = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !audited {
+		t.Fatalf("tier unavailable for the audit: %v (events: %v)", auditErr, eventKinds(c))
+	}
+	want := acked.Load()
+	if finalSum != want {
+		t.Fatalf("lost or phantom updates: acked %d, final sum %d (events: %v)",
+			want, finalSum, eventKinds(c))
+	}
+	if want < 100 {
+		t.Fatalf("chaos run made almost no progress: %d acked", want)
+	}
+	t.Logf("chaos: %d acked increments, %d read errors, events: %v",
+		want, readErrs.Load(), eventKinds(c))
+}
+
+func eventKinds(c *dmv.Cluster) map[string]int {
+	out := map[string]int{}
+	for _, ev := range c.Events() {
+		out[ev.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Command dmv-node runs one DMV database replica as a standalone process,
+// serving the replication/transaction Peer interface over TCP. Point a
+// dmv-scheduler at a set of these to form a real multi-process tier.
+//
+// Every node loads the same deterministic TPC-W image at startup (the
+// paper's nodes mmap a shared on-disk database), so a fresh node is a valid
+// stale replica that the scheduler can reintegrate.
+//
+// Usage:
+//
+//	dmv-node -id slave0 -addr :7101 [-items 1000] [-customers 500]
+//	         [-checkpoint 30s] [-cache-pages 0] [-page-fault 5ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/replica"
+	"dmv/internal/simdisk"
+	"dmv/internal/tpcw"
+	"dmv/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmv-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id         = flag.String("id", "node0", "node id (unique in the cluster)")
+		addr       = flag.String("addr", "127.0.0.1:7101", "listen address")
+		items      = flag.Int("items", 1000, "TPC-W items to load")
+		customers  = flag.Int("customers", 500, "TPC-W customers to load")
+		checkpoint = flag.Duration("checkpoint", 0, "fuzzy checkpoint period (0 = off)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for on-disk checkpoints (default: memory)")
+		cachePages = flag.Int("cache-pages", 0, "buffer-cache capacity in pages (0 = unbounded)")
+		pageFault  = flag.Duration("page-fault", 5*time.Millisecond, "cache-miss penalty")
+		pageCap    = flag.Int("page-cap", 64, "rows per page")
+	)
+	flag.Parse()
+
+	var disk *simdisk.Disk
+	opts := heap.Options{PageCap: *pageCap}
+	if *cachePages > 0 {
+		disk = simdisk.New(simdisk.InMemory(*pageFault), *cachePages)
+		opts.Observer = disk
+	}
+	eng := heap.NewEngine(opts)
+	for _, ddl := range tpcw.SchemaDDL() {
+		if err := exec.ExecDDL(eng, ddl); err != nil {
+			return err
+		}
+	}
+	scale := tpcw.Scale{Items: *items, Customers: *customers}
+	log.Printf("loading TPC-W image (items=%d customers=%d)...", *items, *customers)
+	if err := scale.Load(eng); err != nil {
+		return err
+	}
+
+	node := replica.NewNode(replica.Options{ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir})
+	if *checkpoint > 0 {
+		cp := node.StartCheckpointer(*checkpoint)
+		defer cp.Stop()
+	}
+	srv, err := transport.ServeNode(node, *addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("node %s serving on %s (slave role; scheduler assigns masters)", *id, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("node %s shutting down", *id)
+	return nil
+}

@@ -1,0 +1,261 @@
+// Command dmv-scheduler runs the version-aware scheduler against a set of
+// dmv-node processes: it assigns the master role, wires the replication
+// subscriptions, monitors heartbeats, performs master/slave fail-over, and
+// (optionally) drives the TPC-W workload against the tier so a complete
+// multi-process demonstration needs only this binary plus N dmv-nodes.
+//
+// Example (three shells):
+//
+//	dmv-node -id master0 -addr :7101
+//	dmv-node -id slave0  -addr :7102
+//	dmv-node -id slave1  -addr :7103
+//	dmv-scheduler -master master0=127.0.0.1:7101 \
+//	              -slave slave0=127.0.0.1:7102 -slave slave1=127.0.0.1:7103 \
+//	              -drive shopping -duration 15s -clients 8
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dmv/internal/harness"
+	"dmv/internal/replica"
+	"dmv/internal/scheduler"
+	"dmv/internal/tpcw"
+	"dmv/internal/transport"
+)
+
+type nodeList []string
+
+func (n *nodeList) String() string     { return strings.Join(*n, ",") }
+func (n *nodeList) Set(s string) error { *n = append(*n, s); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmv-scheduler:", err)
+		os.Exit(1)
+	}
+}
+
+func parseNode(spec string) (id, addr string, err error) {
+	id, addr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", "", fmt.Errorf("bad node spec %q (want id=host:port)", spec)
+	}
+	return id, addr, nil
+}
+
+func run() error {
+	var (
+		masterSpec = flag.String("master", "", "master node as id=host:port")
+		slaveSpecs nodeList
+		heartbeat  = flag.Duration("heartbeat", 50*time.Millisecond, "failure-detection probe period")
+		drive      = flag.String("drive", "", "drive a TPC-W mix (browsing|shopping|ordering); empty = idle")
+		duration   = flag.Duration("duration", 15*time.Second, "workload duration when driving")
+		clients    = flag.Int("clients", 8, "emulated browsers when driving")
+		items      = flag.Int("items", 1000, "TPC-W items (must match the nodes)")
+		customers  = flag.Int("customers", 500, "TPC-W customers (must match the nodes)")
+	)
+	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
+	flag.Parse()
+
+	if *masterSpec == "" || len(slaveSpecs) == 0 {
+		return errors.New("need -master and at least one -slave")
+	}
+
+	// Dial every node.
+	addrs := map[string]string{}
+	mID, mAddr, err := parseNode(*masterSpec)
+	if err != nil {
+		return err
+	}
+	master, err := transport.DialNode(mID, mAddr)
+	if err != nil {
+		return fmt.Errorf("master %s: %w", mID, err)
+	}
+	addrs[mID] = mAddr
+	var slaves []*transport.RemoteNode
+	for _, spec := range slaveSpecs {
+		id, addr, err := parseNode(spec)
+		if err != nil {
+			return err
+		}
+		s, err := transport.DialNode(id, addr)
+		if err != nil {
+			return fmt.Errorf("slave %s: %w", id, err)
+		}
+		addrs[id] = addr
+		slaves = append(slaves, s)
+	}
+
+	// The scheduler is configured from the TPC-W schema; table ids are the
+	// schema creation order, identical on every node.
+	names := tpcw.TableNames()
+	tableID := func(name string) (int, bool) {
+		for i, n := range names {
+			if n == name {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	sched, err := scheduler.New(scheduler.Options{
+		VersionAffinity: true,
+		MaxRetries:      30,
+	}, len(names), tableID)
+	if err != nil {
+		return err
+	}
+
+	// Topology: promote the master, subscribe the slaves.
+	classTables := make([]int, len(names))
+	for i := range names {
+		classTables[i] = i
+	}
+	if err := master.Promote(classTables); err != nil {
+		return fmt.Errorf("promote %s: %w", mID, err)
+	}
+	subs := map[string]string{}
+	for id, addr := range addrs {
+		if id != mID {
+			subs[id] = addr
+		}
+	}
+	if err := master.SetSubscribers(subs); err != nil {
+		return fmt.Errorf("wire subscribers: %w", err)
+	}
+	sched.SetMaster(0, master)
+	for _, s := range slaves {
+		sched.AddSlave(s)
+	}
+	log.Printf("tier up: master=%s slaves=%v", mID, sched.Slaves())
+
+	// Heartbeat monitor with remote fail-over: slave failures drop the
+	// replica; master failure elects the first live slave, discards
+	// partially propagated updates, and re-wires the stream.
+	stopMon := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*heartbeat)
+		defer ticker.Stop()
+		curMaster := master
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-ticker.C:
+				if err := curMaster.Ping(); err != nil {
+					log.Printf("master %s failed: %v; electing new master", curMaster.ID(), err)
+					newMaster := electAndPromote(sched, slaves, curMaster.ID(), addrs, classTables)
+					if newMaster != nil {
+						curMaster = newMaster
+					}
+				}
+				for _, s := range slaves {
+					if s.ID() == curMaster.ID() {
+						continue
+					}
+					alive := s.Ping() == nil
+					if !alive {
+						sched.Remove(s.ID())
+					}
+				}
+			}
+		}
+	}()
+	defer close(stopMon)
+
+	if *drive == "" {
+		log.Printf("idle; press Ctrl-C to exit")
+		select {}
+	}
+
+	mix, ok := tpcw.MixByName(*drive)
+	if !ok {
+		return fmt.Errorf("unknown mix %q", *drive)
+	}
+	store := schedStore{sched: sched}
+	w := tpcw.NewWorkload(store, tpcw.Scale{Items: *items, Customers: *customers})
+	log.Printf("driving %s mix with %d clients for %s", mix.Name, *clients, *duration)
+	res := harness.Run(harness.RunConfig{
+		Workload: w,
+		Mix:      mix,
+		Clients:  *clients,
+		Duration: *duration,
+		Warmup:   time.Second,
+	})
+	fmt.Printf("\nWIPS: %.1f  avg latency: %s  p95: %s  errors: %d/%d\n",
+		res.WIPS, res.AvgLatency, res.P95Latency, res.Errors, res.Total)
+	st := sched.Stats()
+	fmt.Printf("reads: %d  updates: %d  version aborts: %d  failovers: %d\n",
+		st.ReadTxns.Load(), st.UpdateTxns.Load(), st.VersionAborts.Load(), st.Failovers.Load())
+	fmt.Println(harness.AsciiChart("throughput", res.Timeline.Series(), 10))
+	ixNames := make([]string, 0, len(res.ByInteraction))
+	for name := range res.ByInteraction {
+		ixNames = append(ixNames, name)
+	}
+	sort.Strings(ixNames)
+	fmt.Printf("%-22s %8s %8s %12s\n", "interaction", "count", "errors", "avg latency")
+	for _, name := range ixNames {
+		ist := res.ByInteraction[name]
+		fmt.Printf("%-22s %8d %8d %12s\n", name, ist.Count, ist.Errors, ist.AvgLatency.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// electAndPromote performs remote master fail-over (Section 4.2) against
+// the Peer interface only.
+func electAndPromote(sched *scheduler.Scheduler, slaves []*transport.RemoteNode, failedID string, addrs map[string]string, classTables []int) *transport.RemoteNode {
+	lastSeen := sched.Latest()
+	var candidate *transport.RemoteNode
+	for _, s := range slaves {
+		if s.ID() == failedID || s.Ping() != nil {
+			continue
+		}
+		_ = s.DiscardAbove(lastSeen)
+		if candidate == nil {
+			candidate = s
+		}
+	}
+	sched.ResetVersion(lastSeen)
+	if candidate == nil {
+		log.Printf("no live slave to promote")
+		return nil
+	}
+	if err := candidate.Promote(classTables); err != nil {
+		log.Printf("promote %s: %v", candidate.ID(), err)
+		return nil
+	}
+	subs := map[string]string{}
+	for _, s := range slaves {
+		if s.ID() != candidate.ID() && s.ID() != failedID && s.Ping() == nil {
+			subs[s.ID()] = addrs[s.ID()]
+		}
+	}
+	if err := candidate.SetSubscribers(subs); err != nil {
+		log.Printf("rewire %s: %v", candidate.ID(), err)
+	}
+	sched.Remove(candidate.ID())
+	sched.SetMaster(0, candidate)
+	log.Printf("new master: %s; slaves: %v", candidate.ID(), sched.Slaves())
+	return candidate
+}
+
+// schedStore adapts the scheduler to the TPC-W workload interface.
+type schedStore struct {
+	sched *scheduler.Scheduler
+}
+
+// Run implements tpcw.Store.
+func (s schedStore) Run(readOnly bool, tables []string, fn func(tpcw.Querier) error) error {
+	return s.sched.Run(scheduler.TxnSpec{ReadOnly: readOnly, Tables: tables}, func(tx *scheduler.Txn) error {
+		return fn(tx)
+	})
+}
+
+var _ replica.Peer = (*transport.RemoteNode)(nil)

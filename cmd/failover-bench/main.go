@@ -1,0 +1,159 @@
+// Command failover-bench regenerates the fail-over figures of the paper
+// (Figures 4-9): node reintegration, fail-over onto stale backups (DMV vs.
+// the replicated-InnoDB baseline), the fail-over stage breakdown, and the
+// cold/warm up-to-date backup experiments with both warm-up schemes.
+//
+// Usage:
+//
+//	failover-bench [-fig 4|5|6|7|8|9|all] [-quick] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dmv/internal/experiments"
+	"dmv/internal/harness"
+	"dmv/internal/tpcw"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failover-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 4..9 or all")
+		quick  = flag.Bool("quick", false, "short runs")
+		csvDir = flag.String("csv", "", "directory to write per-figure CSV timelines")
+		repeat = flag.Int("repeat", 1, "repetitions per figure; medians are reported")
+	)
+	flag.Parse()
+
+	d := experiments.FullDurations()
+	if *quick {
+		d = experiments.QuickDurations()
+	}
+	scale := tpcw.FailoverScale()
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	// repeated runs a figure -repeat times and reports the medians.
+	repeated := func(fn func() (*experiments.FailoverResult, error)) (*experiments.FailoverResult, error) {
+		runs := make([]*experiments.FailoverResult, 0, *repeat)
+		for i := 0; i < *repeat; i++ {
+			r, err := fn()
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, r)
+		}
+		return experiments.Median(runs), nil
+	}
+
+	report := func(name string, r *experiments.FailoverResult) error {
+		fmt.Println(harness.AsciiChart(name, r.Series, 10))
+		fmt.Println(" ", r.Summary())
+		for _, ev := range r.Events {
+			fmt.Printf("  event %-16s node=%-8s dur=%-10s %s\n",
+				ev.Kind, ev.Node, harness.FmtDur(ev.Duration), ev.Detail)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, r.Name+".csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return harness.WriteCSV(f, r.Series)
+		}
+		return nil
+	}
+
+	if want("4") {
+		fmt.Println("=== Figure 4: node reintegration (shopping mix, master + 4 slaves) ===")
+		downtime := d.Measure / 4 // compressed stand-in for the 6-minute reboot
+		r, err := experiments.Figure4(scale, d, downtime)
+		if err != nil {
+			return err
+		}
+		if err := report("Fig 4 — master kill, reboot, reintegration", r); err != nil {
+			return err
+		}
+		fmt.Println("Paper: instantaneous adaptation, ~20% graceful degradation, ~5s catch-up, 50-60s cache warmup.")
+		fmt.Println()
+	}
+
+	if want("5") || want("6") {
+		fmt.Println("=== Figures 5 & 6: fail-over onto a stale backup, DMV vs replicated InnoDB ===")
+		rows, dmvRes, innoRes, err := experiments.Figure6(scale, d)
+		if err != nil {
+			return err
+		}
+		if err := report("Fig 5(a,b) — InnoDB tier, kill one active, stale spare replays log", innoRes); err != nil {
+			return err
+		}
+		if err := report("Fig 5(c,d) — DMV tier, kill master, stale spare gets page deltas", dmvRes); err != nil {
+			return err
+		}
+		fmt.Println("Fig 6 — fail-over stage weights:")
+		fmt.Printf("  %-8s %-14s %10s\n", "system", "stage", "seconds")
+		for _, row := range rows {
+			fmt.Printf("  %-8s %-14s %10.3f\n", row.System, row.Stage, row.Seconds)
+		}
+		fmt.Println()
+		fmt.Printf("  total recovery: DMV %s vs InnoDB %s (paper: ~70s vs ~3min, DMV < 1/3 of InnoDB)\n",
+			harness.FmtDur(dmvRes.Recovery), harness.FmtDur(innoRes.Recovery))
+		fmt.Println("Paper: InnoDB DB-update (log replay) ~94s dominates; DMV catch-up small, cache warmup similar,")
+		fmt.Println("plus a ~6s recovery stage for aborting partially propagated updates at master fail-over.")
+		fmt.Println()
+	}
+
+	if want("7") {
+		fmt.Println("=== Figure 7: fail-over onto an up-to-date COLD backup ===")
+		r, err := repeated(func() (*experiments.FailoverResult, error) { return experiments.Figure7(scale, d) })
+		if err != nil {
+			return err
+		}
+		if err := report("Fig 7 — cold backup: full cache warm-up after fail-over", r); err != nil {
+			return err
+		}
+		fmt.Println("Paper: significant dip; >1 minute until peak throughput is restored.")
+		fmt.Println()
+	}
+
+	if want("8") {
+		fmt.Println("=== Figure 8: warm backup via 1% query execution ===")
+		r, err := repeated(func() (*experiments.FailoverResult, error) { return experiments.Figure8(scale, d) })
+		if err != nil {
+			return err
+		}
+		if err := report("Fig 8 — warm backup (1% of reads): failure almost unnoticeable", r); err != nil {
+			return err
+		}
+		fmt.Println("Paper: effect of the failure is almost unnoticeable.")
+		fmt.Println()
+	}
+
+	if want("9") {
+		fmt.Println("=== Figure 9: warm backup via page-id transfer ===")
+		r, err := repeated(func() (*experiments.FailoverResult, error) { return experiments.Figure9(scale, d) })
+		if err != nil {
+			return err
+		}
+		if err := report("Fig 9 — warm backup (page-id transfer): seamless failure handling", r); err != nil {
+			return err
+		}
+		fmt.Println("Paper: seamless behavior, same as the query-execution warm-up scheme.")
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package dmv
+
+import (
+	"testing"
+
+	"dmv/internal/value"
+)
+
+// These tests live in the dmv package itself to reach the unexported
+// conversion helpers between Go values and the SQL value model.
+
+func TestToValueConversions(t *testing.T) {
+	cases := []struct {
+		in   any
+		want value.Value
+	}{
+		{nil, value.NewNull()},
+		{42, value.NewInt(42)},
+		{int32(7), value.NewInt(7)},
+		{int64(-1), value.NewInt(-1)},
+		{float32(1.5), value.NewFloat(1.5)},
+		{2.5, value.NewFloat(2.5)},
+		{true, value.NewInt(1)},
+		{false, value.NewInt(0)},
+		{"x", value.NewString("x")},
+		{value.NewInt(9), value.NewInt(9)},
+	}
+	for _, tc := range cases {
+		got := toValue(tc.in)
+		if !value.Equal(got, tc.want) || got.K != tc.want.K {
+			t.Errorf("toValue(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Unknown types degrade to their string rendering, not a panic.
+	type odd struct{ X int }
+	if got := toValue(odd{X: 1}); got.K != value.String {
+		t.Errorf("odd type = %v", got)
+	}
+}
+
+func TestFromValueConversions(t *testing.T) {
+	if fromValue(value.NewNull()) != nil {
+		t.Error("null")
+	}
+	if fromValue(value.NewInt(3)) != int64(3) {
+		t.Error("int")
+	}
+	if fromValue(value.NewFloat(1.5)) != 1.5 {
+		t.Error("float")
+	}
+	if fromValue(value.NewString("s")) != "s" {
+		t.Error("string")
+	}
+}
+
+func TestRowsAccessorCoercions(t *testing.T) {
+	r := &Rows{
+		Cols: []string{"a", "b", "c"},
+		Data: [][]any{{int64(2), 3.7, "x"}},
+	}
+	if r.Int(0, 1) != 3 { // float coerces to int64
+		t.Errorf("Int over float = %d", r.Int(0, 1))
+	}
+	if r.Float(0, 0) != 2 { // int coerces to float
+		t.Errorf("Float over int = %f", r.Float(0, 0))
+	}
+	if r.String(0, 0) != "2" { // non-string renders
+		t.Errorf("String over int = %q", r.String(0, 0))
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,160 @@
+// Bookstore: a condensed TPC-W-style online bookstore on the public API —
+// the workload the paper's introduction motivates. A catalog is bulk-loaded
+// at startup (every replica loads the same deterministic image), shoppers
+// place orders on the master while the best-seller and search pages are
+// served from the slave replicas, and an on-disk persistence tier logs every
+// committed order asynchronously.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"dmv"
+)
+
+const (
+	nBooks    = 200
+	nShoppers = 4
+	nOrders   = 25 // per shopper
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	c, err := dmv.Open(dmv.Config{
+		Slaves: 3,
+		Schema: []string{
+			`CREATE TABLE book (b_id INT PRIMARY KEY, b_title VARCHAR(60), b_genre VARCHAR(20), b_price FLOAT, b_stock INT)`,
+			`CREATE INDEX ix_book_genre ON book (b_genre)`,
+			`CREATE TABLE purchase (p_id INT PRIMARY KEY, p_b_id INT, p_qty INT, p_total FLOAT)`,
+			`CREATE INDEX ix_purchase_book ON purchase (p_b_id)`,
+		},
+		Load:            loadCatalog,
+		PersistBackends: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	var (
+		mu     sync.Mutex
+		nextID int
+	)
+	newID := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		nextID++
+		return nextID
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < nShoppers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s) + 1))
+			for i := 0; i < nOrders; i++ {
+				book := rng.Intn(nBooks) + 1
+				qty := rng.Intn(3) + 1
+				if err := placeOrder(c, newID(), book, qty); err != nil {
+					log.Printf("shopper %d: order failed: %v", s, err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Best sellers, computed on a slave replica at a consistent snapshot.
+	fmt.Println("best sellers:")
+	err = c.Read([]string{"book", "purchase"}, func(tx *dmv.Tx) error {
+		rows, err := tx.Query(`
+			SELECT b.b_title, b.b_genre, SUM(p.p_qty) AS sold
+			FROM book b JOIN purchase p ON p.p_b_id = b.b_id
+			GROUP BY b.b_title, b.b_genre
+			ORDER BY sold DESC, b.b_title ASC
+			LIMIT 5`)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < rows.Len(); i++ {
+			fmt.Printf("  %-28s %-10s sold %d\n", rows.String(i, 0), rows.String(i, 1), rows.Int(i, 2))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stock invariant: every purchase decremented stock exactly once.
+	var sold, missing int64
+	err = c.Read([]string{"book", "purchase"}, func(tx *dmv.Tx) error {
+		rows, err := tx.Query(`SELECT SUM(p_qty) FROM purchase`)
+		if err != nil {
+			return err
+		}
+		sold = rows.Int(0, 0)
+		rows, err = tx.Query(`SELECT SUM(b_stock) FROM book`)
+		if err != nil {
+			return err
+		}
+		missing = int64(nBooks*100) - rows.Int(0, 0)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sold %d units; stock decreased by %d (must match)\n", sold, missing)
+
+	// The persistence tier has logged every committed order; wait for the
+	// on-disk databases to apply and report.
+	c.FlushPersistence()
+	st := c.Stats()
+	fmt.Printf("persistence: %d transactions logged, applied on backends %v\n",
+		st.PersistLogged, c.PersistenceApplied())
+	if sold != missing {
+		return fmt.Errorf("invariant violated: sold %d != stock delta %d", sold, missing)
+	}
+	return nil
+}
+
+func loadCatalog(l *dmv.Loader) error {
+	genres := []string{"scifi", "history", "poetry", "cooking"}
+	rows := make([][]any, 0, nBooks)
+	for i := 1; i <= nBooks; i++ {
+		rows = append(rows, []any{
+			i,
+			fmt.Sprintf("Book %03d", i),
+			genres[i%len(genres)],
+			5.0 + float64(i%40),
+			100,
+		})
+	}
+	return l.Load("book", rows)
+}
+
+func placeOrder(c *dmv.Cluster, id, book, qty int) error {
+	return c.Update([]string{"book", "purchase"}, func(tx *dmv.Tx) error {
+		rows, err := tx.Query(`SELECT b_price, b_stock FROM book WHERE b_id = ?`, book)
+		if err != nil {
+			return err
+		}
+		if rows.Len() == 0 {
+			return fmt.Errorf("book %d not found", book)
+		}
+		price := rows.Float(0, 0)
+		if _, err := tx.Exec(`UPDATE book SET b_stock = b_stock - ? WHERE b_id = ?`, qty, book); err != nil {
+			return err
+		}
+		_, err = tx.Exec(`INSERT INTO purchase (p_id, p_b_id, p_qty, p_total) VALUES (?, ?, ?, ?)`,
+			id, book, qty, price*float64(qty))
+		return err
+	})
+}

@@ -1,0 +1,3 @@
+module dmv
+
+go 1.22

@@ -1,0 +1,664 @@
+// Package cluster orchestrates a DMV in-memory database tier: node
+// construction and initial load, heartbeat failure detection, master
+// election, the three-stage fail-over pipeline (recovery -> data migration
+// -> cache warm-up), spare-backup management with the paper's two warm-up
+// schemes (1%-of-reads query execution and page-id transfer), periodic fuzzy
+// checkpoints, and reintegration of recovered nodes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/replica"
+	"dmv/internal/scheduler"
+	"dmv/internal/simdisk"
+)
+
+// Errors surfaced by cluster operations.
+var (
+	// ErrUnknownNode reports an operation naming a node outside the cluster.
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	// ErrNoSupportSlave reports a reintegration with no live support slave.
+	ErrNoSupportSlave = errors.New("cluster: no support slave available")
+)
+
+// SpareMode selects how a spare backup is maintained.
+type SpareMode uint8
+
+// Spare maintenance modes.
+const (
+	// SpareHot subscribes the spare to the replication stream (up to date at
+	// fail-over; only the buffer cache may be cold).
+	SpareHot SpareMode = iota + 1
+	// SpareStale leaves the spare unsubscribed; it is refreshed only by
+	// periodic data migration (the paper's 30-minute-stale backup).
+	SpareStale
+)
+
+// Config describes the cluster to build.
+type Config struct {
+	// Slaves is the number of active read replicas (excluding masters).
+	Slaves int
+	// Spares is the number of spare backup nodes.
+	Spares int
+	// SpareMode selects hot (subscribed) or stale spares. Default SpareHot.
+	SpareMode SpareMode
+	// StaleRefresh, for stale spares, is the period between refreshes (the
+	// paper's baseline refreshes every 30 minutes). Zero disables refresh.
+	StaleRefresh time.Duration
+	// Classes are the conflict classes; empty = single master for all
+	// tables.
+	Classes []scheduler.ConflictClass
+	// SchemaDDL creates the schema on every node.
+	SchemaDDL []string
+	// Load populates one engine with the initial database image. It must be
+	// deterministic: every node loads an identical image, modelling the
+	// shared on-disk database every node mmaps at startup.
+	Load func(e *heap.Engine) error
+	// EngineOptions builds per-node engine options (wire a simdisk observer
+	// here to model buffer caches). May be nil.
+	EngineOptions func(nodeID string) heap.Options
+	// DiskFor returns the node's buffer-cache simulator (the same one wired
+	// into EngineOptions), or nil. May be nil.
+	DiskFor func(nodeID string) *simdisk.Disk
+	// HeartbeatInterval is the failure-detection probe period (default
+	// 10ms; detection latency is about two intervals).
+	HeartbeatInterval time.Duration
+	// CheckpointPeriod starts a fuzzy-checkpoint thread per node (0 = off).
+	CheckpointPeriod time.Duration
+	// CheckpointDir persists checkpoints to files under this directory
+	// (empty = in-memory stable-storage model).
+	CheckpointDir string
+	// WarmupShare routes this fraction of reads to spares (Section 4.5,
+	// first scheme). 0 disables.
+	WarmupShare float64
+	// PageIDTransfer enables the second warm-up scheme: an active slave
+	// ships its resident page ids to the spares on this period (0 = off).
+	PageIDTransfer time.Duration
+	// PageIDLimit bounds the shipped page-id set per transfer (0 = all).
+	PageIDLimit int
+	// IndexGCPeriod runs versioned-index garbage collection on every node
+	// at this period, at the scheduler's reader low-water mark (0 = off).
+	IndexGCPeriod time.Duration
+	// OverloadThreshold activates a spare backup as an additional read
+	// replica when the mean in-flight reads per slave stays above this
+	// value (the paper keeps spares "for overflow in case of failures or
+	// potentially overload of active replicas"). 0 disables.
+	OverloadThreshold float64
+	// OverloadWindow is how long the overload must persist before a spare
+	// is activated (default 250ms).
+	OverloadWindow time.Duration
+	// VersionAffinity enables same-version scheduling (default on; the
+	// ablation turns it off).
+	NoVersionAffinity bool
+	// MaxRetries bounds scheduler retries.
+	MaxRetries int
+	// PeerSchedulers adds this many standby peer schedulers (Section 4.1:
+	// the scheduler state is only the current version vector, so peers can
+	// take over almost instantly). Fail the primary with KillScheduler.
+	PeerSchedulers int
+	// StatementService models each node's CPU: one statement occupies one
+	// of ServiceWidth slots for this long (0 = unmodelled). See
+	// replica.Options.ServicePerStmt.
+	StatementService time.Duration
+	// ServiceWidth is CPUs per node (default 2 when StatementService set).
+	ServiceWidth int
+	// UpdateStatementService is the per-statement CPU demand of update
+	// transactions (default = StatementService).
+	UpdateStatementService time.Duration
+	// OnCommit receives committed update transactions (persistence tier).
+	OnCommit func(scheduler.CommitRecord)
+	// Seed seeds scheduler randomness.
+	Seed int64
+}
+
+// EventKind classifies cluster events.
+type EventKind string
+
+// Event kinds.
+const (
+	EventNodeFailed      EventKind = "node-failed"
+	EventMasterElected   EventKind = "master-elected"
+	EventSpareActivated  EventKind = "spare-activated"
+	EventRecoveryDone    EventKind = "recovery-done"
+	EventMigrationDone   EventKind = "migration-done"
+	EventReintegrated    EventKind = "reintegrated"
+	EventNodeRestarted   EventKind = "node-restarted"
+	EventSchedulerSwitch EventKind = "scheduler-switch"
+	EventOverload        EventKind = "overload"
+)
+
+// Event is one reconfiguration event with its duration where applicable.
+type Event struct {
+	Time     time.Time
+	Kind     EventKind
+	Node     string
+	Detail   string
+	Duration time.Duration
+}
+
+type nodeState struct {
+	node    *replica.Node
+	cp      *replica.Checkpointer
+	isSpare bool
+	classID int // >= 0 when master of that class
+}
+
+// Cluster is a running in-memory tier.
+type Cluster struct {
+	cfg     Config
+	scheds  []*scheduler.Scheduler
+	primary atomic.Int32
+
+	mu      sync.Mutex
+	nodes   map[string]*nodeState
+	order   []string
+	handled map[string]bool // failure handling is idempotent per node
+
+	evMu   sync.Mutex
+	events []Event
+	evHook func(Event)
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds and starts a cluster: NumClasses master nodes plus cfg.Slaves
+// slaves plus cfg.Spares spares, all loaded with the same initial image.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if cfg.SpareMode == 0 {
+		cfg.SpareMode = SpareHot
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		nodes:   make(map[string]*nodeState, 16),
+		handled: make(map[string]bool, 4),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+
+	numClasses := len(cfg.Classes)
+	if numClasses == 0 {
+		numClasses = 1
+	}
+
+	// Build all engines and nodes.
+	total := numClasses + cfg.Slaves + cfg.Spares
+	var nodes []*replica.Node
+	for i := 0; i < total; i++ {
+		var id string
+		switch {
+		case i < numClasses:
+			id = fmt.Sprintf("master%d", i)
+		case i < numClasses+cfg.Slaves:
+			id = fmt.Sprintf("slave%d", i-numClasses)
+		default:
+			id = fmt.Sprintf("spare%d", i-numClasses-cfg.Slaves)
+		}
+		n, err := c.buildNode(id)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+
+	// Scheduler(s) over the schema of the first engine: one primary plus
+	// cfg.PeerSchedulers standbys sharing the same topology.
+	ref := nodes[0].Engine()
+	for si := 0; si <= cfg.PeerSchedulers; si++ {
+		sched, err := scheduler.New(scheduler.Options{
+			Classes:         cfg.Classes,
+			VersionAffinity: !cfg.NoVersionAffinity,
+			MaxRetries:      cfg.MaxRetries,
+			WarmupShare:     cfg.WarmupShare,
+			OnCommit:        cfg.OnCommit,
+			OnPeerFailure:   func(id string) { go c.handleFailure(id) },
+			Seed:            cfg.Seed + int64(si),
+		}, ref.NumTables(), ref.TableID)
+		if err != nil {
+			return nil, err
+		}
+		c.scheds = append(c.scheds, sched)
+	}
+	sched := c.scheds[0]
+	_ = sched
+
+	// Roles and topology (mirrored on every peer scheduler).
+	for i, n := range nodes {
+		st := c.nodes[n.ID()]
+		switch {
+		case i < numClasses:
+			st.classID = i
+			if err := n.Promote(sched.ClassTables(i)); err != nil {
+				return nil, err
+			}
+			c.eachSched(func(s *scheduler.Scheduler) { s.SetMaster(st.classID, n) })
+		case i < numClasses+cfg.Slaves:
+			st.classID = -1
+			c.eachSched(func(s *scheduler.Scheduler) { s.AddSlave(n) })
+		default:
+			st.classID = -1
+			st.isSpare = true
+			n.SetRole(replica.RoleSpare)
+			c.eachSched(func(s *scheduler.Scheduler) { s.AddSpare(n) })
+		}
+	}
+	c.rewireSubscribers()
+
+	// Checkpoint threads.
+	if cfg.CheckpointPeriod > 0 {
+		c.mu.Lock()
+		for _, st := range c.nodes {
+			st.cp = st.node.StartCheckpointer(cfg.CheckpointPeriod)
+		}
+		c.mu.Unlock()
+	}
+
+	// Background loops.
+	c.wg.Add(1)
+	go c.monitor()
+	if cfg.PageIDTransfer > 0 {
+		c.wg.Add(1)
+		go c.pageIDWarmupLoop()
+	}
+	if cfg.SpareMode == SpareStale && cfg.StaleRefresh > 0 {
+		c.wg.Add(1)
+		go c.staleRefreshLoop()
+	}
+	if cfg.IndexGCPeriod > 0 {
+		c.wg.Add(1)
+		go c.indexGCLoop()
+	}
+	if cfg.OverloadThreshold > 0 {
+		c.wg.Add(1)
+		go c.overloadLoop()
+	}
+	go func() {
+		c.wg.Wait()
+		close(c.done)
+	}()
+	return c, nil
+}
+
+func (c *Cluster) buildNode(id string) (*replica.Node, error) {
+	var opts heap.Options
+	if c.cfg.EngineOptions != nil {
+		opts = c.cfg.EngineOptions(id)
+	}
+	eng := heap.NewEngine(opts)
+	for _, ddl := range c.cfg.SchemaDDL {
+		if err := exec.ExecDDL(eng, ddl); err != nil {
+			return nil, fmt.Errorf("node %s: %w", id, err)
+		}
+	}
+	if c.cfg.Load != nil {
+		if err := c.cfg.Load(eng); err != nil {
+			return nil, fmt.Errorf("load node %s: %w", id, err)
+		}
+	}
+	var disk *simdisk.Disk
+	if c.cfg.DiskFor != nil {
+		disk = c.cfg.DiskFor(id)
+	}
+	n := replica.NewNode(replica.Options{
+		ID:                   id,
+		Engine:               eng,
+		Disk:                 disk,
+		OnPeerFailure:        func(peer string) { go c.handleFailure(peer) },
+		ServicePerStmt:       c.cfg.StatementService,
+		ServiceWidth:         c.cfg.ServiceWidth,
+		UpdateServicePerStmt: c.cfg.UpdateStatementService,
+	})
+	c.mu.Lock()
+	c.nodes[id] = &nodeState{node: n, classID: -1}
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+	return n, nil
+}
+
+// rewireSubscribers points every master's replication stream at every other
+// live, subscribed node. Stale spares are intentionally left out.
+func (c *Cluster) rewireSubscribers() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var masters []*replica.Node
+	var receivers []replica.Peer
+	for _, id := range c.order {
+		st := c.nodes[id]
+		if st == nil || !st.node.Alive() {
+			continue
+		}
+		if st.classID >= 0 {
+			masters = append(masters, st.node)
+		}
+		if st.isSpare && c.cfg.SpareMode == SpareStale {
+			continue
+		}
+		receivers = append(receivers, st.node)
+	}
+	for _, m := range masters {
+		subs := make([]replica.Peer, 0, len(receivers))
+		for _, r := range receivers {
+			if r.ID() != m.ID() {
+				subs = append(subs, r)
+			}
+		}
+		m.SetSubscribers(subs)
+	}
+}
+
+// Scheduler returns the cluster's current primary scheduler (the
+// transaction entry point).
+func (c *Cluster) Scheduler() *scheduler.Scheduler {
+	return c.scheds[c.primary.Load()]
+}
+
+// eachSched applies a topology mutation to every peer scheduler so a
+// standby can take over with a current view.
+func (c *Cluster) eachSched(fn func(*scheduler.Scheduler)) {
+	for _, s := range c.scheds {
+		fn(s)
+	}
+}
+
+// KillScheduler fails the primary scheduler and promotes the next peer: the
+// new primary runs the Section 4.1 take-over (masters abort transactions
+// orphaned by the failed scheduler and report their highest versions).
+// Returns the index of the new primary, or an error when no peer remains.
+func (c *Cluster) KillScheduler() (int, error) {
+	cur := int(c.primary.Load())
+	next := cur + 1
+	if next >= len(c.scheds) {
+		return cur, errors.New("cluster: no peer scheduler left")
+	}
+	if err := c.scheds[next].TakeOver(); err != nil {
+		return cur, err
+	}
+	c.primary.Store(int32(next))
+	c.emit(Event{Kind: EventSchedulerSwitch, Node: fmt.Sprintf("scheduler%d", next)})
+	return next, nil
+}
+
+// Run executes one transaction through the primary scheduler.
+func (c *Cluster) Run(spec scheduler.TxnSpec, fn func(*scheduler.Txn) error) error {
+	return c.Scheduler().Run(spec, fn)
+}
+
+// Node returns the named node (tests, fault injection).
+func (c *Cluster) Node(id string) (*replica.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.nodes[id]
+	if !ok {
+		return nil, false
+	}
+	return st.node, true
+}
+
+// NodeIDs lists the nodes in creation order.
+func (c *Cluster) NodeIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// MasterID returns the current master of conflict class ci.
+func (c *Cluster) MasterID(ci int) string {
+	m := c.Scheduler().Master(ci)
+	if m == nil {
+		return ""
+	}
+	return m.ID()
+}
+
+// Events returns a copy of the reconfiguration event log.
+func (c *Cluster) Events() []Event {
+	c.evMu.Lock()
+	defer c.evMu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// OnEvent installs a hook invoked for every event (harness timelines).
+func (c *Cluster) OnEvent(fn func(Event)) {
+	c.evMu.Lock()
+	c.evHook = fn
+	c.evMu.Unlock()
+}
+
+func (c *Cluster) emit(ev Event) {
+	ev.Time = time.Now()
+	c.evMu.Lock()
+	c.events = append(c.events, ev)
+	hook := c.evHook
+	c.evMu.Unlock()
+	if hook != nil {
+		hook(ev)
+	}
+}
+
+// Close stops background loops and checkpoint threads.
+func (c *Cluster) Close() {
+	select {
+	case <-c.stop:
+		return // already closed
+	default:
+	}
+	close(c.stop)
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.nodes {
+		if st.cp != nil {
+			st.cp.Stop()
+			st.cp = nil
+		}
+	}
+}
+
+// --- fault injection ---------------------------------------------------------
+
+// Kill fail-stops a node; the heartbeat monitor detects it and reconfigures.
+func (c *Cluster) Kill(id string) error {
+	c.mu.Lock()
+	st, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	st.node.Kill()
+	return nil
+}
+
+// KillMaster kills the master of class 0 (the worst-case fail-over).
+func (c *Cluster) KillMaster() error { return c.Kill(c.MasterID(0)) }
+
+// --- background loops ---------------------------------------------------------
+
+func (c *Cluster) monitor() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.mu.Lock()
+			var dead []string
+			for id, st := range c.nodes {
+				if c.handled[id] {
+					continue
+				}
+				if err := st.node.Ping(); err != nil {
+					dead = append(dead, id)
+				}
+			}
+			c.mu.Unlock()
+			for _, id := range dead {
+				c.handleFailure(id)
+			}
+		}
+	}
+}
+
+func (c *Cluster) pageIDWarmupLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.PageIDTransfer)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			slaves := c.Scheduler().SlaveList()
+			spares := c.Scheduler().SpareList()
+			if len(slaves) == 0 || len(spares) == 0 {
+				continue
+			}
+			keys, err := slaves[0].ResidentPages(c.cfg.PageIDLimit)
+			if err != nil || len(keys) == 0 {
+				continue
+			}
+			for _, sp := range spares {
+				_ = sp.WarmPages(keys)
+			}
+		}
+	}
+}
+
+func (c *Cluster) staleRefreshLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.StaleRefresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			for _, sp := range c.Scheduler().SpareList() {
+				c.mu.Lock()
+				st := c.nodes[sp.ID()]
+				c.mu.Unlock()
+				if st == nil || !st.node.Alive() {
+					continue
+				}
+				_, _ = c.refreshStale(st.node)
+			}
+		}
+	}
+}
+
+// overloadLoop watches the scheduler's queue depth and activates one spare
+// per sustained overload episode.
+func (c *Cluster) overloadLoop() {
+	defer c.wg.Done()
+	window := c.cfg.OverloadWindow
+	if window <= 0 {
+		window = 250 * time.Millisecond
+	}
+	tick := window / 5
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	var over time.Duration
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			if c.Scheduler().AvgOutstanding() > c.cfg.OverloadThreshold {
+				over += tick
+			} else {
+				over = 0
+			}
+			if over >= window {
+				over = 0
+				if len(c.Scheduler().Spares()) > 0 {
+					c.emit(Event{Kind: EventOverload, Detail: "activating spare"})
+					c.activateSpare()
+				}
+			}
+		}
+	}
+}
+
+func (c *Cluster) indexGCLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.IndexGCPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			lw := c.Scheduler().LowWater()
+			c.mu.Lock()
+			nodes := make([]*replica.Node, 0, len(c.nodes))
+			for _, st := range c.nodes {
+				if st.node.Alive() {
+					nodes = append(nodes, st.node)
+				}
+			}
+			c.mu.Unlock()
+			for _, n := range nodes {
+				n.Engine().GCIndexes(lw)
+				_, _ = n.Engine().GCRowLocations(lw)
+			}
+		}
+	}
+}
+
+// refreshStale migrates the latest pages onto an unsubscribed spare without
+// subscribing it (it goes right back to being stale, as the paper's
+// periodically-updated backup does).
+func (c *Cluster) refreshStale(n *replica.Node) (time.Duration, error) {
+	start := time.Now()
+	support := c.pickSupportSlave(n.ID())
+	if support == nil {
+		return 0, ErrNoSupportSlave
+	}
+	target, err := support.MaxVersions()
+	if err != nil {
+		return 0, err
+	}
+	have, err := n.PageVersions()
+	if err != nil {
+		return 0, err
+	}
+	delta, err := support.DeltaSince(have, target)
+	if err != nil {
+		return 0, err
+	}
+	if err := n.InstallDelta(delta); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func (c *Cluster) pickSupportSlave(exclude string) replica.Peer {
+	sched := c.Scheduler()
+	for _, p := range sched.SlaveList() {
+		if p.ID() != exclude && p.Ping() == nil {
+			return p
+		}
+	}
+	// Fall back to a master (it has the full state too).
+	for ci := 0; ci < sched.NumClasses(); ci++ {
+		if m := sched.Master(ci); m != nil && m.ID() != exclude && m.Ping() == nil {
+			return m
+		}
+	}
+	return nil
+}

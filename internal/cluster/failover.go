@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/replica"
+	"dmv/internal/scheduler"
+	"dmv/internal/vclock"
+)
+
+// handleFailure is the single entry point for reconfiguration after a
+// fail-stop failure. It is idempotent and serialized per cluster.
+func (c *Cluster) handleFailure(id string) {
+	c.mu.Lock()
+	st, ok := c.nodes[id]
+	if !ok || c.handled[id] {
+		c.mu.Unlock()
+		return
+	}
+	// Confirm the failure (a scheduler may report a transient error).
+	if err := st.node.Ping(); err == nil {
+		c.mu.Unlock()
+		return
+	}
+	c.handled[id] = true
+	classID := st.classID
+	isSpare := st.isSpare
+	c.mu.Unlock()
+
+	c.emit(Event{Kind: EventNodeFailed, Node: id})
+
+	switch {
+	case classID >= 0:
+		c.masterFailover(id, classID)
+	case isSpare:
+		c.eachSched(func(s *scheduler.Scheduler) { s.Remove(id) })
+		c.rewireSubscribers()
+	default:
+		c.slaveFailover(id)
+	}
+}
+
+// masterFailover handles the most complex case (Section 4.2): roll the tier
+// back to the last version the scheduler acknowledged, elect a new master
+// from the slaves, and backfill read capacity from a spare.
+func (c *Cluster) masterFailover(failed string, classID int) {
+	start := time.Now()
+
+	// Stage 1 — Recovery: discard partially propagated pre-commits beyond
+	// the last version the scheduler has seen, then elect a new master.
+	lastSeen := c.Scheduler().Latest()
+	for _, p := range c.livePeers(failed) {
+		_ = p.DiscardAbove(lastSeen)
+	}
+	c.eachSched(func(s *scheduler.Scheduler) { s.ResetVersion(lastSeen) })
+
+	newMaster := c.electMaster(failed)
+	if newMaster == nil {
+		c.emit(Event{Kind: EventRecoveryDone, Node: failed, Detail: "no candidate master", Duration: time.Since(start)})
+		return
+	}
+	if err := newMaster.Promote(c.Scheduler().ClassTables(classID)); err != nil {
+		c.emit(Event{Kind: EventRecoveryDone, Node: newMaster.ID(), Detail: "promote failed: " + err.Error(), Duration: time.Since(start)})
+		return
+	}
+	c.mu.Lock()
+	if st := c.nodes[newMaster.ID()]; st != nil {
+		st.classID = classID
+		st.isSpare = false
+	}
+	c.mu.Unlock()
+	c.eachSched(func(s *scheduler.Scheduler) {
+		s.Remove(newMaster.ID()) // masters do not serve scheduled reads
+		s.SetMaster(classID, newMaster)
+	})
+	c.rewireSubscribers()
+	recoveryDur := time.Since(start)
+	c.emit(Event{Kind: EventMasterElected, Node: newMaster.ID(), Duration: recoveryDur})
+	c.emit(Event{Kind: EventRecoveryDone, Node: failed, Duration: recoveryDur})
+
+	// Stage 2 — Data migration: activate a spare to replace the promoted
+	// slave's read capacity.
+	c.activateSpare()
+}
+
+// slaveFailover removes the failed slave and activates a spare in its place.
+func (c *Cluster) slaveFailover(failed string) {
+	start := time.Now()
+	c.eachSched(func(s *scheduler.Scheduler) { s.Remove(failed) })
+	c.rewireSubscribers()
+	c.emit(Event{Kind: EventRecoveryDone, Node: failed, Duration: time.Since(start)})
+	c.activateSpare()
+}
+
+// electMaster picks the live slave with the highest versions (after the
+// discard they are all equal, so this is effectively the first live slave).
+func (c *Cluster) electMaster(failed string) *replica.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *replica.Node
+	var bestVer vclock.Vector
+	for _, id := range c.order {
+		st := c.nodes[id]
+		if id == failed || st == nil || !st.node.Alive() || st.classID >= 0 || st.isSpare {
+			continue
+		}
+		v, err := st.node.MaxVersions()
+		if err != nil {
+			continue
+		}
+		if best == nil || !bestVer.DominatesOrEqual(v) {
+			best, bestVer = st.node, v
+		}
+	}
+	return best
+}
+
+// activateSpare integrates one spare backup into the active slave set: data
+// migration first (instant for hot spares, a page-delta transfer for stale
+// ones), then the spare serves reads while its buffer cache warms up.
+func (c *Cluster) activateSpare() {
+	c.mu.Lock()
+	var spare *replica.Node
+	for _, id := range c.order {
+		st := c.nodes[id]
+		if st != nil && st.isSpare && st.node.Alive() {
+			spare = st.node
+			break
+		}
+	}
+	c.mu.Unlock()
+	if spare == nil {
+		return
+	}
+
+	migStart := time.Now()
+	if c.cfg.SpareMode == SpareStale {
+		if err := c.reintegrate(spare); err != nil {
+			c.emit(Event{Kind: EventMigrationDone, Node: spare.ID(), Detail: "failed: " + err.Error(), Duration: time.Since(migStart)})
+			return
+		}
+	}
+	// Hot spares are already up to date (subscribed to the replication
+	// stream); buffered modifications materialize lazily as readers arrive,
+	// so activation is immediate — eagerly materializing here would fault
+	// the spare's whole cold cache in before it serves a single read.
+	migDur := time.Since(migStart)
+	_ = spare.Demote(replica.RoleSlave)
+
+	c.mu.Lock()
+	if st := c.nodes[spare.ID()]; st != nil {
+		st.isSpare = false
+	}
+	c.mu.Unlock()
+	c.eachSched(func(s *scheduler.Scheduler) {
+		if !s.PromoteSpare(spare.ID()) {
+			s.AddSlave(spare)
+		}
+	})
+	c.rewireSubscribers()
+	c.emit(Event{Kind: EventMigrationDone, Node: spare.ID(), Duration: migDur})
+	c.emit(Event{Kind: EventSpareActivated, Node: spare.ID(), Duration: time.Since(migStart)})
+}
+
+// reintegrate runs the data-migration protocol of Section 4.4 on a stale or
+// recovered node: subscribe (buffering), fetch the page delta from a support
+// slave, install it, then drain the buffer.
+func (c *Cluster) reintegrate(n *replica.Node) error {
+	if err := n.StartJoin(); err != nil {
+		return err
+	}
+	// Subscribe to every master so new write-sets are buffered.
+	c.mu.Lock()
+	for _, id := range c.order {
+		st := c.nodes[id]
+		if st != nil && st.classID >= 0 && st.node.Alive() {
+			st.node.AddSubscriber(n)
+		}
+	}
+	c.mu.Unlock()
+
+	support := c.pickSupportSlave(n.ID())
+	if support == nil {
+		return ErrNoSupportSlave
+	}
+	target, err := support.MaxVersions()
+	if err != nil {
+		return fmt.Errorf("reintegrate %s: %w", n.ID(), err)
+	}
+	have, err := n.PageVersions()
+	if err != nil {
+		return fmt.Errorf("reintegrate %s: %w", n.ID(), err)
+	}
+	delta, err := support.DeltaSince(have, target)
+	if err != nil {
+		return fmt.Errorf("reintegrate %s: delta from %s: %w", n.ID(), support.ID(), err)
+	}
+	if err := n.InstallDelta(delta); err != nil {
+		return fmt.Errorf("reintegrate %s: install: %w", n.ID(), err)
+	}
+	if err := n.FinishJoin(); err != nil {
+		return fmt.Errorf("reintegrate %s: %w", n.ID(), err)
+	}
+	c.emit(Event{Kind: EventReintegrated, Node: n.ID(), Detail: fmt.Sprintf("%d pages", len(delta))})
+	return nil
+}
+
+// Restart simulates a failed machine rebooting: a fresh node object is
+// built, its state restored from the last fuzzy checkpoint found on local
+// stable storage (or the initial image if none), and the node reintegrated
+// into the workload as a slave.
+func (c *Cluster) Restart(id string) error {
+	c.mu.Lock()
+	old, ok := c.nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	if old.node.Alive() {
+		return fmt.Errorf("cluster: node %s still alive", id)
+	}
+	cpBlob := old.node.LastCheckpoint()
+
+	start := time.Now()
+	var opts heap.Options
+	if c.cfg.EngineOptions != nil {
+		opts = c.cfg.EngineOptions(id)
+	}
+	eng := heap.NewEngine(opts)
+	for _, ddl := range c.cfg.SchemaDDL {
+		if err := exec.ExecDDL(eng, ddl); err != nil {
+			return fmt.Errorf("restart %s: %w", id, err)
+		}
+	}
+	if cpBlob != nil {
+		cp, err := heap.DecodeCheckpoint(cpBlob)
+		if err != nil {
+			return fmt.Errorf("restart %s: %w", id, err)
+		}
+		if err := eng.RestoreCheckpoint(cp); err != nil {
+			return fmt.Errorf("restart %s: %w", id, err)
+		}
+	} else if c.cfg.Load != nil {
+		if err := c.cfg.Load(eng); err != nil {
+			return fmt.Errorf("restart %s: %w", id, err)
+		}
+	}
+	var disk = old.node.Disk()
+	if disk != nil {
+		disk.Drop() // the reboot loses the buffer cache
+	}
+	n := replica.NewNode(replica.Options{
+		ID:                   id,
+		Engine:               eng,
+		Disk:                 disk,
+		OnPeerFailure:        func(peer string) { go c.handleFailure(peer) },
+		ServicePerStmt:       c.cfg.StatementService,
+		ServiceWidth:         c.cfg.ServiceWidth,
+		UpdateServicePerStmt: c.cfg.UpdateStatementService,
+		CheckpointDir:        c.cfg.CheckpointDir,
+	})
+	c.mu.Lock()
+	c.nodes[id] = &nodeState{node: n, classID: -1}
+	c.handled[id] = false
+	if c.cfg.CheckpointPeriod > 0 {
+		c.nodes[id].cp = n.StartCheckpointer(c.cfg.CheckpointPeriod)
+	}
+	c.mu.Unlock()
+
+	if err := c.reintegrate(n); err != nil {
+		return err
+	}
+	c.eachSched(func(s *scheduler.Scheduler) { s.AddSlave(n) })
+	c.rewireSubscribers()
+	c.emit(Event{Kind: EventNodeRestarted, Node: id, Duration: time.Since(start)})
+	return nil
+}
+
+// livePeers returns every live node except the excluded one.
+func (c *Cluster) livePeers(exclude string) []replica.Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []replica.Peer
+	for _, id := range c.order {
+		st := c.nodes[id]
+		if id == exclude || st == nil || !st.node.Alive() {
+			continue
+		}
+		out = append(out, st.node)
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+// Package exec plans and executes parsed SQL statements against the heap
+// storage engine: index selection (equality prefixes plus one range column),
+// index nested-loop joins, filtering, grouping/aggregation, sorting, and
+// projection. It is deliberately a straightforward executor — the paper's
+// contribution is in the replication layer, not the optimizer — but it runs
+// every TPC-W interaction, including the BestSellers and NewProducts joins.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dmv/internal/heap"
+	"dmv/internal/sql"
+	"dmv/internal/value"
+)
+
+// Errors surfaced by the executor.
+var (
+	// ErrUnknownColumn reports an unresolvable column reference.
+	ErrUnknownColumn = errors.New("exec: unknown column")
+	// ErrParamCount reports too few bound parameters.
+	ErrParamCount = errors.New("exec: missing statement parameter")
+)
+
+// env is the evaluation environment for one (joined) row.
+type env struct {
+	cols   map[string]int // qualified and unqualified column name -> offset
+	row    value.Row
+	params []value.Value
+	aggs   map[*sql.Call]value.Value // set in aggregate context
+	tx     heap.Txn                  // for uncorrelated subqueries
+	subs   subCache                  // per-statement subquery result cache
+}
+
+// subCache memoizes uncorrelated subquery results for one statement
+// execution (a scalar subquery in WHERE would otherwise re-run per row).
+type subCache map[*sql.Subquery]*Result
+
+// subquery evaluates (with memoization) an uncorrelated subquery.
+func (e *env) subquery(sq *sql.Subquery) (*Result, error) {
+	if e.tx == nil {
+		return nil, errors.New("exec: subquery outside a transaction context")
+	}
+	if e.subs != nil {
+		if r, ok := e.subs[sq]; ok {
+			return r, nil
+		}
+	}
+	r, err := runSelect(e.tx, sq.Sel, e.params)
+	if err != nil {
+		return nil, fmt.Errorf("subquery: %w", err)
+	}
+	if e.subs != nil {
+		e.subs[sq] = r
+	}
+	return r, nil
+}
+
+func (e *env) lookup(table, col string) (int, bool) {
+	if table != "" {
+		off, ok := e.cols[strings.ToLower(table+"."+col)]
+		return off, ok
+	}
+	off, ok := e.cols[strings.ToLower(col)]
+	return off, ok
+}
+
+func truthy(v value.Value) bool {
+	switch v.K {
+	case value.Null:
+		return false
+	case value.Int:
+		return v.I != 0
+	case value.Float:
+		return v.F != 0
+	default:
+		return v.S != ""
+	}
+}
+
+func eval(x sql.Expr, e *env) (value.Value, error) {
+	switch t := x.(type) {
+	case *sql.Lit:
+		return t.V, nil
+	case *sql.Param:
+		if t.N >= len(e.params) {
+			return value.Value{}, fmt.Errorf("%w: ?%d of %d bound", ErrParamCount, t.N+1, len(e.params))
+		}
+		return e.params[t.N], nil
+	case *sql.ColRef:
+		off, ok := e.lookup(t.Table, t.Col)
+		if !ok {
+			return value.Value{}, fmt.Errorf("%w: %s", ErrUnknownColumn, refName(t))
+		}
+		if off >= len(e.row) {
+			return value.NewNull(), nil
+		}
+		return e.row[off], nil
+	case *sql.Unary:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch t.Op {
+		case "NOT":
+			return boolVal(!truthy(v)), nil
+		case "-":
+			if v.K == value.Float {
+				return value.NewFloat(-v.F), nil
+			}
+			return value.NewInt(-v.AsInt()), nil
+		}
+		return value.Value{}, fmt.Errorf("exec: bad unary op %q", t.Op)
+	case *sql.Binary:
+		return evalBinary(t, e)
+	case *sql.IsNull:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		res := v.IsNull()
+		if t.Not {
+			res = !res
+		}
+		return boolVal(res), nil
+	case *sql.InList:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if t.Sub != nil {
+			res, err := e.subquery(t.Sub)
+			if err != nil {
+				return value.Value{}, err
+			}
+			for _, row := range res.Rows {
+				if len(row) > 0 && value.Equal(v, row[0]) {
+					return boolVal(true), nil
+				}
+			}
+			return boolVal(false), nil
+		}
+		for _, le := range t.List {
+			lv, err := eval(le, e)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if value.Equal(v, lv) {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	case *sql.Between:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		lo, err := eval(t.Lo, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		hi, err := eval(t.Hi, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return boolVal(value.Compare(v, lo) >= 0 && value.Compare(v, hi) <= 0), nil
+	case *sql.Subquery:
+		res, err := e.subquery(t)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+			return value.NewNull(), nil
+		}
+		return res.Rows[0][0], nil
+	case *sql.Call:
+		if e.aggs != nil {
+			if v, ok := e.aggs[t]; ok {
+				return v, nil
+			}
+		}
+		return value.Value{}, fmt.Errorf("exec: aggregate %s outside aggregation context", t.Fn)
+	default:
+		return value.Value{}, fmt.Errorf("exec: unsupported expression %T", x)
+	}
+}
+
+func evalBinary(b *sql.Binary, e *env) (value.Value, error) {
+	// Short-circuit logical operators.
+	switch b.Op {
+	case "AND":
+		l, err := eval(b.L, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !truthy(l) {
+			return boolVal(false), nil
+		}
+		r, err := eval(b.R, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return boolVal(truthy(r)), nil
+	case "OR":
+		l, err := eval(b.L, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if truthy(l) {
+			return boolVal(true), nil
+		}
+		r, err := eval(b.R, e)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return boolVal(truthy(r)), nil
+	}
+	l, err := eval(b.L, e)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := eval(b.R, e)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch b.Op {
+	case "=":
+		return boolVal(!l.IsNull() && !r.IsNull() && value.Equal(l, r)), nil
+	case "<>":
+		return boolVal(!l.IsNull() && !r.IsNull() && !value.Equal(l, r)), nil
+	case "<":
+		return boolVal(cmpNonNull(l, r) < 0), nil
+	case "<=":
+		return boolVal(cmpNonNull(l, r) <= 0 && !l.IsNull() && !r.IsNull()), nil
+	case ">":
+		return boolVal(cmpNonNull(l, r) > 0), nil
+	case ">=":
+		return boolVal(cmpNonNull(l, r) >= 0 && !l.IsNull() && !r.IsNull()), nil
+	case "LIKE":
+		return boolVal(likeMatch(l.AsString(), r.AsString())), nil
+	case "+", "-", "*", "/":
+		return arith(b.Op, l, r)
+	}
+	return value.Value{}, fmt.Errorf("exec: bad binary op %q", b.Op)
+}
+
+// cmpNonNull orders l and r; comparisons involving NULL are pushed to an
+// extreme so the boolean wrappers above yield false.
+func cmpNonNull(l, r value.Value) int {
+	if l.IsNull() || r.IsNull() {
+		return 2 // incomparable: strict < and > and = all false
+	}
+	return value.Compare(l, r)
+}
+
+func arith(op string, l, r value.Value) (value.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return value.NewNull(), nil
+	}
+	if l.K == value.Float || r.K == value.Float || op == "/" {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case "+":
+			return value.NewFloat(lf + rf), nil
+		case "-":
+			return value.NewFloat(lf - rf), nil
+		case "*":
+			return value.NewFloat(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return value.NewNull(), nil
+			}
+			return value.NewFloat(lf / rf), nil
+		}
+	}
+	li, ri := l.AsInt(), r.AsInt()
+	switch op {
+	case "+":
+		return value.NewInt(li + ri), nil
+	case "-":
+		return value.NewInt(li - ri), nil
+	case "*":
+		return value.NewInt(li * ri), nil
+	}
+	return value.Value{}, fmt.Errorf("exec: bad arithmetic op %q", op)
+}
+
+func boolVal(b bool) value.Value {
+	if b {
+		return value.NewInt(1)
+	}
+	return value.NewInt(0)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one char),
+// case-insensitively as MySQL does by default.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// collapse consecutive %
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func refName(c *sql.ColRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Col
+	}
+	return c.Col
+}
+
+// collectAggs gathers the aggregate calls inside an expression tree.
+func collectAggs(x sql.Expr, out *[]*sql.Call) {
+	switch t := x.(type) {
+	case *sql.Call:
+		*out = append(*out, t)
+	case *sql.Binary:
+		collectAggs(t.L, out)
+		collectAggs(t.R, out)
+	case *sql.Unary:
+		collectAggs(t.X, out)
+	case *sql.IsNull:
+		collectAggs(t.X, out)
+	case *sql.Between:
+		collectAggs(t.X, out)
+		collectAggs(t.Lo, out)
+		collectAggs(t.Hi, out)
+	case *sql.InList:
+		collectAggs(t.X, out)
+		for _, e := range t.List {
+			collectAggs(e, out)
+		}
+	}
+}
+
+// splitConjuncts flattens a WHERE tree into AND-ed conjuncts.
+func splitConjuncts(x sql.Expr, out *[]sql.Expr) {
+	if b, ok := x.(*sql.Binary); ok && b.Op == "AND" {
+		splitConjuncts(b.L, out)
+		splitConjuncts(b.R, out)
+		return
+	}
+	if x != nil {
+		*out = append(*out, x)
+	}
+}
+
+// colRefsIn collects every column reference in an expression.
+func colRefsIn(x sql.Expr, out *[]*sql.ColRef) {
+	switch t := x.(type) {
+	case *sql.ColRef:
+		*out = append(*out, t)
+	case *sql.Binary:
+		colRefsIn(t.L, out)
+		colRefsIn(t.R, out)
+	case *sql.Unary:
+		colRefsIn(t.X, out)
+	case *sql.IsNull:
+		colRefsIn(t.X, out)
+	case *sql.Between:
+		colRefsIn(t.X, out)
+		colRefsIn(t.Lo, out)
+		colRefsIn(t.Hi, out)
+	case *sql.InList:
+		colRefsIn(t.X, out)
+		for _, e := range t.List {
+			colRefsIn(e, out)
+		}
+	case *sql.Call:
+		for _, e := range t.Args {
+			colRefsIn(e, out)
+		}
+	}
+}

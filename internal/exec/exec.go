@@ -1,0 +1,1237 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmv/internal/heap"
+	"dmv/internal/page"
+	"dmv/internal/sql"
+	"dmv/internal/value"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Cols     []string    // column names (SELECT only)
+	Rows     []value.Row // result rows (SELECT only)
+	Affected int         // rows changed (INSERT/UPDATE/DELETE)
+}
+
+// Prepared is a parsed, reusable statement. Clients cache these keyed by
+// statement text; execution binds positional parameters.
+type Prepared struct {
+	text string
+	stmt sql.Statement
+}
+
+// Prepare parses a statement for repeated execution.
+func Prepare(text string) (*Prepared, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{text: text, stmt: stmt}, nil
+}
+
+// Text returns the original statement text.
+func (p *Prepared) Text() string { return p.text }
+
+// Stmt exposes the parsed AST (the scheduler inspects statement class).
+func (p *Prepared) Stmt() sql.Statement { return p.stmt }
+
+// ReadOnly reports whether the statement performs no writes.
+func (p *Prepared) ReadOnly() bool {
+	switch p.stmt.(type) {
+	case *sql.Select:
+		return true
+	default:
+		return false
+	}
+}
+
+// TableNames lists the tables the statement touches (conflict-class
+// routing).
+func (p *Prepared) TableNames() []string {
+	switch s := p.stmt.(type) {
+	case *sql.Select:
+		out := make([]string, 0, len(s.From))
+		for _, f := range s.From {
+			out = append(out, f.Table)
+		}
+		return out
+	case *sql.Insert:
+		return []string{s.Table}
+	case *sql.Update:
+		return []string{s.Table}
+	case *sql.Delete:
+		return []string{s.Table}
+	default:
+		return nil
+	}
+}
+
+// Exec runs the prepared statement in the given storage transaction.
+func (p *Prepared) Exec(tx heap.Txn, params []value.Value) (*Result, error) {
+	switch s := p.stmt.(type) {
+	case *sql.Select:
+		return runSelect(tx, s, params)
+	case *sql.Insert:
+		return runInsert(tx, s, params)
+	case *sql.Update:
+		return runUpdate(tx, s, params)
+	case *sql.Delete:
+		return runDelete(tx, s, params)
+	default:
+		return nil, fmt.Errorf("exec: statement %T must run through ExecDDL or the session layer", p.stmt)
+	}
+}
+
+// Run parses and executes text in one step (tests and examples).
+func Run(tx heap.Txn, text string, params ...value.Value) (*Result, error) {
+	p, err := Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return p.Exec(tx, params)
+}
+
+// ExecDDL applies CREATE TABLE / CREATE INDEX directly to an engine. A
+// PRIMARY KEY column implies a unique index named pk_<table>.
+func ExecDDL(e *heap.Engine, text string) error {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		def := heap.TableDef{Name: s.Name}
+		pk := -1
+		for i, c := range s.Cols {
+			def.Cols = append(def.Cols, heap.Column{Name: c.Name, Type: c.Type})
+			if c.PrimaryKey {
+				pk = i
+			}
+		}
+		tid, err := e.CreateTable(def)
+		if err != nil {
+			return err
+		}
+		if pk >= 0 {
+			if _, err := e.CreateIndex(tid, heap.IndexDef{
+				Name:   "pk_" + s.Name,
+				Cols:   []int{pk},
+				Unique: true,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sql.CreateIndex:
+		tid, ok := e.TableID(s.Table)
+		if !ok {
+			return fmt.Errorf("exec: create index on unknown table %q", s.Table)
+		}
+		def, err := e.TableDef(tid)
+		if err != nil {
+			return err
+		}
+		cols := make([]int, 0, len(s.Cols))
+		for _, c := range s.Cols {
+			ord := def.ColIndex(c)
+			if ord < 0 {
+				return fmt.Errorf("exec: create index: %w: %s.%s", ErrUnknownColumn, s.Table, c)
+			}
+			cols = append(cols, ord)
+		}
+		_, err = e.CreateIndex(tid, heap.IndexDef{Name: s.Name, Cols: cols, Unique: s.Unique})
+		return err
+	default:
+		return fmt.Errorf("exec: ExecDDL got non-DDL statement %T", stmt)
+	}
+}
+
+// --- binding ----------------------------------------------------------------
+
+type tableBinding struct {
+	ref  sql.TableRef
+	tid  int
+	def  heap.TableDef
+	base int // offset of this table's first column in the joined row
+}
+
+type binder struct {
+	tabs  []tableBinding
+	cols  map[string]int
+	width int
+}
+
+func bindTables(e *heap.Engine, from []sql.TableRef) (*binder, error) {
+	b := &binder{cols: make(map[string]int, 16)}
+	for _, ref := range from {
+		tid, ok := e.TableID(ref.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q", ref.Table)
+		}
+		def, err := e.TableDef(tid)
+		if err != nil {
+			return nil, err
+		}
+		tb := tableBinding{ref: ref, tid: tid, def: def, base: b.width}
+		name := ref.Alias
+		if name == "" {
+			name = ref.Table
+		}
+		for i, c := range def.Cols {
+			off := tb.base + i
+			b.cols[strings.ToLower(name+"."+c.Name)] = off
+			key := strings.ToLower(c.Name)
+			if _, dup := b.cols[key]; !dup {
+				b.cols[key] = off
+			}
+		}
+		b.width += len(def.Cols)
+		b.tabs = append(b.tabs, tb)
+	}
+	return b, nil
+}
+
+// exprLevel returns the highest table index an expression's columns bind to
+// (-1 if it references no columns), or an error for unresolvable columns.
+func (b *binder) exprLevel(x sql.Expr) (int, error) {
+	var refs []*sql.ColRef
+	colRefsIn(x, &refs)
+	level := -1
+	for _, r := range refs {
+		var off int
+		var ok bool
+		if r.Table != "" {
+			off, ok = b.cols[strings.ToLower(r.Table+"."+r.Col)]
+		} else {
+			off, ok = b.cols[strings.ToLower(r.Col)]
+		}
+		if !ok {
+			return 0, fmt.Errorf("%w: %s", ErrUnknownColumn, refName(r))
+		}
+		for i := len(b.tabs) - 1; i >= 0; i-- {
+			if off >= b.tabs[i].base {
+				if i > level {
+					level = i
+				}
+				break
+			}
+		}
+	}
+	return level, nil
+}
+
+// colOrdinalOf resolves a ColRef to a column ordinal of table tabIdx, or -1
+// if the reference binds elsewhere.
+func (b *binder) colOrdinalOf(r *sql.ColRef, tabIdx int) int {
+	tb := b.tabs[tabIdx]
+	var off int
+	var ok bool
+	if r.Table != "" {
+		off, ok = b.cols[strings.ToLower(r.Table+"."+r.Col)]
+	} else {
+		off, ok = b.cols[strings.ToLower(r.Col)]
+	}
+	if !ok {
+		return -1
+	}
+	if off < tb.base || off >= tb.base+len(tb.def.Cols) {
+		return -1
+	}
+	return off - tb.base
+}
+
+// --- access-path selection --------------------------------------------------
+
+type accessPath struct {
+	idx      int        // index ordinal, or -1 for full scan
+	eq       []sql.Expr // probe expressions for the index prefix columns
+	lo, hi   sql.Expr   // optional range bounds on the next index column
+	loInc    bool
+	hiInc    bool
+	consumed map[sql.Expr]struct{}
+}
+
+// choosePath inspects the conjuncts usable at this join level and picks the
+// index with the longest equality prefix (plus at most one range column).
+func choosePath(tx heap.Txn, b *binder, tabIdx int, conjuncts []sql.Expr, maxOuter int) (accessPath, error) {
+	type colPreds struct {
+		eq     sql.Expr
+		eqSrc  sql.Expr
+		lo, hi sql.Expr
+		loInc  bool
+		hiInc  bool
+		loSrc  sql.Expr
+		hiSrc  sql.Expr
+	}
+	tb := b.tabs[tabIdx]
+	preds := make(map[int]*colPreds, 4)
+	pred := func(ord int) *colPreds {
+		p, ok := preds[ord]
+		if !ok {
+			p = &colPreds{}
+			preds[ord] = p
+		}
+		return p
+	}
+	for _, c := range conjuncts {
+		bin, ok := c.(*sql.Binary)
+		if !ok {
+			continue
+		}
+		classify := func(col sql.Expr, other sql.Expr, op string) {
+			ref, ok := col.(*sql.ColRef)
+			if !ok {
+				return
+			}
+			ord := b.colOrdinalOf(ref, tabIdx)
+			if ord < 0 {
+				return
+			}
+			lvl, err := b.exprLevel(other)
+			if err != nil || lvl > maxOuter {
+				return // probe side must be bound by earlier tables/params
+			}
+			p := pred(ord)
+			switch op {
+			case "=":
+				if p.eq == nil {
+					p.eq, p.eqSrc = other, c
+				}
+			case ">":
+				if p.lo == nil {
+					p.lo, p.loInc, p.loSrc = other, false, c
+				}
+			case ">=":
+				if p.lo == nil {
+					p.lo, p.loInc, p.loSrc = other, true, c
+				}
+			case "<":
+				if p.hi == nil {
+					p.hi, p.hiInc, p.hiSrc = other, false, c
+				}
+			case "<=":
+				if p.hi == nil {
+					p.hi, p.hiInc, p.hiSrc = other, true, c
+				}
+			}
+		}
+		switch bin.Op {
+		case "=":
+			classify(bin.L, bin.R, "=")
+			classify(bin.R, bin.L, "=")
+		case "<", "<=", ">", ">=":
+			flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+			classify(bin.L, bin.R, bin.Op)
+			classify(bin.R, bin.L, flip[bin.Op])
+		}
+	}
+	if len(preds) == 0 {
+		return accessPath{idx: -1}, nil
+	}
+	indexes, err := tx.Engine().Indexes(tb.tid)
+	if err != nil {
+		return accessPath{}, err
+	}
+	best := accessPath{idx: -1}
+	bestScore := 0
+	for ord, ix := range indexes {
+		path := accessPath{idx: ord, consumed: make(map[sql.Expr]struct{}, 4)}
+		score := 0
+		for _, col := range ix.Cols {
+			p, ok := preds[col]
+			if ok && p.eq != nil {
+				path.eq = append(path.eq, p.eq)
+				path.consumed[p.eqSrc] = struct{}{}
+				score += 2
+				continue
+			}
+			if ok && (p.lo != nil || p.hi != nil) {
+				path.lo, path.loInc = p.lo, p.loInc
+				path.hi, path.hiInc = p.hi, p.hiInc
+				if p.loSrc != nil {
+					path.consumed[p.loSrc] = struct{}{}
+				}
+				if p.hiSrc != nil {
+					path.consumed[p.hiSrc] = struct{}{}
+				}
+				score++
+			}
+			break
+		}
+		if score > bestScore {
+			best, bestScore = path, score
+		}
+	}
+	return best, nil
+}
+
+// scanPath streams the rows of table tabIdx matching the access path, given
+// the outer environment (for probe-expression evaluation).
+func scanPath(tx heap.Txn, b *binder, tabIdx int, path accessPath, outer *env, fn func(row value.Row) (bool, error)) error {
+	tb := b.tabs[tabIdx]
+	if path.idx < 0 {
+		var ferr error
+		err := tx.Scan(tb.tid, func(_ page.RowID, row value.Row) bool {
+			cont, err := fn(row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			return cont
+		})
+		if err != nil {
+			return err
+		}
+		return ferr
+	}
+	// Evaluate probe values.
+	prefix := make(value.Row, 0, len(path.eq)+1)
+	for _, e := range path.eq {
+		v, err := eval(e, outer)
+		if err != nil {
+			return err
+		}
+		prefix = append(prefix, v)
+	}
+	var loV, hiV value.Value
+	haveLo, haveHi := false, false
+	if path.lo != nil {
+		v, err := eval(path.lo, outer)
+		if err != nil {
+			return err
+		}
+		loV, haveLo = v, true
+	}
+	if path.hi != nil {
+		v, err := eval(path.hi, outer)
+		if err != nil {
+			return err
+		}
+		hiV, haveHi = v, true
+	}
+	from := prefix
+	if haveLo {
+		from = append(prefix.Clone(), loV)
+	}
+	var ferr error
+	err := tx.IndexScan(tb.tid, path.idx, from, func(key value.Row, rid page.RowID) bool {
+		// Stop once the equality prefix no longer matches.
+		for i := range prefix {
+			if i >= len(key) || !value.Equal(key[i], prefix[i]) {
+				return false
+			}
+		}
+		if haveLo || haveHi {
+			k := len(prefix)
+			if k < len(key) {
+				if haveLo {
+					c := value.Compare(key[k], loV)
+					if c < 0 || (c == 0 && !path.loInc) {
+						return true // before range start (exclusive bound)
+					}
+				}
+				if haveHi {
+					c := value.Compare(key[k], hiV)
+					if c > 0 || (c == 0 && !path.hiInc) {
+						return false // past range end
+					}
+				}
+			}
+		}
+		row, ok, err := tx.Fetch(tb.tid, rid)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		cont, err := fn(row)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		return cont
+	})
+	if err != nil {
+		return err
+	}
+	return ferr
+}
+
+// --- SELECT -----------------------------------------------------------------
+
+func runSelect(tx heap.Txn, sel *sql.Select, params []value.Value) (*Result, error) {
+	b, err := bindTables(tx.Engine(), sel.From)
+	if err != nil {
+		return nil, err
+	}
+	subs := make(subCache)
+
+	// Collect conjuncts with the level at which they become evaluable,
+	// remembering whether each came from WHERE or an ON clause: for LEFT
+	// JOIN the two differ (ON decides matching; WHERE filters the final
+	// rows, including null-extended ones).
+	var whereConj []sql.Expr
+	splitConjuncts(sel.Where, &whereConj)
+	type levConj struct {
+		e      sql.Expr
+		level  int
+		fromOn bool
+	}
+	var conj []levConj
+	for _, c := range whereConj {
+		lvl, err := b.exprLevel(c)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, levConj{e: c, level: lvl})
+	}
+	for i, ref := range sel.From {
+		var onConj []sql.Expr
+		splitConjuncts(ref.On, &onConj)
+		for _, c := range onConj {
+			if _, err := b.exprLevel(c); err != nil {
+				return nil, err
+			}
+			conj = append(conj, levConj{e: c, level: i, fromOn: true})
+		}
+	}
+
+	// Join pipeline: materialize level by level.
+	joined := []value.Row{nil}
+	if len(b.tabs) == 0 {
+		joined = []value.Row{{}}
+	}
+	var basePath accessPath // single-table queries: may satisfy ORDER BY
+	for i := range b.tabs {
+		leftJoin := b.tabs[i].ref.Join == sql.JoinLeft
+		// A left-joined table's access path may only use ON conditions:
+		// using a WHERE predicate as the probe would let null-extended rows
+		// bypass it.
+		var usable []sql.Expr
+		for _, c := range conj {
+			if c.level > i {
+				continue
+			}
+			if leftJoin && !c.fromOn {
+				continue
+			}
+			usable = append(usable, c.e)
+		}
+		maxOuter := i - 1
+		path, err := choosePath(tx, b, i, usable, maxOuter)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			basePath = path
+		}
+		// Residual predicates that become fully bound at this level, split
+		// by origin: ON residuals decide matching; WHERE residuals filter
+		// every emitted row, null-extended ones included.
+		var residualOn, residualWhere []sql.Expr
+		for _, c := range conj {
+			if c.level != i {
+				continue
+			}
+			if path.consumed != nil {
+				if _, used := path.consumed[c.e]; used {
+					continue
+				}
+			}
+			if c.fromOn {
+				residualOn = append(residualOn, c.e)
+			} else {
+				residualWhere = append(residualWhere, c.e)
+			}
+		}
+		passes := func(rowEnv *env, preds []sql.Expr) (bool, error) {
+			for _, r := range preds {
+				v, err := eval(r, rowEnv)
+				if err != nil {
+					return false, err
+				}
+				if !truthy(v) {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+		nullRow := make(value.Row, len(b.tabs[i].def.Cols))
+		next := make([]value.Row, 0, len(joined))
+		for _, outerRow := range joined {
+			outerEnv := &env{cols: b.cols, row: outerRow, params: params, tx: tx, subs: subs}
+			matched := false
+			err := scanPath(tx, b, i, path, outerEnv, func(row value.Row) (bool, error) {
+				combined := make(value.Row, 0, len(outerRow)+len(row))
+				combined = append(combined, outerRow...)
+				combined = append(combined, row...)
+				rowEnv := &env{cols: b.cols, row: combined, params: params, tx: tx, subs: subs}
+				if ok, err := passes(rowEnv, residualOn); err != nil || !ok {
+					return err == nil, err
+				}
+				matched = true // the ON condition matched
+				if ok, err := passes(rowEnv, residualWhere); err != nil || !ok {
+					return err == nil, err
+				}
+				next = append(next, combined)
+				return true, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if leftJoin && !matched {
+				combined := make(value.Row, 0, len(outerRow)+len(nullRow))
+				combined = append(combined, outerRow...)
+				combined = append(combined, nullRow...)
+				rowEnv := &env{cols: b.cols, row: combined, params: params}
+				ok, err := passes(rowEnv, residualWhere)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					next = append(next, combined)
+				}
+			}
+		}
+		joined = next
+	}
+
+	// Substitute SELECT aliases referenced by ORDER BY / GROUP BY / HAVING,
+	// recursively through expression trees (but not into subqueries, whose
+	// names resolve in their own scope). Unqualified references that match
+	// a real column win over aliases, per SQL resolution rules.
+	var aliasOf func(x sql.Expr) sql.Expr
+	aliasOf = func(x sql.Expr) sql.Expr {
+		switch t := x.(type) {
+		case *sql.ColRef:
+			if t.Table != "" {
+				return t
+			}
+			if _, isCol := b.cols[strings.ToLower(t.Col)]; isCol {
+				return t
+			}
+			for _, se := range sel.Exprs {
+				if se.Alias != "" && strings.EqualFold(se.Alias, t.Col) {
+					return se.Expr
+				}
+			}
+			return t
+		case *sql.Binary:
+			return &sql.Binary{Op: t.Op, L: aliasOf(t.L), R: aliasOf(t.R)}
+		case *sql.Unary:
+			return &sql.Unary{Op: t.Op, X: aliasOf(t.X)}
+		case *sql.IsNull:
+			return &sql.IsNull{X: aliasOf(t.X), Not: t.Not}
+		case *sql.Between:
+			return &sql.Between{X: aliasOf(t.X), Lo: aliasOf(t.Lo), Hi: aliasOf(t.Hi)}
+		case *sql.InList:
+			out := &sql.InList{X: aliasOf(t.X), Sub: t.Sub}
+			for _, e := range t.List {
+				out.List = append(out.List, aliasOf(e))
+			}
+			return out
+		default:
+			return x
+		}
+	}
+	orderBy := make([]sql.OrderItem, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		orderBy[i] = sql.OrderItem{Expr: aliasOf(o.Expr), Desc: o.Desc}
+	}
+	groupBy := make([]sql.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupBy[i] = aliasOf(g)
+	}
+	having := sel.Having
+	if having != nil {
+		having = aliasOf(having)
+	}
+	selEff := *sel
+	selEff.Having = having
+	sel = &selEff
+
+	// A single-table index scan emits rows in key order; when the ORDER BY
+	// is exactly the index key columns following the equality prefix (all
+	// ascending), the sort is already satisfied.
+	if len(b.tabs) == 1 && orderSatisfiedByIndex(tx, b, basePath, orderBy) {
+		orderBy = nil
+	}
+
+	// Aggregation?
+	hasAgg := len(groupBy) > 0
+	for _, se := range sel.Exprs {
+		if !se.Star && sql.IsAggregate(se.Expr) {
+			hasAgg = true
+		}
+	}
+	if sel.Having != nil && sql.IsAggregate(sel.Having) {
+		hasAgg = true
+	}
+
+	var outs []outRow
+	if hasAgg {
+		outs, err = aggregate(tx, subs, b, sel, groupBy, joined, params)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		outs = make([]outRow, 0, len(joined))
+		for _, row := range joined {
+			outs = append(outs, outRow{env: &env{cols: b.cols, row: row, params: params, tx: tx, subs: subs}})
+		}
+	}
+
+	// HAVING (aggregate filters handled in aggregate(); non-agg HAVING here).
+	if sel.Having != nil && !hasAgg {
+		kept := outs[:0]
+		for _, o := range outs {
+			v, err := eval(sel.Having, o.env)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, o)
+			}
+		}
+		outs = kept
+	}
+
+	// ORDER BY keys.
+	if len(orderBy) > 0 {
+		for i := range outs {
+			keys := make(value.Row, len(orderBy))
+			for j, o := range orderBy {
+				v, err := eval(o.Expr, outs[i].env)
+				if err != nil {
+					return nil, err
+				}
+				keys[j] = v
+			}
+			outs[i].keys = keys
+		}
+		sort.SliceStable(outs, func(x, y int) bool {
+			for j, o := range orderBy {
+				c := value.Compare(outs[x].keys[j], outs[y].keys[j])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// Projection.
+	cols, projected, err := project(b, sel, outs)
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		seen := make(map[string]struct{}, len(projected))
+		kept := projected[:0]
+		for _, r := range projected {
+			k := r.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			kept = append(kept, r)
+		}
+		projected = kept
+	}
+
+	// OFFSET / LIMIT.
+	if sel.Offset != nil {
+		v, err := eval(sel.Offset, &env{cols: b.cols, params: params, tx: tx, subs: subs})
+		if err != nil {
+			return nil, err
+		}
+		n := int(v.AsInt())
+		if n > len(projected) {
+			n = len(projected)
+		}
+		projected = projected[n:]
+	}
+	if sel.Limit != nil {
+		v, err := eval(sel.Limit, &env{cols: b.cols, params: params, tx: tx, subs: subs})
+		if err != nil {
+			return nil, err
+		}
+		n := int(v.AsInt())
+		if n < len(projected) {
+			projected = projected[:n]
+		}
+	}
+	return &Result{Cols: cols, Rows: projected}, nil
+}
+
+type outRow struct {
+	env  *env
+	keys value.Row
+}
+
+// orderSatisfiedByIndex reports whether a single-table scan through the
+// given access path already delivers rows in the requested order: the ORDER
+// BY items must be ascending column references matching the index key
+// columns immediately after the equality prefix (whose values are fixed).
+func orderSatisfiedByIndex(tx heap.Txn, b *binder, path accessPath, orderBy []sql.OrderItem) bool {
+	if len(orderBy) == 0 || path.idx < 0 || path.lo != nil || path.hi != nil {
+		return false
+	}
+	indexes, err := tx.Engine().Indexes(b.tabs[0].tid)
+	if err != nil || path.idx >= len(indexes) {
+		return false
+	}
+	ix := indexes[path.idx]
+	next := len(path.eq) // first unfixed key column
+	for k, item := range orderBy {
+		if item.Desc {
+			return false
+		}
+		ref, ok := item.Expr.(*sql.ColRef)
+		if !ok {
+			return false
+		}
+		ord := b.colOrdinalOf(ref, 0)
+		if ord < 0 {
+			return false
+		}
+		pos := next + k
+		if pos >= len(ix.Cols) || ix.Cols[pos] != ord {
+			return false
+		}
+	}
+	return true
+}
+
+// aggregate groups the joined rows and computes aggregate values; HAVING
+// with aggregates is applied here.
+func aggregate(tx heap.Txn, subs subCache, b *binder, sel *sql.Select, groupBy []sql.Expr, joined []value.Row, params []value.Value) ([]outRow, error) {
+	var aggCalls []*sql.Call
+	for _, se := range sel.Exprs {
+		if !se.Star {
+			collectAggs(se.Expr, &aggCalls)
+		}
+	}
+	if sel.Having != nil {
+		collectAggs(sel.Having, &aggCalls)
+	}
+	for _, o := range sel.OrderBy {
+		collectAggs(o.Expr, &aggCalls)
+	}
+
+	type aggState struct {
+		count  int64
+		sumI   int64
+		sumF   float64
+		asF    bool
+		minSet bool
+		minV   value.Value
+		maxV   value.Value
+		seen   map[string]struct{} // DISTINCT aggregates
+	}
+	type group struct {
+		first value.Row
+		state []*aggState
+	}
+	groups := make(map[string]*group, 64)
+	var order []string
+	for _, row := range joined {
+		e := &env{cols: b.cols, row: row, params: params, tx: tx, subs: subs}
+		keyVals := make(value.Row, len(groupBy))
+		for i, g := range groupBy {
+			v, err := eval(g, e)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		k := keyVals.Key()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{first: row, state: make([]*aggState, len(aggCalls))}
+			for i := range grp.state {
+				grp.state[i] = &aggState{}
+			}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, call := range aggCalls {
+			st := grp.state[i]
+			if call.Star {
+				st.count++
+				continue
+			}
+			v, err := eval(call.Args[0], e)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if call.Distinct {
+				if st.seen == nil {
+					st.seen = make(map[string]struct{}, 16)
+				}
+				k := value.Row{v}.Key()
+				if _, dup := st.seen[k]; dup {
+					continue
+				}
+				st.seen[k] = struct{}{}
+			}
+			st.count++
+			if v.K == value.Float {
+				st.asF = true
+			}
+			st.sumI += v.AsInt()
+			st.sumF += v.AsFloat()
+			if !st.minSet {
+				st.minV, st.maxV, st.minSet = v, v, true
+			} else {
+				if value.Compare(v, st.minV) < 0 {
+					st.minV = v
+				}
+				if value.Compare(v, st.maxV) > 0 {
+					st.maxV = v
+				}
+			}
+		}
+	}
+	// A grand aggregate over zero rows still yields one group.
+	if len(groupBy) == 0 && len(groups) == 0 {
+		grp := &group{first: make(value.Row, b.width), state: make([]*aggState, len(aggCalls))}
+		for i := range grp.state {
+			grp.state[i] = &aggState{}
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	finalize := func(call *sql.Call, st *aggState) value.Value {
+		switch call.Fn {
+		case "COUNT":
+			return value.NewInt(st.count)
+		case "SUM":
+			if st.count == 0 {
+				return value.NewNull()
+			}
+			if st.asF {
+				return value.NewFloat(st.sumF)
+			}
+			return value.NewInt(st.sumI)
+		case "AVG":
+			if st.count == 0 {
+				return value.NewNull()
+			}
+			return value.NewFloat(st.sumF / float64(st.count))
+		case "MIN":
+			if !st.minSet {
+				return value.NewNull()
+			}
+			return st.minV
+		case "MAX":
+			if !st.minSet {
+				return value.NewNull()
+			}
+			return st.maxV
+		}
+		return value.NewNull()
+	}
+
+	outs := make([]outRow, 0, len(groups))
+	for _, k := range order {
+		grp := groups[k]
+		aggVals := make(map[*sql.Call]value.Value, len(aggCalls))
+		for i, call := range aggCalls {
+			aggVals[call] = finalize(call, grp.state[i])
+		}
+		e := &env{cols: b.cols, row: grp.first, params: params, aggs: aggVals, tx: tx, subs: subs}
+		if sel.Having != nil {
+			v, err := eval(sel.Having, e)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		outs = append(outs, outRow{env: e})
+	}
+	return outs, nil
+}
+
+// project evaluates the SELECT list for every output row.
+func project(b *binder, sel *sql.Select, outs []outRow) ([]string, []value.Row, error) {
+	var cols []string
+	type proj struct {
+		expr sql.Expr
+		star bool
+	}
+	var plist []proj
+	for i, se := range sel.Exprs {
+		if se.Star {
+			for _, tb := range b.tabs {
+				for _, c := range tb.def.Cols {
+					cols = append(cols, c.Name)
+				}
+			}
+			plist = append(plist, proj{star: true})
+			continue
+		}
+		name := se.Alias
+		if name == "" {
+			if ref, ok := se.Expr.(*sql.ColRef); ok {
+				name = ref.Col
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		cols = append(cols, name)
+		plist = append(plist, proj{expr: se.Expr})
+	}
+	rows := make([]value.Row, 0, len(outs))
+	for _, o := range outs {
+		var row value.Row
+		for _, p := range plist {
+			if p.star {
+				row = append(row, o.env.row...)
+				continue
+			}
+			v, err := eval(p.expr, o.env)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return cols, rows, nil
+}
+
+// --- INSERT / UPDATE / DELETE -----------------------------------------------
+
+func runInsert(tx heap.Txn, ins *sql.Insert, params []value.Value) (*Result, error) {
+	tid, ok := tx.Engine().TableID(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q", ins.Table)
+	}
+	def, err := tx.Engine().TableDef(tid)
+	if err != nil {
+		return nil, err
+	}
+	ords := make([]int, 0, len(ins.Cols))
+	if len(ins.Cols) == 0 {
+		for i := range def.Cols {
+			ords = append(ords, i)
+		}
+	} else {
+		for _, c := range ins.Cols {
+			ord := def.ColIndex(c)
+			if ord < 0 {
+				return nil, fmt.Errorf("exec: %w: %s.%s", ErrUnknownColumn, ins.Table, c)
+			}
+			ords = append(ords, ord)
+		}
+	}
+	e := &env{cols: map[string]int{}, params: params, tx: tx, subs: make(subCache)}
+	n := 0
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(ords) {
+			return nil, fmt.Errorf("exec: INSERT %s: %d values for %d columns", ins.Table, len(exprRow), len(ords))
+		}
+		row := make(value.Row, len(def.Cols))
+		for i, ex := range exprRow {
+			v, err := eval(ex, e)
+			if err != nil {
+				return nil, err
+			}
+			row[ords[i]] = v
+		}
+		if _, err := tx.Insert(tid, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// targetRows finds the row ids matched by a single-table WHERE clause using
+// the same access-path logic as SELECT.
+func targetRows(tx heap.Txn, table string, where sql.Expr, params []value.Value) (int, []page.RowID, error) {
+	b, err := bindTables(tx.Engine(), []sql.TableRef{{Table: table, Join: sql.JoinInner}})
+	if err != nil {
+		return 0, nil, err
+	}
+	var conj []sql.Expr
+	splitConjuncts(where, &conj)
+	for _, c := range conj {
+		if _, err := b.exprLevel(c); err != nil {
+			return 0, nil, err
+		}
+	}
+	path, err := choosePath(tx, b, 0, conj, -1)
+	if err != nil {
+		return 0, nil, err
+	}
+	var residual []sql.Expr
+	for _, c := range conj {
+		if path.consumed != nil {
+			if _, used := path.consumed[c]; used {
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	tid := b.tabs[0].tid
+	subs := make(subCache)
+	outerEnv := &env{cols: b.cols, params: params, tx: tx, subs: subs}
+	var rids []page.RowID
+
+	collect := func(rid page.RowID, row value.Row) (bool, error) {
+		rowEnv := &env{cols: b.cols, row: row, params: params, tx: tx, subs: subs}
+		for _, r := range residual {
+			v, err := eval(r, rowEnv)
+			if err != nil {
+				return false, err
+			}
+			if !truthy(v) {
+				return true, nil
+			}
+		}
+		rids = append(rids, rid)
+		return true, nil
+	}
+
+	if path.idx < 0 {
+		var ferr error
+		err := tx.Scan(tid, func(rid page.RowID, row value.Row) bool {
+			cont, err := collect(rid, row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			return cont
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		if ferr != nil {
+			return 0, nil, ferr
+		}
+		return tid, rids, nil
+	}
+
+	// Index path: reuse scanPath but we need row ids, so duplicate the
+	// probe/fetch loop with ids exposed.
+	prefix := make(value.Row, 0, len(path.eq))
+	for _, ex := range path.eq {
+		v, err := eval(ex, outerEnv)
+		if err != nil {
+			return 0, nil, err
+		}
+		prefix = append(prefix, v)
+	}
+	var ferr error
+	err = tx.IndexScan(tid, path.idx, prefix, func(key value.Row, rid page.RowID) bool {
+		for i := range prefix {
+			if i >= len(key) || !value.Equal(key[i], prefix[i]) {
+				return false
+			}
+		}
+		row, ok, err := tx.Fetch(tid, rid)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		cont, err := collect(rid, row)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		return cont
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if ferr != nil {
+		return 0, nil, ferr
+	}
+	return tid, rids, nil
+}
+
+func runUpdate(tx heap.Txn, up *sql.Update, params []value.Value) (*Result, error) {
+	tid, rids, err := targetRows(tx, up.Table, up.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	def, err := tx.Engine().TableDef(tid)
+	if err != nil {
+		return nil, err
+	}
+	cols := make(map[string]int, len(def.Cols))
+	for i, c := range def.Cols {
+		cols[strings.ToLower(c.Name)] = i
+		cols[strings.ToLower(up.Table+"."+c.Name)] = i
+	}
+	setOrds := make([]int, len(up.Sets))
+	for i, s := range up.Sets {
+		ord := def.ColIndex(s.Col)
+		if ord < 0 {
+			return nil, fmt.Errorf("exec: %w: %s.%s", ErrUnknownColumn, up.Table, s.Col)
+		}
+		setOrds[i] = ord
+	}
+	n := 0
+	for _, rid := range rids {
+		row, ok, err := tx.Fetch(tid, rid)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		e := &env{cols: cols, row: row, params: params, tx: tx, subs: make(subCache)}
+		newRow := row.Clone()
+		for i, s := range up.Sets {
+			v, err := eval(s.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setOrds[i]] = v
+		}
+		if err := tx.Update(tid, rid, newRow); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func runDelete(tx heap.Txn, del *sql.Delete, params []value.Value) (*Result, error) {
+	tid, rids, err := targetRows(tx, del.Table, del.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, rid := range rids {
+		if err := tx.Delete(tid, rid); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}

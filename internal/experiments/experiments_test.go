@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"dmv/internal/tpcw"
+)
+
+// tinyDurations keeps the smoke tests to a few hundred milliseconds each.
+func tinyDurations() Durations {
+	return Durations{
+		Warmup:  50 * time.Millisecond,
+		Measure: 400 * time.Millisecond,
+		Window:  50 * time.Millisecond,
+		FaultAt: 150 * time.Millisecond,
+		Clients: 4,
+	}
+}
+
+func tinyScale() tpcw.Scale { return tpcw.Scale{Items: 100, Customers: 50} }
+
+func TestFigure3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	rows, err := Figure3(Fig3Opts{
+		Scale:       tinyScale(),
+		Dur:         tinyDurations(),
+		SlaveCounts: []int{1},
+		Mixes:       []tpcw.Mix{tpcw.ShoppingMix},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want innodb + dmv-1", len(rows))
+	}
+	for _, r := range rows {
+		if r.WIPS <= 0 {
+			t.Fatalf("row %+v has zero throughput", r)
+		}
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	r, err := Figure4(tinyScale(), tinyDurations(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Baseline <= 0 {
+		t.Fatalf("baseline = %v", r.Baseline)
+	}
+	// The master failure and restart must both appear in the event log.
+	kinds := map[string]bool{}
+	for _, ev := range r.Events {
+		kinds[string(ev.Kind)] = true
+	}
+	for _, want := range []string{"node-failed", "master-elected", "node-restarted"} {
+		if !kinds[want] {
+			t.Fatalf("missing event %s in %v", want, kinds)
+		}
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	dmv, err := Figure5DMV(tinyScale(), tinyDurations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inno, err := Figure5InnoDB(tinyScale(), tinyDurations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmv.Baseline <= 0 || inno.Baseline <= 0 {
+		t.Fatalf("baselines = %v / %v", dmv.Baseline, inno.Baseline)
+	}
+	if _, ok := inno.Stages["DB Update (log replay)"]; !ok {
+		t.Fatalf("innodb run missing replay stage: %v", inno.Stages)
+	}
+}
+
+func TestFigures789Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	for name, fn := range map[string]func(tpcw.Scale, Durations) (*FailoverResult, error){
+		"fig7": Figure7, "fig8": Figure8, "fig9": Figure9,
+	} {
+		r, err := fn(tinyScale(), tinyDurations())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Baseline <= 0 {
+			t.Fatalf("%s baseline = %v", name, r.Baseline)
+		}
+		// A spare must have been activated in every scenario.
+		found := false
+		for _, ev := range r.Events {
+			if string(ev.Kind) == "spare-activated" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: spare never activated: %v", name, r.Events)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package heap
+
+import (
+	"fmt"
+	"sync"
+
+	"dmv/internal/page"
+	"dmv/internal/rbtree"
+	"dmv/internal/value"
+)
+
+// ikey orders index entries by key columns, then row id, making every tree
+// node unique per (key, row) pair.
+type ikey struct {
+	key value.Row
+	rid page.RowID
+}
+
+func cmpIKey(a, b ikey) int {
+	if c := value.CompareRows(a.key, b.key); c != 0 {
+		return c
+	}
+	switch {
+	case a.rid < b.rid:
+		return -1
+	case a.rid > b.rid:
+		return 1
+	}
+	return 0
+}
+
+// span is one visibility interval of an index entry: visible at table
+// versions v with add <= v and (del == 0 or v < del). Version-0 spans come
+// from the initial load and are visible everywhere.
+type span struct {
+	add, del uint64
+}
+
+func visible(spans []span, v uint64) bool {
+	for _, s := range spans {
+		if s.add <= v && (s.del == 0 || v < s.del) {
+			return true
+		}
+	}
+	return false
+}
+
+// Index is a versioned secondary index. Entries are never removed while the
+// database is live (garbage collection of dead spans is future work; the
+// paper similarly keeps no old page versions but index history is what lets
+// this implementation keep page application lazy while staying consistent
+// for index scans at any version).
+type Index struct {
+	def  IndexDef
+	mu   sync.RWMutex
+	tree *rbtree.Tree[ikey, []span]
+}
+
+func newIndex(def IndexDef) *Index {
+	return &Index{def: def, tree: rbtree.New[ikey, []span](cmpIKey)}
+}
+
+// keyOf extracts the index key columns from a full row.
+func (ix *Index) keyOf(row value.Row) value.Row {
+	key := make(value.Row, len(ix.def.Cols))
+	for i, c := range ix.def.Cols {
+		if c < len(row) {
+			key[i] = row[c]
+		}
+	}
+	return key
+}
+
+// add makes (key,rid) visible from version ver on. For unique indexes it
+// reports ErrDuplicateKey when another live row already carries the key at
+// ver (checked against the latest state; the master serializes writers via
+// page 2PL so this is exact on the update path).
+func (ix *Index) add(key value.Row, rid page.RowID, ver uint64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.def.Unique {
+		dup := false
+		ix.tree.Ascend(ikey{key: key, rid: -1 << 62}, func(k ikey, spans []span) bool {
+			if value.CompareRows(k.key, key) != 0 {
+				return false
+			}
+			if k.rid != rid && visible(spans, VersionLatest) {
+				dup = true
+				return false
+			}
+			return true
+		})
+		if dup {
+			return fmt.Errorf("%w: index %s key %v", ErrDuplicateKey, ix.def.Name, key)
+		}
+	}
+	return ix.addLocked(key, rid, ver)
+}
+
+// addUnchecked makes (key,rid) visible from ver without the uniqueness
+// check; commit publishes overlay entries validated at execution time, and
+// write-set application replays decisions the master already made.
+func (ix *Index) addUnchecked(key value.Row, rid page.RowID, ver uint64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.addLocked(key, rid, ver)
+}
+
+func (ix *Index) addLocked(key value.Row, rid page.RowID, ver uint64) error {
+	k := ikey{key: key, rid: rid}
+	spans, _ := ix.tree.Get(k)
+	spans = append(spans, span{add: ver})
+	ix.tree.Put(k, spans)
+	return nil
+}
+
+// del ends the visibility of (key,rid) at version ver.
+func (ix *Index) del(key value.Row, rid page.RowID, ver uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	k := ikey{key: key, rid: rid}
+	spans, ok := ix.tree.Get(k)
+	if !ok {
+		return
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].del == 0 {
+			spans[i].del = ver
+			break
+		}
+	}
+	ix.tree.Put(k, spans)
+}
+
+// scan iterates entries with key >= from (nil from = whole index) visible at
+// version v, in key order, until fn returns false.
+//
+// The index latch is NEVER held while fn runs: fn typically fetches pages,
+// and a committing update transaction holds page latches while publishing
+// index entries — holding the index latch across fn would create a classic
+// index->page vs page->index deadlock. Entries are therefore collected in
+// chunks under a shared latch and delivered latch-free. Entries inserted
+// behind the cursor between chunks are invisible at the reader's version by
+// construction (write-sets are acknowledged before the version is ever
+// assigned to a reader).
+func (ix *Index) scan(from value.Row, v uint64, fn func(key value.Row, rid page.RowID) bool) {
+	const chunk = 256
+	var resume *ikey
+	buf := make([]ikey, 0, chunk)
+	for {
+		buf = buf[:0]
+		start := ikey{rid: -1 << 62}
+		if resume != nil {
+			start = *resume
+		} else if from != nil {
+			start = ikey{key: from, rid: -1 << 62}
+		}
+		ix.mu.RLock()
+		iter := func(k ikey, spans []span) bool {
+			if resume != nil && cmpIKey(k, *resume) <= 0 {
+				return true
+			}
+			if visible(spans, v) {
+				buf = append(buf, ikey{key: k.key.Clone(), rid: k.rid})
+			}
+			return len(buf) < chunk
+		}
+		if resume == nil && from == nil {
+			ix.tree.AscendAll(iter)
+		} else {
+			ix.tree.Ascend(start, iter)
+		}
+		ix.mu.RUnlock()
+		for _, k := range buf {
+			if !fn(k.key, k.rid) {
+				return
+			}
+		}
+		if len(buf) < chunk {
+			return
+		}
+		last := buf[len(buf)-1]
+		resume = &last
+	}
+}
+
+// lookupEq collects the row ids whose key equals key exactly, visible at v.
+func (ix *Index) lookupEq(key value.Row, v uint64) []page.RowID {
+	var out []page.RowID
+	ix.scan(key, v, func(k value.Row, rid page.RowID) bool {
+		if value.CompareRows(k, key) != 0 {
+			return false
+		}
+		out = append(out, rid)
+		return true
+	})
+	return out
+}
+
+// entryCount returns the number of (key,row) pairs tracked (including dead
+// spans); diagnostics only.
+func (ix *Index) entryCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+// discardAbove removes the effects of modifications with version > v:
+// spans added after v are dropped and deletions after v are reopened. Used
+// during master fail-over to purge eagerly-published index entries whose
+// write-sets were only partially propagated and never acknowledged.
+func (ix *Index) discardAbove(v uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	type patch struct {
+		k     ikey
+		spans []span
+	}
+	var patches []patch
+	ix.tree.AscendAll(func(k ikey, spans []span) bool {
+		changed := false
+		kept := spans[:0:0]
+		for _, s := range spans {
+			if s.add > v {
+				changed = true
+				continue
+			}
+			if s.del > v {
+				s.del = 0
+				changed = true
+			}
+			kept = append(kept, s)
+		}
+		if changed {
+			patches = append(patches, patch{k: k, spans: kept})
+		}
+		return true
+	})
+	for _, p := range patches {
+		ix.tree.Put(p.k, p.spans)
+	}
+}
+
+// gc removes spans that died at or before the low-water version lw (no
+// reader at >= lw can see them) and deletes entries left with no spans.
+// Returns the number of spans removed. This is the index-history garbage
+// collection the paper leaves as future work for its page versions; index
+// history is what this implementation retains, so it is what needs GC.
+func (ix *Index) gc(lw uint64) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	type patch struct {
+		k     ikey
+		spans []span
+	}
+	var patches []patch
+	var dead []ikey
+	removed := 0
+	ix.tree.AscendAll(func(k ikey, spans []span) bool {
+		keep := spans[:0:0]
+		for _, s := range spans {
+			if s.del != 0 && s.del <= lw {
+				removed++
+				continue
+			}
+			keep = append(keep, s)
+		}
+		if len(keep) == len(spans) {
+			return true
+		}
+		if len(keep) == 0 {
+			dead = append(dead, k)
+			return true
+		}
+		patches = append(patches, patch{k: k, spans: keep})
+		return true
+	})
+	for _, p := range patches {
+		ix.tree.Put(p.k, p.spans)
+	}
+	for _, k := range dead {
+		ix.tree.Delete(k)
+	}
+	return removed
+}
+
+// reset discards all entries (used before an index rebuild during node
+// reintegration).
+func (ix *Index) reset() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.tree = rbtree.New[ikey, []span](cmpIKey)
+}

@@ -1,0 +1,636 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dmv/internal/page"
+	"dmv/internal/value"
+	"dmv/internal/vclock"
+)
+
+// Txn is the storage-transaction interface consumed by the SQL executor.
+// ReadTx and UpdateTx implement it.
+type Txn interface {
+	// Engine returns the owning engine (catalog access).
+	Engine() *Engine
+	// ReadOnly reports whether mutations are allowed.
+	ReadOnly() bool
+	// Fetch returns the row with the given id, if it exists in this
+	// transaction's view.
+	Fetch(table int, rid page.RowID) (value.Row, bool, error)
+	// Scan iterates all rows of the table until fn returns false.
+	Scan(table int, fn func(rid page.RowID, row value.Row) bool) error
+	// IndexScan iterates index entries with key >= from (nil = all) in key
+	// order until fn returns false.
+	IndexScan(table, idx int, from value.Row, fn func(key value.Row, rid page.RowID) bool) error
+	// LookupEq returns the row ids whose index key equals key.
+	LookupEq(table, idx int, key value.Row) ([]page.RowID, error)
+	// Insert adds a row, returning its id.
+	Insert(table int, row value.Row) (page.RowID, error)
+	// Update replaces the row with the given id.
+	Update(table int, rid page.RowID, row value.Row) error
+	// Delete removes the row with the given id.
+	Delete(table int, rid page.RowID) error
+}
+
+// compile-time interface checks.
+var (
+	_ Txn = (*ReadTx)(nil)
+	_ Txn = (*UpdateTx)(nil)
+)
+
+// errStopScan is a private sentinel used to break out of page.View scans.
+var errStopScan = errors.New("heap: stop scan")
+
+// ---------------------------------------------------------------------------
+// Read-only transactions
+// ---------------------------------------------------------------------------
+
+// ReadTx is a read-only transaction pinned to a version vector. It takes no
+// transaction-duration locks: every page it touches is materialized at the
+// assigned version on demand. A nil vector means "latest" (stand-alone
+// operation).
+type ReadTx struct {
+	e *Engine
+	v vclock.Vector
+}
+
+// BeginRead starts a read-only transaction at version vector v (nil =
+// latest materialized state).
+func (e *Engine) BeginRead(v vclock.Vector) *ReadTx {
+	return &ReadTx{e: e, v: v}
+}
+
+// Engine implements Txn.
+func (tx *ReadTx) Engine() *Engine { return tx.e }
+
+// ReadOnly implements Txn.
+func (tx *ReadTx) ReadOnly() bool { return true }
+
+// Version returns the transaction's assigned vector (nil = latest).
+func (tx *ReadTx) Version() vclock.Vector { return tx.v }
+
+func (tx *ReadTx) verFor(table int) uint64 {
+	if tx.v == nil {
+		return VersionLatest
+	}
+	return tx.v.Get(table)
+}
+
+// Fetch implements Txn.
+func (tx *ReadTx) Fetch(table int, rid page.RowID) (value.Row, bool, error) {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	pg := t.locate(rid)
+	if pg == nil {
+		return nil, false, nil
+	}
+	tx.e.observe(table, pg.ID())
+	return pg.Get(rid, tx.verFor(table))
+}
+
+// Scan implements Txn.
+func (tx *ReadTx) Scan(table int, fn func(rid page.RowID, row value.Row) bool) error {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return err
+	}
+	v := tx.verFor(table)
+	for _, pg := range t.pagesSnapshot() {
+		if pg.CreateVersion() > v {
+			continue
+		}
+		tx.e.observe(table, pg.ID())
+		err := pg.View(v, func(rows map[page.RowID]value.Row) error {
+			for rid, row := range rows {
+				if !fn(rid, row.Clone()) {
+					return errStopScan
+				}
+			}
+			return nil
+		})
+		if errors.Is(err, errStopScan) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexScan implements Txn.
+func (tx *ReadTx) IndexScan(table, idx int, from value.Row, fn func(key value.Row, rid page.RowID) bool) error {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return err
+	}
+	ix, err := t.index(idx)
+	if err != nil {
+		return err
+	}
+	ix.scan(from, tx.verFor(table), fn)
+	return nil
+}
+
+// LookupEq implements Txn.
+func (tx *ReadTx) LookupEq(table, idx int, key value.Row) ([]page.RowID, error) {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := t.index(idx)
+	if err != nil {
+		return nil, err
+	}
+	return ix.lookupEq(key, tx.verFor(table)), nil
+}
+
+// Insert implements Txn (always fails: read-only).
+func (tx *ReadTx) Insert(int, value.Row) (page.RowID, error) { return 0, ErrReadOnly }
+
+// Update implements Txn (always fails: read-only).
+func (tx *ReadTx) Update(int, page.RowID, value.Row) error { return ErrReadOnly }
+
+// Delete implements Txn (always fails: read-only).
+func (tx *ReadTx) Delete(int, page.RowID) error { return ErrReadOnly }
+
+// ---------------------------------------------------------------------------
+// Update transactions
+// ---------------------------------------------------------------------------
+
+type undoOp struct {
+	t      *Table
+	pg     *page.Page
+	kind   page.OpKind
+	rid    page.RowID
+	before value.Row
+}
+
+type idxOp struct {
+	table int
+	ix    *Index
+	key   value.Row
+	rid   page.RowID
+	add   bool
+}
+
+// UpdateTx is an update transaction executing on a master database under
+// strict two-phase page locking. It must be used by a single goroutine.
+type UpdateTx struct {
+	e      *Engine
+	id     uint64
+	locked map[*page.Page]struct{}
+	order  []*page.Page
+	undo   []undoOp
+	recs   []Record
+	tables map[int]struct{}
+	ovl    []idxOp
+	done   bool
+}
+
+// BeginUpdate starts an update transaction.
+func (e *Engine) BeginUpdate() *UpdateTx {
+	return &UpdateTx{
+		e:      e,
+		id:     e.nextTxID(),
+		locked: make(map[*page.Page]struct{}, 8),
+		tables: make(map[int]struct{}, 4),
+	}
+}
+
+// Engine implements Txn.
+func (tx *UpdateTx) Engine() *Engine { return tx.e }
+
+// ReadOnly implements Txn.
+func (tx *UpdateTx) ReadOnly() bool { return false }
+
+// lockPage acquires (or re-enters) the exclusive latch on pg, bounded by the
+// engine lock timeout. Timeouts resolve deadlocks: the transaction aborts
+// and the caller retries.
+func (tx *UpdateTx) lockPage(pg *page.Page) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if _, held := tx.locked[pg]; held {
+		return nil
+	}
+	if !pg.TryLockX() {
+		deadline := time.Now().Add(tx.e.opts.LockTimeout)
+		for {
+			time.Sleep(20 * time.Microsecond)
+			if pg.TryLockX() {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w (tx %d, %s)", ErrLockTimeout, tx.id, pg)
+			}
+		}
+	}
+	tx.locked[pg] = struct{}{}
+	tx.order = append(tx.order, pg)
+	tx.e.observe(pg.Table(), pg.ID())
+	return nil
+}
+
+func (tx *UpdateTx) unlockAll() {
+	for i := len(tx.order) - 1; i >= 0; i-- {
+		tx.order[i].UnlockX()
+	}
+	tx.order = nil
+	tx.locked = map[*page.Page]struct{}{}
+}
+
+// Fetch implements Txn: reads the latest state under an exclusive page
+// latch held to commit (the transaction sees its own writes).
+func (tx *UpdateTx) Fetch(table int, rid page.RowID) (value.Row, bool, error) {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	pg := t.locate(rid)
+	if pg == nil {
+		return nil, false, nil
+	}
+	if err := tx.lockPage(pg); err != nil {
+		return nil, false, err
+	}
+	row, ok := pg.XRows()[rid]
+	if !ok {
+		return nil, false, nil
+	}
+	return row.Clone(), true, nil
+}
+
+// Scan implements Txn: locks every page of the table (a serializable table
+// scan; the TPC-W update transactions never do this on large tables).
+func (tx *UpdateTx) Scan(table int, fn func(rid page.RowID, row value.Row) bool) error {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return err
+	}
+	for _, pg := range t.pagesSnapshot() {
+		if err := tx.lockPage(pg); err != nil {
+			return err
+		}
+		for rid, row := range pg.XRows() {
+			if !fn(rid, row.Clone()) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// overlayFor splits the transaction's pending index operations for one
+// index into added entries (sorted) and a deleted-entry set.
+func (tx *UpdateTx) overlayFor(ix *Index) (adds []ikey, dels map[string]struct{}) {
+	for _, op := range tx.ovl {
+		if op.ix != ix {
+			continue
+		}
+		if op.add {
+			adds = append(adds, ikey{key: op.key, rid: op.rid})
+		} else {
+			if dels == nil {
+				dels = make(map[string]struct{}, 4)
+			}
+			dels[entryKey(op.key, op.rid)] = struct{}{}
+		}
+	}
+	sort.Slice(adds, func(i, j int) bool { return cmpIKey(adds[i], adds[j]) < 0 })
+	return adds, dels
+}
+
+func entryKey(key value.Row, rid page.RowID) string {
+	return key.Key() + "#" + fmt.Sprint(rid)
+}
+
+// IndexScan implements Txn: merges the committed index state (latest
+// versions) with this transaction's uncommitted overlay.
+func (tx *UpdateTx) IndexScan(table, idx int, from value.Row, fn func(key value.Row, rid page.RowID) bool) error {
+	t, err := tx.e.table(table)
+	if err != nil {
+		return err
+	}
+	ix, err := t.index(idx)
+	if err != nil {
+		return err
+	}
+	adds, dels := tx.overlayFor(ix)
+	// Skip overlay adds before `from`.
+	i := 0
+	if from != nil {
+		lo := ikey{key: from, rid: -1 << 62}
+		for i < len(adds) && cmpIKey(adds[i], lo) < 0 {
+			i++
+		}
+	}
+	stopped := false
+	ix.scan(from, VersionLatest, func(k value.Row, rid page.RowID) bool {
+		cur := ikey{key: k, rid: rid}
+		for i < len(adds) && cmpIKey(adds[i], cur) < 0 {
+			if !fn(adds[i].key, adds[i].rid) {
+				stopped = true
+				return false
+			}
+			i++
+		}
+		if dels != nil {
+			if _, dead := dels[entryKey(k, rid)]; dead {
+				return true
+			}
+		}
+		if !fn(k, rid) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return nil
+	}
+	for ; i < len(adds); i++ {
+		if !fn(adds[i].key, adds[i].rid) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LookupEq implements Txn.
+func (tx *UpdateTx) LookupEq(table, idx int, key value.Row) ([]page.RowID, error) {
+	var out []page.RowID
+	err := tx.IndexScan(table, idx, key, func(k value.Row, rid page.RowID) bool {
+		if value.CompareRows(k, key) != 0 {
+			return false
+		}
+		out = append(out, rid)
+		return true
+	})
+	return out, err
+}
+
+func (tx *UpdateTx) coerce(t *Table, row value.Row) value.Row {
+	out := make(value.Row, len(t.def.Cols))
+	for i := range t.def.Cols {
+		if i < len(row) {
+			out[i] = value.Coerce(row[i], t.def.Cols[i].Type)
+		}
+	}
+	return out
+}
+
+// checkUnique verifies that no live row other than excludeRid carries key in
+// a unique index, taking the transaction's own overlay into account.
+func (tx *UpdateTx) checkUnique(table, idxOrd int, ix *Index, key value.Row, excludeRid page.RowID) error {
+	if !ix.def.Unique {
+		return nil
+	}
+	var dup bool
+	err := tx.IndexScan(table, idxOrd, key, func(k value.Row, rid page.RowID) bool {
+		if value.CompareRows(k, key) != 0 {
+			return false
+		}
+		if rid != excludeRid {
+			dup = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if dup {
+		return fmt.Errorf("%w: index %s key %v", ErrDuplicateKey, ix.def.Name, key)
+	}
+	return nil
+}
+
+// Insert implements Txn.
+func (tx *UpdateTx) Insert(table int, row value.Row) (page.RowID, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	t, err := tx.e.table(table)
+	if err != nil {
+		return 0, err
+	}
+	r := tx.coerce(t, row)
+	indexes := t.allIndexes()
+	rid := page.RowID(t.nextRowID.Add(1))
+	for ord, ix := range indexes {
+		if err := tx.checkUnique(table, ord, ix, ix.keyOf(r), rid); err != nil {
+			return 0, err
+		}
+	}
+	pg := t.reserveSlot()
+	if err := tx.lockPage(pg); err != nil {
+		return 0, err
+	}
+	pg.XApply(page.RowOp{Kind: page.OpInsert, Row: rid, Data: r})
+	t.setLoc(rid, pg)
+	tx.undo = append(tx.undo, undoOp{t: t, pg: pg, kind: page.OpInsert, rid: rid})
+	tx.recs = append(tx.recs, Record{
+		Table: table,
+		Page:  pg.ID(),
+		Op:    page.RowOp{Kind: page.OpInsert, Row: rid, Data: r},
+	})
+	for _, ix := range indexes {
+		tx.ovl = append(tx.ovl, idxOp{table: table, ix: ix, key: ix.keyOf(r), rid: rid, add: true})
+	}
+	tx.tables[table] = struct{}{}
+	return rid, nil
+}
+
+// Update implements Txn.
+func (tx *UpdateTx) Update(table int, rid page.RowID, row value.Row) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.e.table(table)
+	if err != nil {
+		return err
+	}
+	pg := t.locate(rid)
+	if pg == nil {
+		return fmt.Errorf("%w: table %s row %d", ErrRowNotFound, t.def.Name, rid)
+	}
+	if err := tx.lockPage(pg); err != nil {
+		return err
+	}
+	before, ok := pg.XRows()[rid]
+	if !ok {
+		return fmt.Errorf("%w: table %s row %d", ErrRowNotFound, t.def.Name, rid)
+	}
+	r := tx.coerce(t, row)
+	indexes := t.allIndexes()
+	for ord, ix := range indexes {
+		oldKey, newKey := ix.keyOf(before), ix.keyOf(r)
+		if value.CompareRows(oldKey, newKey) == 0 {
+			continue
+		}
+		if err := tx.checkUnique(table, ord, ix, newKey, rid); err != nil {
+			return err
+		}
+	}
+	beforeCopy := before.Clone()
+	pg.XApply(page.RowOp{Kind: page.OpUpdate, Row: rid, Data: r})
+	tx.undo = append(tx.undo, undoOp{t: t, pg: pg, kind: page.OpUpdate, rid: rid, before: beforeCopy})
+	tx.recs = append(tx.recs, Record{
+		Table: table,
+		Page:  pg.ID(),
+		Op:    page.RowOp{Kind: page.OpUpdate, Row: rid, Data: r},
+		Old:   beforeCopy,
+	})
+	for _, ix := range indexes {
+		oldKey, newKey := ix.keyOf(beforeCopy), ix.keyOf(r)
+		if value.CompareRows(oldKey, newKey) == 0 {
+			continue
+		}
+		tx.ovl = append(tx.ovl,
+			idxOp{table: table, ix: ix, key: oldKey, rid: rid, add: false},
+			idxOp{table: table, ix: ix, key: newKey, rid: rid, add: true})
+	}
+	tx.tables[table] = struct{}{}
+	return nil
+}
+
+// Delete implements Txn.
+func (tx *UpdateTx) Delete(table int, rid page.RowID) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.e.table(table)
+	if err != nil {
+		return err
+	}
+	pg := t.locate(rid)
+	if pg == nil {
+		return fmt.Errorf("%w: table %s row %d", ErrRowNotFound, t.def.Name, rid)
+	}
+	if err := tx.lockPage(pg); err != nil {
+		return err
+	}
+	before, ok := pg.XRows()[rid]
+	if !ok {
+		return fmt.Errorf("%w: table %s row %d", ErrRowNotFound, t.def.Name, rid)
+	}
+	beforeCopy := before.Clone()
+	pg.XApply(page.RowOp{Kind: page.OpDelete, Row: rid})
+	tx.undo = append(tx.undo, undoOp{t: t, pg: pg, kind: page.OpDelete, rid: rid, before: beforeCopy})
+	tx.recs = append(tx.recs, Record{
+		Table: table,
+		Page:  pg.ID(),
+		Op:    page.RowOp{Kind: page.OpDelete, Row: rid},
+		Old:   beforeCopy,
+	})
+	for _, ix := range t.allIndexes() {
+		tx.ovl = append(tx.ovl, idxOp{table: table, ix: ix, key: ix.keyOf(beforeCopy), rid: rid, add: false})
+	}
+	tx.tables[table] = struct{}{}
+	return nil
+}
+
+// Commit finishes the transaction, implementing the master pre-commit of
+// Figure 2 in the paper: tick the version vector for the written tables,
+// stamp the modified pages, publish the index entries, invoke broadcast with
+// the write-set (the replication layer sends it to every replica and waits
+// for acknowledgments), then release all page locks.
+//
+// broadcast may be nil (stand-alone operation). The returned write-set
+// version is the new DBVersion the master piggybacks on its commit reply.
+func (tx *UpdateTx) Commit(broadcast func(*WriteSet) error) (vclock.Vector, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if len(tx.recs) == 0 {
+		tx.done = true
+		tx.unlockAll()
+		return nil, nil
+	}
+	tables := make([]int, 0, len(tx.tables))
+	for t := range tx.tables {
+		tables = append(tables, t)
+	}
+	sort.Ints(tables)
+	ver := tx.e.clock.Tick(tables)
+
+	// Stamp modified pages with their table's new version.
+	stamped := make(map[*page.Page]struct{}, len(tx.recs))
+	for _, rec := range tx.recs {
+		t, err := tx.e.table(rec.Table)
+		if err != nil {
+			continue
+		}
+		pg := t.pageAt(rec.Page)
+		if pg == nil {
+			continue
+		}
+		if _, done := stamped[pg]; done {
+			continue
+		}
+		stamped[pg] = struct{}{}
+		v := ver.Get(rec.Table)
+		pg.XStamp(v)
+		pg.StampCreateVersion(v)
+	}
+	for _, tid := range tables {
+		if t, err := tx.e.table(tid); err == nil {
+			t.bumpVer(ver.Get(tid))
+		}
+	}
+	// Publish index entries at the commit version.
+	for _, op := range tx.ovl {
+		v := ver.Get(op.table)
+		if op.add {
+			// Uniqueness was validated at execution time under 2PL.
+			if err := op.ix.addUnchecked(op.key, op.rid, v); err != nil {
+				return nil, err
+			}
+		} else {
+			op.ix.del(op.key, op.rid, v)
+		}
+	}
+	ws := &WriteSet{TxID: tx.id, Version: ver, Tables: tables, Records: tx.recs}
+	var bErr error
+	if broadcast != nil {
+		bErr = broadcast(ws)
+	}
+	if tx.e.opts.CommitDelay != nil {
+		tx.e.opts.CommitDelay()
+	}
+	tx.done = true
+	tx.unlockAll()
+	if bErr != nil {
+		return ver, fmt.Errorf("broadcast write-set: %w", bErr)
+	}
+	return ver, nil
+}
+
+// Rollback undoes every modification (before-images) and releases all locks.
+func (tx *UpdateTx) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		switch u.kind {
+		case page.OpInsert:
+			u.pg.XApply(page.RowOp{Kind: page.OpDelete, Row: u.rid})
+		case page.OpUpdate, page.OpDelete:
+			u.pg.XApply(page.RowOp{Kind: page.OpInsert, Row: u.rid, Data: u.before})
+		}
+	}
+	tx.undo = nil
+	tx.recs = nil
+	tx.ovl = nil
+	tx.done = true
+	tx.unlockAll()
+	return nil
+}

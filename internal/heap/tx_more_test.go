@@ -1,0 +1,227 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmv/internal/page"
+	"dmv/internal/value"
+)
+
+func TestLockTimeoutResolvesDeadlock(t *testing.T) {
+	e := NewEngine(Options{PageCap: 1, LockTimeout: 30 * time.Millisecond})
+	tid, _ := e.CreateTable(TableDef{
+		Name: "t",
+		Cols: []Column{{Name: "id", Type: value.TInt}, {Name: "v", Type: value.TInt}},
+	})
+	_, _ = e.CreateIndex(tid, IndexDef{Name: "pk", Cols: []int{0}, Unique: true})
+	_ = e.Load(tid, []value.Row{
+		{value.NewInt(1), value.NewInt(0)},
+		{value.NewInt(2), value.NewInt(0)},
+	})
+
+	// tx1 locks row 1's page (PageCap 1: one row per page).
+	tx1 := e.BeginUpdate()
+	r1, _ := tx1.LookupEq(tid, 0, value.Row{value.NewInt(1)})
+	row, _, _ := tx1.Fetch(tid, r1[0])
+	if err := tx1.Update(tid, r1[0], row); err != nil {
+		t.Fatal(err)
+	}
+	// tx2 locks row 2's page, then needs row 1's -> times out.
+	tx2 := e.BeginUpdate()
+	r2, _ := tx2.LookupEq(tid, 0, value.Row{value.NewInt(2)})
+	row2, _, _ := tx2.Fetch(tid, r2[0])
+	if err := tx2.Update(tid, r2[0], row2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := tx2.Fetch(tid, r1[0])
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// tx1 proceeds normally after the victim aborts.
+	if _, err := tx1.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRollbackWithFreshPage(t *testing.T) {
+	e := NewEngine(Options{PageCap: 2})
+	tid, _ := e.CreateTable(TableDef{
+		Name: "t",
+		Cols: []Column{{Name: "id", Type: value.TInt}},
+	})
+	_, _ = e.CreateIndex(tid, IndexDef{Name: "pk", Cols: []int{0}, Unique: true})
+
+	tx := e.BeginUpdate()
+	for i := 1; i <= 5; i++ { // spans multiple fresh pages
+		if _, err := tx.Insert(tid, value.Row{value.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.RowCountAt(tid, VersionLatest)
+	if err != nil || n != 0 {
+		t.Fatalf("rows after rollback = %d (%v)", n, err)
+	}
+	// Fresh pages stay invisible to scans (create-version sentinel).
+	rtx := e.BeginRead(nil)
+	count := 0
+	_ = rtx.Scan(tid, func(page.RowID, value.Row) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("scan saw %d phantom rows", count)
+	}
+	// And the table is fully usable afterwards.
+	tx2 := e.BeginUpdate()
+	if _, err := tx2.Insert(tid, value.Row{value.NewInt(100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonUniqueIndexDuplicates(t *testing.T) {
+	e := NewEngine(Options{})
+	tid, _ := e.CreateTable(TableDef{
+		Name: "t",
+		Cols: []Column{{Name: "id", Type: value.TInt}, {Name: "grp", Type: value.TInt}},
+	})
+	_, _ = e.CreateIndex(tid, IndexDef{Name: "grp", Cols: []int{1}})
+	tx := e.BeginUpdate()
+	for i := 1; i <= 6; i++ {
+		if _, err := tx.Insert(tid, value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	rtx := e.BeginRead(nil)
+	rids, err := rtx.LookupEq(tid, 0, value.Row{value.NewInt(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 3 {
+		t.Fatalf("grp=0 rows = %d, want 3", len(rids))
+	}
+}
+
+func TestUpdateTxSeesOwnIndexChanges(t *testing.T) {
+	e := NewEngine(Options{})
+	tid, _ := e.CreateTable(TableDef{
+		Name: "t",
+		Cols: []Column{{Name: "id", Type: value.TInt}, {Name: "grp", Type: value.TInt}},
+	})
+	_, _ = e.CreateIndex(tid, IndexDef{Name: "pk", Cols: []int{0}, Unique: true})
+	_, _ = e.CreateIndex(tid, IndexDef{Name: "grp", Cols: []int{1}})
+	_ = e.Load(tid, []value.Row{{value.NewInt(1), value.NewInt(10)}})
+
+	tx := e.BeginUpdate()
+	// Move row 1 from grp 10 to grp 20; insert a new row in grp 10.
+	rids, _ := tx.LookupEq(tid, 0, value.Row{value.NewInt(1)})
+	if err := tx.Update(tid, rids[0], value.Row{value.NewInt(1), value.NewInt(20)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert(tid, value.Row{value.NewInt(2), value.NewInt(10)}); err != nil {
+		t.Fatal(err)
+	}
+	// Within the same transaction, the overlay must reflect both changes.
+	g10, _ := tx.LookupEq(tid, 1, value.Row{value.NewInt(10)})
+	g20, _ := tx.LookupEq(tid, 1, value.Row{value.NewInt(20)})
+	if len(g10) != 1 || len(g20) != 1 {
+		t.Fatalf("overlay view: grp10=%d grp20=%d, want 1/1", len(g10), len(g20))
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// After rollback the overlay is gone.
+	rtx := e.BeginRead(nil)
+	g10b, _ := rtx.LookupEq(tid, 1, value.Row{value.NewInt(10)})
+	g20b, _ := rtx.LookupEq(tid, 1, value.Row{value.NewInt(20)})
+	if len(g10b) != 1 || len(g20b) != 0 {
+		t.Fatalf("after rollback: grp10=%d grp20=%d, want 1/0", len(g10b), len(g20b))
+	}
+}
+
+func TestUpdateTxScanLocksPages(t *testing.T) {
+	e := NewEngine(Options{PageCap: 4})
+	tid, _ := e.CreateTable(TableDef{
+		Name: "t",
+		Cols: []Column{{Name: "id", Type: value.TInt}},
+	})
+	rows := make([]value.Row, 8)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i))}
+	}
+	_ = e.Load(tid, rows)
+
+	tx := e.BeginUpdate()
+	n := 0
+	if err := tx.Scan(tid, func(page.RowID, value.Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("scan saw %d rows", n)
+	}
+	if _, err := tx.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTxRejectsWrites(t *testing.T) {
+	e := NewEngine(Options{})
+	tid, _ := e.CreateTable(TableDef{Name: "t", Cols: []Column{{Name: "id", Type: value.TInt}}})
+	rtx := e.BeginRead(nil)
+	if _, err := rtx.Insert(tid, value.Row{value.NewInt(1)}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("insert err = %v", err)
+	}
+	if err := rtx.Update(tid, 1, nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("update err = %v", err)
+	}
+	if err := rtx.Delete(tid, 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete err = %v", err)
+	}
+}
+
+func TestCommitOnFinishedTx(t *testing.T) {
+	e := NewEngine(Options{})
+	tid, _ := e.CreateTable(TableDef{Name: "t", Cols: []Column{{Name: "id", Type: value.TInt}}})
+	tx := e.BeginUpdate()
+	if _, err := tx.Insert(tid, value.Row{value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(nil); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if _, err := tx.Insert(tid, value.Row{value.NewInt(2)}); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("insert after commit err = %v", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatalf("rollback after commit should be a no-op: %v", err)
+	}
+}
+
+func TestEmptyUpdateTxCommit(t *testing.T) {
+	e := NewEngine(Options{})
+	_, _ = e.CreateTable(TableDef{Name: "t", Cols: []Column{{Name: "id", Type: value.TInt}}})
+	tx := e.BeginUpdate()
+	ver, err := tx.Commit(func(*WriteSet) error {
+		t.Fatal("empty transaction must not broadcast")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != nil {
+		t.Fatalf("empty commit produced version %v", ver)
+	}
+}

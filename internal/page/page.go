@@ -1,0 +1,376 @@
+// Package page implements the versioned memory pages at the core of Dynamic
+// Multiversioning.
+//
+// The unit of transactional concurrency control is the memory page (as in
+// the paper's modified MySQL HEAP storage manager). Every page belongs to
+// one table and carries:
+//
+//   - its materialized state (row slots),
+//   - the table-version that state corresponds to ("applied"),
+//   - a queue of pending fine-grained modifications received from the
+//     conflict-class master but not yet applied.
+//
+// A read-only transaction tagged with version vector V materializes version
+// V[t] of each page it touches on demand (lazy application). Because old
+// versions are never retained, a reader requiring a version older than the
+// page's applied version must abort with ErrVersionConflict — exactly the
+// paper's (rare) version-inconsistency abort.
+package page
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dmv/internal/value"
+)
+
+// RowID identifies a row within its table for the lifetime of the database.
+type RowID int64
+
+// ID identifies a page within its table (its index in the table directory).
+type ID int32
+
+// ErrVersionConflict is returned when a reader requires a page version that
+// has already been overwritten (the paper aborts the reading transaction).
+var ErrVersionConflict = errors.New("page: required version already overwritten")
+
+// OpKind discriminates row operations inside a write-set.
+type OpKind uint8
+
+// Row operation kinds.
+const (
+	OpInsert OpKind = iota + 1
+	OpUpdate
+	OpDelete
+)
+
+// RowOp is one fine-grained modification to one row of one page.
+type RowOp struct {
+	Kind OpKind
+	Row  RowID
+	Data value.Row // after-image for insert/update; nil for delete
+}
+
+// Mod is the portion of one committed transaction's write-set that touches
+// one page, stamped with the table version the commit produced.
+type Mod struct {
+	Version uint64
+	Ops     []RowOp
+}
+
+// Page is one versioned memory page. All exported methods are safe for
+// concurrent use.
+type Page struct {
+	id    ID
+	table int
+
+	mu      sync.RWMutex
+	rows    map[RowID]value.Row
+	applied uint64 // table version the slots materialize
+	pending []Mod  // sorted ascending by Version
+
+	// createVer is the table version at which the page was allocated; a
+	// page allocated mid-transaction carries the sentinel ^uint64(0) until
+	// the allocating (or first committing) transaction stamps it, keeping
+	// it invisible to scans at any version. Atomic: read by scans without
+	// the latch, written under the exclusive latch.
+	createVer atomic.Uint64
+}
+
+// New returns an empty page for the given table, allocated at table version
+// createVer (0 for pages present in the initial database load).
+func New(table int, id ID, createVer uint64) *Page {
+	p := &Page{
+		id:    id,
+		table: table,
+		rows:  make(map[RowID]value.Row, 64),
+	}
+	// applied starts at 0: an empty page is a valid materialization of every
+	// version up to its first modification.
+	p.createVer.Store(createVer)
+	return p
+}
+
+// ID returns the page id.
+func (p *Page) ID() ID { return p.id }
+
+// Table returns the owning table id.
+func (p *Page) Table() int { return p.table }
+
+// CreateVersion returns the table version at which the page was allocated.
+// Full scans at version V skip pages created after V.
+func (p *Page) CreateVersion() uint64 { return p.createVer.Load() }
+
+// StampCreateVersion lowers the page's create-version from the allocation
+// sentinel to the allocating transaction's commit version. Caller must hold
+// the exclusive latch (master commit) or be the sole owner (slave apply).
+func (p *Page) StampCreateVersion(v uint64) {
+	if p.createVer.Load() > v {
+		p.createVer.Store(v)
+	}
+}
+
+// Applied returns the table version currently materialized.
+func (p *Page) Applied() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.applied
+}
+
+// PendingLen returns the number of buffered, unapplied modifications.
+func (p *Page) PendingLen() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pending)
+}
+
+// Enqueue buffers a modification received from the master. Mods from one
+// master arrive in commit order; Enqueue keeps the queue sorted as a defense
+// against reordering during reconfiguration.
+func (p *Page) Enqueue(m Mod) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m.Version <= p.applied {
+		// Already materialized (e.g. duplicate delivery during master
+		// fail-over, or the node received the state via page migration).
+		return
+	}
+	n := len(p.pending)
+	if n == 0 || p.pending[n-1].Version < m.Version {
+		p.pending = append(p.pending, m)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return p.pending[i].Version >= m.Version })
+	if i < n && p.pending[i].Version == m.Version {
+		return // duplicate
+	}
+	p.pending = append(p.pending, Mod{})
+	copy(p.pending[i+1:], p.pending[i:])
+	p.pending[i] = m
+}
+
+// DiscardAbove drops buffered modifications with version > v. Used during
+// master fail-over to clean up partially propagated pre-commits that the
+// failed master never acknowledged.
+func (p *Page) DiscardAbove(v uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := sort.Search(len(p.pending), func(i int) bool { return p.pending[i].Version > v })
+	p.pending = p.pending[:i]
+}
+
+func (p *Page) applyLocked(m Mod) {
+	for _, op := range m.Ops {
+		switch op.Kind {
+		case OpInsert, OpUpdate:
+			p.rows[op.Row] = op.Data
+		case OpDelete:
+			delete(p.rows, op.Row)
+		}
+	}
+	if m.Version > p.applied {
+		p.applied = m.Version
+	}
+}
+
+// ensureLocked applies pending mods with version <= v. Caller holds p.mu.
+// Returns ErrVersionConflict if the page has been upgraded past v.
+func (p *Page) ensureLocked(v uint64) error {
+	if p.applied > v {
+		return ErrVersionConflict
+	}
+	n := 0
+	for n < len(p.pending) && p.pending[n].Version <= v {
+		p.applyLocked(p.pending[n])
+		n++
+	}
+	if n > 0 {
+		p.pending = append([]Mod(nil), p.pending[n:]...)
+	}
+	return nil
+}
+
+// View materializes the page at table version v and calls fn with the row
+// slots under a shared latch. fn must not retain or mutate the map. Returns
+// ErrVersionConflict if version v is no longer constructible.
+func (p *Page) View(v uint64, fn func(rows map[RowID]value.Row) error) error {
+	for {
+		p.mu.RLock()
+		if p.applied > v {
+			p.mu.RUnlock()
+			return ErrVersionConflict
+		}
+		if len(p.pending) > 0 && p.pending[0].Version <= v {
+			p.mu.RUnlock()
+			p.mu.Lock()
+			err := p.ensureLocked(v)
+			p.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		err := fn(p.rows)
+		p.mu.RUnlock()
+		return err
+	}
+}
+
+// Get returns the row at rid as of version v (materializing v first). ok is
+// false if the row does not exist at v.
+func (p *Page) Get(rid RowID, v uint64) (row value.Row, ok bool, err error) {
+	err = p.View(v, func(rows map[RowID]value.Row) error {
+		r, exists := rows[rid]
+		if exists {
+			row = r.Clone()
+			ok = true
+		}
+		return nil
+	})
+	return row, ok, err
+}
+
+// --- master-side exclusive access (two-phase page locking) -----------------
+
+// LockX acquires the page's exclusive latch. Master transactions hold page
+// latches from first touch until commit (strict 2PL).
+func (p *Page) LockX() { p.mu.Lock() }
+
+// TryLockX attempts to acquire the exclusive latch without blocking.
+func (p *Page) TryLockX() bool { return p.mu.TryLock() }
+
+// UnlockX releases the exclusive latch.
+func (p *Page) UnlockX() { p.mu.Unlock() }
+
+// XRows exposes the live slots. Caller must hold the exclusive latch.
+func (p *Page) XRows() map[RowID]value.Row { return p.rows }
+
+// XApply mutates one row. Caller must hold the exclusive latch.
+func (p *Page) XApply(op RowOp) {
+	switch op.Kind {
+	case OpInsert, OpUpdate:
+		p.rows[op.Row] = op.Data
+	case OpDelete:
+		delete(p.rows, op.Row)
+	}
+}
+
+// XStamp records that the page now materializes table version v. Called by
+// the master at commit. Caller must hold the exclusive latch.
+func (p *Page) XStamp(v uint64) {
+	if v > p.applied {
+		p.applied = v
+	}
+}
+
+// XApplied returns the applied version. Caller must hold the exclusive latch.
+func (p *Page) XApplied() uint64 { return p.applied }
+
+// XEnsure applies pending modifications up to v. Caller must hold the
+// exclusive latch. Used by update transactions on a freshly promoted master
+// that still has buffered mods.
+func (p *Page) XEnsure(v uint64) error { return p.ensureLocked(v) }
+
+// --- checkpoint & migration ------------------------------------------------
+
+// Image is a copy of a page's materialized state, used by the fuzzy
+// checkpointer and by page migration for stale-node reintegration.
+type Image struct {
+	Table     int
+	Page      ID
+	Version   uint64
+	CreateVer uint64
+	Rows      map[RowID]value.Row
+}
+
+// Snapshot copies the materialized state if the page can be latched in
+// shared mode without blocking; the fuzzy checkpoint skips pages that are
+// exclusively held by in-flight (dirty, uncommitted) transactions, per the
+// paper ("dirty pages ... are not included in the flush").
+func (p *Page) Snapshot() (Image, bool) {
+	if !p.mu.TryRLock() {
+		return Image{}, false
+	}
+	defer p.mu.RUnlock()
+	return p.imageLocked(), true
+}
+
+// SnapshotBlocking copies the materialized state, waiting for the latch.
+// Used by the support slave when serving a migration request.
+func (p *Page) SnapshotBlocking() Image {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.imageLocked()
+}
+
+func (p *Page) imageLocked() Image {
+	rows := make(map[RowID]value.Row, len(p.rows))
+	for id, r := range p.rows {
+		rows[id] = r.Clone()
+	}
+	return Image{
+		Table:     p.table,
+		Page:      p.id,
+		Version:   p.applied,
+		CreateVer: p.createVer.Load(),
+		Rows:      rows,
+	}
+}
+
+// Install replaces the page state with a migrated image if the image is
+// newer than the locally materialized version, then drops pending mods that
+// the image already covers. Returns whether the image was installed.
+func (p *Page) Install(img Image) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if img.Version <= p.applied {
+		return false
+	}
+	p.rows = make(map[RowID]value.Row, len(img.Rows))
+	for id, r := range img.Rows {
+		p.rows[id] = r.Clone()
+	}
+	p.applied = img.Version
+	if img.CreateVer < p.createVer.Load() {
+		p.createVer.Store(img.CreateVer)
+	}
+	i := sort.Search(len(p.pending), func(i int) bool { return p.pending[i].Version > img.Version })
+	p.pending = append([]Mod(nil), p.pending[i:]...)
+	return true
+}
+
+// Replace unconditionally overwrites the page state from an image
+// (checkpoint restore into a fresh engine). Pending modifications newer than
+// the image are kept.
+func (p *Page) Replace(img Image) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rows = make(map[RowID]value.Row, len(img.Rows))
+	for id, r := range img.Rows {
+		p.rows[id] = r.Clone()
+	}
+	p.applied = img.Version
+	p.createVer.Store(img.CreateVer)
+	i := sort.Search(len(p.pending), func(i int) bool { return p.pending[i].Version > img.Version })
+	p.pending = append([]Mod(nil), p.pending[i:]...)
+}
+
+// RowCount returns the number of live rows (materialized state).
+func (p *Page) RowCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.rows)
+}
+
+// String renders page identity for diagnostics. It must never block: lock
+// timeout errors format the page while another transaction holds the latch.
+func (p *Page) String() string {
+	if !p.mu.TryRLock() {
+		return fmt.Sprintf("page{t%d/p%d <latched>}", p.table, p.id)
+	}
+	defer p.mu.RUnlock()
+	return fmt.Sprintf("page{t%d/p%d @%d +%d pending}", p.table, p.id, p.applied, len(p.pending))
+}

@@ -1,0 +1,257 @@
+// Package persist implements the on-disk persistence tier of Section 4.6:
+// the scheduler logs the update queries of every committed transaction
+// (a lightweight insert into a query log) and returns to the client without
+// waiting for the on-disk databases; an asynchronous applier executes the
+// batched queries on one or more on-disk back-ends, and a stale back-end
+// recovers by replaying the missing suffix of the log.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/scheduler"
+	"dmv/internal/simdisk"
+)
+
+// ErrClosed reports use of a closed tier.
+var ErrClosed = errors.New("persist: tier closed")
+
+// Backend is one on-disk database: an engine whose options charge the
+// synthetic disk costs, plus the disk itself (for replay-read charging).
+type Backend struct {
+	ID   string
+	Eng  *heap.Engine
+	Disk *simdisk.Disk
+
+	mu      sync.Mutex
+	applied int // log prefix already executed here
+}
+
+// Applied returns how many committed transactions this backend has executed.
+func (b *Backend) Applied() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.applied
+}
+
+// Tier is the persistence tier: a query log plus asynchronous appliers.
+type Tier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	log     []scheduler.CommitRecord
+	closed  bool
+	stmts   map[string]*exec.Prepared
+	backs   []*Backend
+	done    chan struct{}
+	onError func(error)
+}
+
+// Options configure a tier.
+type Options struct {
+	// Backends are the on-disk databases (the paper uses "a few, e.g. two").
+	Backends []*Backend
+	// OnError, if non-nil, receives apply errors (they are otherwise
+	// counted and dropped: the log retains everything for replay).
+	OnError func(error)
+}
+
+// NewTier starts the tier's applier.
+func NewTier(opts Options) *Tier {
+	t := &Tier{
+		stmts:   make(map[string]*exec.Prepared, 64),
+		backs:   opts.Backends,
+		done:    make(chan struct{}),
+		onError: opts.OnError,
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.applier()
+	return t
+}
+
+// OnCommit is the scheduler hook: append to the query log and return. The
+// log append is the "lightweight database insert"; the on-disk execution
+// happens asynchronously.
+func (t *Tier) OnCommit(rec scheduler.CommitRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.log = append(t.log, rec)
+	t.cond.Broadcast()
+}
+
+// LogLen returns the committed-transaction count in the query log.
+func (t *Tier) LogLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.log)
+}
+
+// Flush blocks until every backend has applied the current log.
+func (t *Tier) Flush() {
+	t.mu.Lock()
+	target := len(t.log)
+	t.mu.Unlock()
+	for _, b := range t.backs {
+		for b.Applied() < target {
+			t.mu.Lock()
+			t.cond.Wait()
+			t.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the applier (the log remains readable for recovery).
+func (t *Tier) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	<-t.done
+}
+
+func (t *Tier) applier() {
+	defer close(t.done)
+	for {
+		t.mu.Lock()
+		for {
+			if t.closed {
+				t.mu.Unlock()
+				return
+			}
+			progress := false
+			for _, b := range t.backs {
+				if b.Applied() < len(t.log) {
+					progress = true
+				}
+			}
+			if progress {
+				break
+			}
+			t.cond.Wait()
+		}
+		logLen := len(t.log)
+		t.mu.Unlock()
+
+		for _, b := range t.backs {
+			for b.Applied() < logLen {
+				b.mu.Lock()
+				idx := b.applied
+				b.mu.Unlock()
+				t.mu.Lock()
+				rec := t.log[idx]
+				t.mu.Unlock()
+				if err := t.applyOne(b, rec); err != nil {
+					if t.onError != nil {
+						t.onError(fmt.Errorf("persist: backend %s txn %d: %w", b.ID, idx, err))
+					}
+				}
+				b.mu.Lock()
+				b.applied++
+				b.mu.Unlock()
+			}
+		}
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+}
+
+func (t *Tier) prepared(text string) (*exec.Prepared, error) {
+	t.mu.Lock()
+	p, ok := t.stmts[text]
+	t.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := exec.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.stmts[text] = p
+	t.mu.Unlock()
+	return p, nil
+}
+
+func (t *Tier) applyOne(b *Backend, rec scheduler.CommitRecord) error {
+	tx := b.Eng.BeginUpdate()
+	for _, s := range rec.Stmts {
+		p, err := t.prepared(s.Text)
+		if err != nil {
+			_ = tx.Rollback()
+			return err
+		}
+		if _, err := p.Exec(tx, s.Params); err != nil {
+			_ = tx.Rollback()
+			return err
+		}
+	}
+	_, err := tx.Commit(nil)
+	return err
+}
+
+// Recover brings a stale backend up to date by replaying the missing suffix
+// of the query log, charging the backend's replay-read disk cost. Returns
+// the number of transactions replayed.
+func (t *Tier) Recover(b *Backend) (int, error) {
+	t.mu.Lock()
+	logLen := len(t.log)
+	t.mu.Unlock()
+	b.mu.Lock()
+	from := b.applied
+	b.mu.Unlock()
+	if b.Disk != nil {
+		n := 0
+		t.mu.Lock()
+		for i := from; i < logLen; i++ {
+			n += len(t.log[i].Stmts)
+		}
+		t.mu.Unlock()
+		b.Disk.ReplayRead(n)
+	}
+	replayed := 0
+	for i := from; i < logLen; i++ {
+		t.mu.Lock()
+		rec := t.log[i]
+		t.mu.Unlock()
+		if err := t.applyOne(b, rec); err != nil {
+			return replayed, err
+		}
+		b.mu.Lock()
+		b.applied++
+		b.mu.Unlock()
+		replayed++
+	}
+	return replayed, nil
+}
+
+// NewBackend builds an on-disk backend with the given cost model and cache
+// capacity, creates the schema, and loads the initial image.
+func NewBackend(id string, costs simdisk.CostModel, cacheCap int, ddl []string, load func(*heap.Engine) error) (*Backend, error) {
+	disk := simdisk.New(costs, cacheCap)
+	eng := heap.NewEngine(heap.Options{
+		Observer:    disk,
+		CommitDelay: disk.CommitFsync,
+	})
+	for _, d := range ddl {
+		if err := exec.ExecDDL(eng, d); err != nil {
+			return nil, fmt.Errorf("backend %s: %w", id, err)
+		}
+	}
+	if load != nil {
+		if err := load(eng); err != nil {
+			return nil, fmt.Errorf("backend %s load: %w", id, err)
+		}
+	}
+	return &Backend{ID: id, Eng: eng, Disk: disk}, nil
+}

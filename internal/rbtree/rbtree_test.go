@@ -1,0 +1,175 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, int] {
+	// NOTE: a-b overflows for large magnitudes; compare explicitly.
+	return New[int, int](func(a, b int) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Put(i*7%100, i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := tr.Get(i); !ok {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if !tr.Delete(i * 2) {
+			t.Fatalf("delete %d failed", i*2)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("len after delete = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if i%2 == 0 && ok {
+			t.Fatalf("key %d should be gone", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("key %d should remain", i)
+		}
+	}
+	if tr.Delete(1000) {
+		t.Fatal("deleting a missing key must return false")
+	}
+}
+
+// TestMatchesReferenceMap drives random operations against a map and checks
+// contents and ordered iteration.
+func TestMatchesReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := intTree()
+	ref := map[int]int{}
+	for op := 0; op < 5000; op++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			tr.Put(k, v)
+			ref[k] = v
+		case 2:
+			delete(ref, k)
+			tr.Delete(k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(ref))
+	}
+	var keys []int
+	tr.AscendAll(func(k, v int) bool {
+		if ref[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, v, ref[k])
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("ascend not sorted")
+	}
+	var want []int
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	if len(keys) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(keys), len(want))
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{10, 20, 30, 40, 50} {
+		tr.Put(k, k)
+	}
+	var got []int
+	tr.Ascend(25, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 30 || got[2] != 50 {
+		t.Fatalf("ascend from 25 = %v", got)
+	}
+	// Early stop.
+	got = got[:0]
+	tr.Ascend(0, func(k, _ int) bool {
+		got = append(got, k)
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Fatalf("early stop = %v", got)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{3, 1, 2} {
+		tr.Put(k, k)
+	}
+	var got []int
+	tr.Descend(func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if got[0] != 3 || got[2] != 1 {
+		t.Fatalf("descend = %v", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := intTree()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("empty tree has no min")
+	}
+	tr.Put(5, 50)
+	tr.Put(2, 20)
+	k, v, ok := tr.Min()
+	if !ok || k != 2 || v != 20 {
+		t.Fatalf("min = %d,%d,%v", k, v, ok)
+	}
+}
+
+// TestSortedInvariantProperty uses testing/quick: any key set inserted in
+// any order iterates sorted and fully.
+func TestSortedInvariantProperty(t *testing.T) {
+	f := func(keys []int) bool {
+		tr := intTree()
+		uniq := map[int]bool{}
+		for _, k := range keys {
+			tr.Put(k, k)
+			uniq[k] = true
+		}
+		var iterated []int
+		tr.AscendAll(func(k, _ int) bool {
+			iterated = append(iterated, k)
+			return true
+		})
+		if len(iterated) != len(uniq) {
+			return false
+		}
+		return sort.IntsAreSorted(iterated)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

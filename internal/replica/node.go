@@ -1,0 +1,809 @@
+// Package replica implements one DMV database node: a heap storage engine
+// wrapped with the replication roles of the paper — master (pre-commit
+// write-set broadcast, Figure 2), slave (eager buffering, lazy application),
+// and spare backup (subscribed to the replication stream, kept warm for
+// fail-over) — plus the reintegration protocol for stale nodes (Section 4.4)
+// and the fuzzy checkpointing thread.
+//
+// A Node exposes the Peer interface. In-process clusters call the methods
+// directly; the transport package serves the same interface over TCP.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/page"
+	"dmv/internal/simdisk"
+	"dmv/internal/value"
+	"dmv/internal/vclock"
+)
+
+// Errors surfaced by node operations.
+var (
+	// ErrNodeDown reports a call on a failed (killed) node; the fail-stop
+	// model makes every operation on a dead node fail this way.
+	ErrNodeDown = errors.New("replica: node is down")
+	// ErrNotMaster reports an update transaction routed to a non-master.
+	ErrNotMaster = errors.New("replica: update transaction on non-master node")
+	// ErrNoSession reports an unknown transaction session id.
+	ErrNoSession = errors.New("replica: no such transaction session")
+	// ErrVersionConflict mirrors the storage-level version-inconsistency
+	// abort at the replication API boundary so remote callers can match it.
+	ErrVersionConflict = page.ErrVersionConflict
+)
+
+// Role is a node's current replication role.
+type Role uint8
+
+// Node roles.
+const (
+	RoleSlave Role = iota + 1
+	RoleMaster
+	RoleSpare
+	RoleJoining
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleSlave:
+		return "slave"
+	case RoleMaster:
+		return "master"
+	case RoleSpare:
+		return "spare"
+	case RoleJoining:
+		return "joining"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Peer is the client view of a database node. *Node implements it directly;
+// transport.RemoteNode implements it over TCP.
+type Peer interface {
+	ID() string
+	Ping() error
+
+	// Replication stream (master -> everyone else). A nil return is the
+	// acknowledgment the master waits for before confirming the commit.
+	ReceiveWriteSet(ws *heap.WriteSet) error
+
+	// Transaction sessions.
+	TxBegin(readOnly bool, version vclock.Vector) (uint64, error)
+	TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error)
+	TxCommit(txID uint64) (vclock.Vector, error)
+	TxRollback(txID uint64) error
+
+	// Control plane.
+	AbortActiveSessions() (int, error)
+	Role() (Role, error)
+	Promote(classTables []int) error
+	Demote(to Role) error
+	DiscardAbove(v vclock.Vector) error
+	MaxVersions() (vclock.Vector, error)
+
+	// Reintegration (Section 4.4).
+	StartJoin() error
+	PageVersions() (heap.PageVersionMap, error)
+	DeltaSince(have heap.PageVersionMap, target vclock.Vector) ([]page.Image, error)
+	InstallDelta(images []page.Image) error
+	FinishJoin() error
+
+	// Buffer-cache warm-up (Section 4.5).
+	WarmPages(keys []simdisk.PageKey) error
+	ResidentPages(limit int) ([]simdisk.PageKey, error)
+}
+
+var _ Peer = (*Node)(nil)
+
+// Options configure a node.
+type Options struct {
+	// ID names the node (unique within the cluster).
+	ID string
+	// Engine is the node's storage engine (schema loaded by the caller).
+	Engine *heap.Engine
+	// Disk, if non-nil, is the node's buffer-cache/disk simulator; WarmPages
+	// and ResidentPages operate on it.
+	Disk *simdisk.Disk
+	// OnPeerFailure, if non-nil, is invoked (asynchronously safe) when a
+	// replication broadcast to a subscriber fails.
+	OnPeerFailure func(peerID string)
+	// ServicePerStmt models the node's CPU: each statement occupies one of
+	// ServiceWidth execution slots for this long. The whole reproduction
+	// runs on one machine, so per-node capacity (what actually scales when
+	// the paper adds replicas) must be modelled explicitly; sleeps do not
+	// consume host CPU, so an N-node tier scales even on few cores.
+	ServicePerStmt time.Duration
+	// ServiceWidth is the number of CPUs per node (the paper's machines are
+	// dual Athlons; default 2 when ServicePerStmt is set).
+	ServiceWidth int
+	// UpdateServicePerStmt is the CPU demand of update-transaction
+	// statements (default = ServicePerStmt). TPC-W updates are lightweight
+	// row changes while the read interactions run heavyweight joins, so the
+	// two rates differ.
+	UpdateServicePerStmt time.Duration
+	// CheckpointDir, when set, persists fuzzy checkpoints to
+	// <dir>/<id>.ckpt (atomic rename). This is real local stable storage: a
+	// node object constructed after a "reboot" finds its predecessor's
+	// checkpoint on disk. When empty, checkpoints are kept in memory on the
+	// node object, which models the same thing for in-process experiments.
+	CheckpointDir string
+}
+
+// Node is one DMV database replica.
+type Node struct {
+	id   string
+	eng  *heap.Engine
+	disk *simdisk.Disk
+
+	alive         atomic.Bool
+	onPeerFailure func(string)
+
+	roleMu      sync.RWMutex
+	role        Role
+	classTables []int
+
+	// commitMu serializes version ticks with write-set broadcasts so every
+	// subscriber observes one ordered stream per master.
+	commitMu sync.Mutex
+	subsMu   sync.RWMutex
+	subs     []Peer
+
+	sessMu   sync.Mutex
+	sessions map[uint64]*session
+	sessSeq  uint64
+
+	stmtMu sync.RWMutex
+	stmts  map[string]*exec.Prepared
+
+	joinMu  sync.Mutex
+	joining bool
+	joinBuf []*heap.WriteSet
+
+	cpMu   sync.Mutex
+	lastCP []byte // encoded fuzzy checkpoint (in-memory stable storage)
+	cpDir  string // when set, checkpoints live in files instead
+
+	svcPer    time.Duration
+	svcPerUpd time.Duration
+	svcSem    chan struct{}
+
+	stats Stats
+}
+
+// Stats are cumulative node counters.
+type Stats struct {
+	ReadTxns    atomic.Int64
+	UpdateTxns  atomic.Int64
+	Aborts      atomic.Int64
+	WriteSetsIn atomic.Int64
+}
+
+// session is one transaction's server-side state. mu serializes the owning
+// client's statement stream against an administrative abort (a scheduler
+// take-over rolling back a zombie scheduler's transactions must not race a
+// statement that is still in flight).
+type session struct {
+	mu     sync.Mutex
+	readTx *heap.ReadTx
+	upTx   *heap.UpdateTx
+	stmts  int // update-transaction statements, charged at commit
+	done   bool
+}
+
+// NewNode returns a live node in the slave role.
+func NewNode(opts Options) *Node {
+	n := &Node{
+		id:            opts.ID,
+		eng:           opts.Engine,
+		disk:          opts.Disk,
+		role:          RoleSlave,
+		onPeerFailure: opts.OnPeerFailure,
+		sessions:      make(map[uint64]*session, 16),
+		stmts:         make(map[string]*exec.Prepared, 64),
+	}
+	if opts.ServicePerStmt > 0 {
+		width := opts.ServiceWidth
+		if width <= 0 {
+			width = 2
+		}
+		n.svcPer = opts.ServicePerStmt
+		n.svcPerUpd = opts.UpdateServicePerStmt
+		if n.svcPerUpd <= 0 {
+			n.svcPerUpd = opts.ServicePerStmt
+		}
+		n.svcSem = make(chan struct{}, width)
+	}
+	n.cpDir = opts.CheckpointDir
+	n.alive.Store(true)
+	return n
+}
+
+// ID implements Peer.
+func (n *Node) ID() string { return n.id }
+
+// Engine exposes the storage engine (cluster setup, tests).
+func (n *Node) Engine() *heap.Engine { return n.eng }
+
+// Disk exposes the buffer-cache simulator (may be nil).
+func (n *Node) Disk() *simdisk.Disk { return n.disk }
+
+// Stats exposes the node counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Alive reports liveness (tests).
+func (n *Node) Alive() bool { return n.alive.Load() }
+
+// Kill fail-stops the node: every subsequent call returns ErrNodeDown. The
+// node's in-memory state is considered lost; only the last fuzzy checkpoint
+// (local stable storage) survives for reintegration after "reboot".
+func (n *Node) Kill() { n.alive.Store(false) }
+
+// Revive is used by tests that reuse the same object; real recovery flows
+// construct a fresh node and restore the checkpoint.
+func (n *Node) Revive() { n.alive.Store(true) }
+
+func (n *Node) check() error {
+	if !n.alive.Load() {
+		return fmt.Errorf("%w: %s", ErrNodeDown, n.id)
+	}
+	return nil
+}
+
+// Ping implements Peer (heartbeat probe).
+func (n *Node) Ping() error { return n.check() }
+
+// Role implements Peer.
+func (n *Node) Role() (Role, error) {
+	if err := n.check(); err != nil {
+		return 0, err
+	}
+	n.roleMu.RLock()
+	defer n.roleMu.RUnlock()
+	return n.role, nil
+}
+
+// SetRole forces the role (cluster setup).
+func (n *Node) SetRole(r Role) {
+	n.roleMu.Lock()
+	n.role = r
+	n.roleMu.Unlock()
+}
+
+// SetSubscribers replaces the replication subscriber set (masters broadcast
+// write-sets to these peers).
+func (n *Node) SetSubscribers(peers []Peer) {
+	n.subsMu.Lock()
+	n.subs = make([]Peer, len(peers))
+	copy(n.subs, peers)
+	n.subsMu.Unlock()
+}
+
+// AddSubscriber appends one subscriber (a joining node).
+func (n *Node) AddSubscriber(p Peer) {
+	n.subsMu.Lock()
+	defer n.subsMu.Unlock()
+	for _, s := range n.subs {
+		if s.ID() == p.ID() {
+			return
+		}
+	}
+	n.subs = append(n.subs, p)
+}
+
+// RemoveSubscriber drops a subscriber by id.
+func (n *Node) RemoveSubscriber(id string) {
+	n.subsMu.Lock()
+	defer n.subsMu.Unlock()
+	kept := n.subs[:0]
+	for _, s := range n.subs {
+		if s.ID() != id {
+			kept = append(kept, s)
+		}
+	}
+	n.subs = kept
+}
+
+// Subscribers returns a copy of the current subscriber list.
+func (n *Node) Subscribers() []Peer {
+	n.subsMu.RLock()
+	defer n.subsMu.RUnlock()
+	out := make([]Peer, len(n.subs))
+	copy(out, n.subs)
+	return out
+}
+
+// ReceiveWriteSet implements Peer: eager receipt. Joining nodes buffer; all
+// others apply (publishing index entries eagerly, page mods lazily).
+func (n *Node) ReceiveWriteSet(ws *heap.WriteSet) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	n.stats.WriteSetsIn.Add(1)
+	n.joinMu.Lock()
+	if n.joining {
+		n.joinBuf = append(n.joinBuf, ws)
+		n.joinMu.Unlock()
+		return nil
+	}
+	n.joinMu.Unlock()
+	return n.eng.ApplyWriteSet(ws)
+}
+
+// broadcast ships a write-set to every subscriber concurrently and waits
+// for all acknowledgments (the paper's eager pre-commit flush, Figure 2:
+// SendUpdate to each replica, then WaitForAcknowledgment). Failed
+// subscribers are reported and skipped; the commit proceeds for the
+// remaining replicas.
+func (n *Node) broadcast(ws *heap.WriteSet) error {
+	subs := n.Subscribers()
+	if len(subs) == 0 {
+		return nil
+	}
+	if len(subs) == 1 {
+		if err := subs[0].ReceiveWriteSet(ws); err != nil && n.onPeerFailure != nil {
+			n.onPeerFailure(subs[0].ID())
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, p := range subs {
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			if err := p.ReceiveWriteSet(ws); err != nil && n.onPeerFailure != nil {
+				n.onPeerFailure(p.ID())
+			}
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// --- transaction sessions ---------------------------------------------------
+
+// TxBegin implements Peer.
+func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
+	if err := n.check(); err != nil {
+		return 0, err
+	}
+	s := &session{}
+	if readOnly {
+		s.readTx = n.eng.BeginRead(version)
+		n.stats.ReadTxns.Add(1)
+	} else {
+		n.roleMu.RLock()
+		isMaster := n.role == RoleMaster
+		n.roleMu.RUnlock()
+		if !isMaster {
+			return 0, fmt.Errorf("%w: %s", ErrNotMaster, n.id)
+		}
+		s.upTx = n.eng.BeginUpdate()
+		n.stats.UpdateTxns.Add(1)
+	}
+	n.sessMu.Lock()
+	n.sessSeq++
+	id := n.sessSeq
+	n.sessions[id] = s
+	n.sessMu.Unlock()
+	return id, nil
+}
+
+func (n *Node) session(id uint64) (*session, error) {
+	n.sessMu.Lock()
+	defer n.sessMu.Unlock()
+	s, ok := n.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d on %s", ErrNoSession, id, n.id)
+	}
+	return s, nil
+}
+
+func (n *Node) dropSession(id uint64) {
+	n.sessMu.Lock()
+	delete(n.sessions, id)
+	n.sessMu.Unlock()
+}
+
+func (n *Node) prepared(stmt string) (*exec.Prepared, error) {
+	n.stmtMu.RLock()
+	p, ok := n.stmts[stmt]
+	n.stmtMu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := exec.Prepare(stmt)
+	if err != nil {
+		return nil, err
+	}
+	n.stmtMu.Lock()
+	n.stmts[stmt] = p
+	n.stmtMu.Unlock()
+	return p, nil
+}
+
+// TxExec implements Peer: runs one statement inside the session.
+func (n *Node) TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	s, err := n.session(txID)
+	if err != nil {
+		return nil, err
+	}
+	p, err := n.prepared(stmt)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("%w: %d on %s (aborted)", ErrNoSession, txID, n.id)
+	}
+	var tx heap.Txn
+	if s.readTx != nil {
+		tx = s.readTx
+	} else {
+		tx = s.upTx
+	}
+	if n.svcSem != nil {
+		if s.readTx != nil {
+			// Occupy one CPU for the statement's service demand, then
+			// release before executing: a statement blocked on a latch does
+			// not consume CPU.
+			n.svcSem <- struct{}{}
+			time.Sleep(n.svcPer)
+			<-n.svcSem
+		} else {
+			// Update transactions hold page locks between statements, so
+			// their CPU demand is charged in one piece at commit, after the
+			// locks are released — sleeping inside the transaction would
+			// amplify lock contention far beyond the modelled hardware.
+			s.stmts++
+		}
+	}
+	res, err := p.Exec(tx, params)
+	if err != nil && errors.Is(err, page.ErrVersionConflict) {
+		n.stats.Aborts.Add(1)
+	}
+	return res, err
+}
+
+// TxCommit implements Peer. For update transactions it performs the
+// pre-commit broadcast of Figure 2 under the commit mutex so all replicas
+// see one ordered stream, then returns the new DBVersion vector that the
+// master piggybacks on its commit confirmation to the scheduler.
+func (n *Node) TxCommit(txID uint64) (vclock.Vector, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	s, err := n.session(txID)
+	if err != nil {
+		return nil, err
+	}
+	defer n.dropSession(txID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("%w: %d on %s (aborted)", ErrNoSession, txID, n.id)
+	}
+	s.done = true
+	if s.readTx != nil {
+		return nil, nil
+	}
+	n.commitMu.Lock()
+	if err := n.check(); err != nil {
+		// The node died while the transaction executed; its effects are
+		// internal to the failed master and are discarded (fail-stop).
+		n.commitMu.Unlock()
+		return nil, err
+	}
+	ver, err := s.upTx.Commit(n.broadcast)
+	n.commitMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The transaction's CPU demand is charged after commit, outside the
+	// replication mutex: locks are already released and the ordered
+	// write-set stream must not wait on the CPU model.
+	if n.svcSem != nil && s.stmts > 0 {
+		n.svcSem <- struct{}{}
+		time.Sleep(time.Duration(s.stmts) * n.svcPerUpd)
+		<-n.svcSem
+	}
+	return ver, nil
+}
+
+// TxRollback implements Peer.
+func (n *Node) TxRollback(txID uint64) error {
+	s, err := n.session(txID)
+	if err != nil {
+		return err
+	}
+	defer n.dropSession(txID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	s.done = true
+	if s.upTx != nil {
+		return s.upTx.Rollback()
+	}
+	return nil
+}
+
+// --- control plane ----------------------------------------------------------
+
+// AbortActiveSessions rolls back every open update transaction and drops
+// every session. A scheduler taking over after a peer scheduler's failure
+// sends this to the masters: transactions whose coordinator died must not
+// keep holding page locks (Section 4.1; databases that notice the broken
+// client connection do this on their own).
+func (n *Node) AbortActiveSessions() (int, error) {
+	if err := n.check(); err != nil {
+		return 0, err
+	}
+	n.sessMu.Lock()
+	sessions := make([]*session, 0, len(n.sessions))
+	for id, s := range n.sessions {
+		sessions = append(sessions, s)
+		delete(n.sessions, id)
+	}
+	n.sessMu.Unlock()
+	aborted := 0
+	for _, s := range sessions {
+		s.mu.Lock()
+		if !s.done && s.upTx != nil {
+			_ = s.upTx.Rollback()
+			aborted++
+		}
+		s.done = true
+		s.mu.Unlock()
+	}
+	return aborted, nil
+}
+
+// Promote implements Peer: the node becomes master for the given conflict
+// class. It materializes all buffered modifications (its state must be fully
+// current before executing updates) and resets insert cursors so it never
+// shares an insert page with the failed master's unreplicated tail.
+func (n *Node) Promote(classTables []int) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	if err := n.eng.MaterializeAll(n.eng.MaxVersions()); err != nil {
+		return fmt.Errorf("promote %s: %w", n.id, err)
+	}
+	n.eng.ResetInsertCursors()
+	n.eng.Clock().Advance(n.eng.MaxVersions())
+	n.roleMu.Lock()
+	n.role = RoleMaster
+	n.classTables = append([]int(nil), classTables...)
+	n.roleMu.Unlock()
+	return nil
+}
+
+// Demote implements Peer (master relinquishing its role, or a spare being
+// activated into a plain slave).
+func (n *Node) Demote(to Role) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	n.roleMu.Lock()
+	n.role = to
+	n.classTables = nil
+	n.roleMu.Unlock()
+	return nil
+}
+
+// DiscardAbove implements Peer.
+func (n *Node) DiscardAbove(v vclock.Vector) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	n.eng.DiscardAbove(v)
+	return nil
+}
+
+// MaxVersions implements Peer.
+func (n *Node) MaxVersions() (vclock.Vector, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	return n.eng.MaxVersions(), nil
+}
+
+// --- reintegration ----------------------------------------------------------
+
+// StartJoin implements Peer: subsequent write-sets are buffered, not applied
+// (the node stores new modifications "into its local queues ... without
+// applying these modifications to pages").
+func (n *Node) StartJoin() error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	n.joinMu.Lock()
+	n.joining = true
+	n.joinBuf = nil
+	n.joinMu.Unlock()
+	n.roleMu.Lock()
+	n.role = RoleJoining
+	n.roleMu.Unlock()
+	return nil
+}
+
+// PageVersions implements Peer.
+func (n *Node) PageVersions() (heap.PageVersionMap, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	return n.eng.PageVersions(), nil
+}
+
+// DeltaSince implements Peer (support-slave side of data migration).
+func (n *Node) DeltaSince(have heap.PageVersionMap, target vclock.Vector) ([]page.Image, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	return n.eng.DeltaSince(have, target)
+}
+
+// InstallDelta implements Peer (joining-node side of data migration).
+func (n *Node) InstallDelta(images []page.Image) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	return n.eng.InstallDelta(images)
+}
+
+// FinishJoin implements Peer: drains the buffered write-sets through the
+// normal apply path (whose per-page version guard skips anything the
+// migrated images already cover) and re-enters the slave role.
+func (n *Node) FinishJoin() error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	for {
+		n.joinMu.Lock()
+		if len(n.joinBuf) == 0 {
+			n.joining = false
+			n.joinMu.Unlock()
+			break
+		}
+		buf := n.joinBuf
+		n.joinBuf = nil
+		n.joinMu.Unlock()
+		for _, ws := range buf {
+			if err := n.eng.ApplyWriteSet(ws); err != nil {
+				return fmt.Errorf("drain join buffer: %w", err)
+			}
+		}
+	}
+	n.roleMu.Lock()
+	n.role = RoleSlave
+	n.roleMu.Unlock()
+	return nil
+}
+
+// --- buffer-cache warm-up ---------------------------------------------------
+
+// WarmPages implements Peer: the spare backup touches the shipped page ids
+// so they stay resident (page-id-transfer warm-up).
+func (n *Node) WarmPages(keys []simdisk.PageKey) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	if n.disk == nil {
+		return nil
+	}
+	for _, k := range keys {
+		n.disk.Warm(k.Table, k.Page)
+	}
+	return nil
+}
+
+// ResidentPages implements Peer: an active slave reports its hottest pages.
+func (n *Node) ResidentPages(limit int) ([]simdisk.PageKey, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	if n.disk == nil {
+		return nil, nil
+	}
+	return n.disk.ResidentSet(limit), nil
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+// RunCheckpoint takes a fuzzy checkpoint and stores it on the node's local
+// stable storage (survives Kill; used to restore before reintegration).
+// With CheckpointDir set the flush goes to disk via write-to-temp + atomic
+// rename, matching the paper's "a flush of a page and its version number is
+// atomic" at checkpoint granularity.
+func (n *Node) RunCheckpoint() error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	cp := n.eng.FuzzyCheckpoint()
+	blob, err := heap.EncodeCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	n.cpMu.Lock()
+	defer n.cpMu.Unlock()
+	if n.cpDir != "" {
+		tmp := n.checkpointPath() + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			return fmt.Errorf("write checkpoint: %w", err)
+		}
+		if err := os.Rename(tmp, n.checkpointPath()); err != nil {
+			return fmt.Errorf("publish checkpoint: %w", err)
+		}
+		return nil
+	}
+	n.lastCP = blob
+	return nil
+}
+
+func (n *Node) checkpointPath() string {
+	return filepath.Join(n.cpDir, n.id+".ckpt")
+}
+
+// LastCheckpoint returns the stored checkpoint blob (nil if none). It is
+// readable even when the node is down: it is the on-disk state a rebooted
+// machine finds.
+func (n *Node) LastCheckpoint() []byte {
+	n.cpMu.Lock()
+	defer n.cpMu.Unlock()
+	if n.cpDir != "" {
+		blob, err := os.ReadFile(n.checkpointPath())
+		if err != nil {
+			return nil
+		}
+		return blob
+	}
+	return n.lastCP
+}
+
+// Checkpointer runs RunCheckpoint on a period until stopped.
+type Checkpointer struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartCheckpointer launches the node's checkpointing thread.
+func (n *Node) StartCheckpointer(period time.Duration) *Checkpointer {
+	c := &Checkpointer{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := n.RunCheckpoint(); err != nil {
+					return // node died; the thread dies with it
+				}
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+// Stop terminates the checkpointing thread and waits for it to exit.
+func (c *Checkpointer) Stop() {
+	close(c.stop)
+	<-c.done
+}

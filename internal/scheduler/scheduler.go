@@ -1,0 +1,498 @@
+// Package scheduler implements the paper's version-aware scheduler: it
+// routes update transactions to their conflict-class master, tags each
+// read-only transaction with the latest version vector reported by the
+// masters, prefers replicas already serving that version (keeping
+// version-conflict aborts negligible), falls back to load balancing, retries
+// aborted readers, and feeds committed update statements to the on-disk
+// persistence tier.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmv/internal/replica"
+	"dmv/internal/value"
+	"dmv/internal/vclock"
+)
+
+// Errors surfaced by the scheduler.
+var (
+	// ErrNoReplicas reports that no replica is available for a transaction.
+	ErrNoReplicas = errors.New("scheduler: no replicas available")
+	// ErrRetriesExhausted reports a transaction that kept aborting.
+	ErrRetriesExhausted = errors.New("scheduler: retries exhausted")
+	// ErrUnknownTable reports a TxnSpec naming a table outside the schema.
+	ErrUnknownTable = errors.New("scheduler: unknown table in transaction spec")
+)
+
+// ConflictClass names a disjoint set of tables mastered by one node. The
+// scheduler is pre-configured with the classes (the paper derives them from
+// the application's transaction types).
+type ConflictClass struct {
+	Name   string
+	Tables []string
+}
+
+// LoggedStmt is one update statement captured for the persistence tier.
+type LoggedStmt struct {
+	Text   string
+	Params []value.Value
+}
+
+// CommitRecord is what the scheduler logs per committed update transaction.
+type CommitRecord struct {
+	Version vclock.Vector
+	Stmts   []LoggedStmt
+}
+
+// Options configure a scheduler.
+type Options struct {
+	// Classes partition the tables; empty means one class holding every
+	// table (single-master operation).
+	Classes []ConflictClass
+	// VersionAffinity enables same-version replica preference (the ablation
+	// turns it off to measure the abort-rate impact).
+	VersionAffinity bool
+	// MaxRetries bounds automatic retries of aborted transactions.
+	MaxRetries int
+	// WarmupShare is the fraction of read-only transactions routed to spare
+	// backups to keep their caches warm (the paper uses <1%).
+	WarmupShare float64
+	// OnCommit, if non-nil, receives every committed update transaction
+	// (version + statements); the persistence tier subscribes here.
+	OnCommit func(CommitRecord)
+	// OnPeerFailure, if non-nil, is told about replicas that failed a call;
+	// the cluster layer reconfigures.
+	OnPeerFailure func(peerID string)
+	// Seed seeds the spare-routing RNG (0 = fixed default).
+	Seed int64
+}
+
+// Stats are cumulative scheduler counters.
+type Stats struct {
+	ReadTxns      atomic.Int64
+	UpdateTxns    atomic.Int64
+	VersionAborts atomic.Int64
+	LockRetries   atomic.Int64
+	Failovers     atomic.Int64
+}
+
+type replicaState struct {
+	peer        replica.Peer
+	outstanding atomic.Int64
+
+	verMu   sync.Mutex
+	lastVer vclock.Vector
+}
+
+func (r *replicaState) setVer(v vclock.Vector) {
+	r.verMu.Lock()
+	r.lastVer = v
+	r.verMu.Unlock()
+}
+
+func (r *replicaState) atVer(v vclock.Vector) bool {
+	r.verMu.Lock()
+	defer r.verMu.Unlock()
+	return r.lastVer != nil && r.lastVer.Equal(v)
+}
+
+type classState struct {
+	name     string
+	tables   map[string]struct{}
+	tableIDs []int
+
+	mu     sync.RWMutex
+	master replica.Peer
+}
+
+// Scheduler routes transactions across the in-memory tier.
+type Scheduler struct {
+	opts    Options
+	merged  *vclock.Merged
+	classes []*classState
+	classOf map[string]int
+
+	mu     sync.RWMutex
+	slaves []*replicaState
+	spares []*replicaState
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stmtMu    sync.RWMutex
+	stmtIsUpd map[string]bool
+
+	rrSeq atomic.Int64 // rotates tie-breaking across equally-loaded replicas
+
+	stats Stats
+}
+
+// New builds a scheduler over the given schema tables. numTables sizes the
+// version vectors; tableID resolves names (both typically come from a
+// reference engine).
+func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Scheduler, error) {
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 10
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	s := &Scheduler{
+		opts:      opts,
+		merged:    vclock.NewMerged(numTables),
+		classOf:   make(map[string]int, 16),
+		rng:       rand.New(rand.NewSource(seed)),
+		stmtIsUpd: make(map[string]bool, 64),
+	}
+	if len(opts.Classes) == 0 {
+		opts.Classes = []ConflictClass{{Name: "all"}}
+	}
+	for ci, cc := range opts.Classes {
+		cs := &classState{name: cc.Name, tables: make(map[string]struct{}, len(cc.Tables))}
+		for _, t := range cc.Tables {
+			id, ok := tableID(t)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownTable, t)
+			}
+			if prev, dup := s.classOf[t]; dup {
+				return nil, fmt.Errorf("scheduler: table %q in classes %d and %d (classes must be disjoint)", t, prev, ci)
+			}
+			cs.tables[t] = struct{}{}
+			cs.tableIDs = append(cs.tableIDs, id)
+			s.classOf[t] = ci
+		}
+		s.classes = append(s.classes, cs)
+	}
+	return s, nil
+}
+
+// Stats exposes the counters.
+func (s *Scheduler) Stats() *Stats { return &s.stats }
+
+// Latest returns the newest merged version vector (what the next reader
+// would be tagged with).
+func (s *Scheduler) Latest() vclock.Vector { return s.merged.Latest() }
+
+// ReportVersion merges a master-produced vector (scheduler fail-over uses it
+// to rebuild state from master reports).
+func (s *Scheduler) ReportVersion(v vclock.Vector) { s.merged.Report(v) }
+
+// ResetVersion overwrites the merged vector (master fail-over rollback).
+func (s *Scheduler) ResetVersion(v vclock.Vector) { s.merged.Reset(v) }
+
+// --- topology management (driven by the cluster layer) ----------------------
+
+// SetMaster installs the master peer for conflict class ci.
+func (s *Scheduler) SetMaster(ci int, p replica.Peer) {
+	if ci < 0 || ci >= len(s.classes) {
+		return
+	}
+	cs := s.classes[ci]
+	cs.mu.Lock()
+	cs.master = p
+	cs.mu.Unlock()
+}
+
+// Master returns the current master of class ci.
+func (s *Scheduler) Master(ci int) replica.Peer {
+	if ci < 0 || ci >= len(s.classes) {
+		return nil
+	}
+	cs := s.classes[ci]
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.master
+}
+
+// NumClasses returns the number of conflict classes.
+func (s *Scheduler) NumClasses() int { return len(s.classes) }
+
+// ClassTables returns the table ids of class ci.
+func (s *Scheduler) ClassTables(ci int) []int {
+	if ci < 0 || ci >= len(s.classes) {
+		return nil
+	}
+	return append([]int(nil), s.classes[ci].tableIDs...)
+}
+
+// AddSlave registers an active read replica.
+func (s *Scheduler) AddSlave(p replica.Peer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.slaves {
+		if r.peer.ID() == p.ID() {
+			return
+		}
+	}
+	s.slaves = append(s.slaves, &replicaState{peer: p})
+}
+
+// AddSpare registers a spare backup (receives the replication stream and,
+// optionally, a trickle of warm-up reads).
+func (s *Scheduler) AddSpare(p replica.Peer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.spares {
+		if r.peer.ID() == p.ID() {
+			return
+		}
+	}
+	s.spares = append(s.spares, &replicaState{peer: p})
+}
+
+// Remove drops a replica (slave or spare) from the tables; outstanding
+// transactions on it fail fast with node-down errors and are retried.
+func (s *Scheduler) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	filter := func(in []*replicaState) []*replicaState {
+		out := in[:0]
+		for _, r := range in {
+			if r.peer.ID() != id {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	s.slaves = filter(s.slaves)
+	s.spares = filter(s.spares)
+}
+
+// PromoteSpare moves a spare into the active slave set (fail-over).
+func (s *Scheduler) PromoteSpare(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.spares {
+		if r.peer.ID() == id {
+			s.spares = append(s.spares[:i], s.spares[i+1:]...)
+			s.slaves = append(s.slaves, r)
+			return true
+		}
+	}
+	return false
+}
+
+// Slaves returns the ids of the active read replicas.
+func (s *Scheduler) Slaves() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.slaves))
+	for i, r := range s.slaves {
+		out[i] = r.peer.ID()
+	}
+	return out
+}
+
+// Spares returns the ids of the spare backups.
+func (s *Scheduler) Spares() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.spares))
+	for i, r := range s.spares {
+		out[i] = r.peer.ID()
+	}
+	return out
+}
+
+// SpareList returns the spare peers (cluster warm-up loops use it).
+func (s *Scheduler) SpareList() []replica.Peer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]replica.Peer, len(s.spares))
+	for i, r := range s.spares {
+		out[i] = r.peer
+	}
+	return out
+}
+
+// SlaveList returns the active slave peers.
+func (s *Scheduler) SlaveList() []replica.Peer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]replica.Peer, len(s.slaves))
+	for i, r := range s.slaves {
+		out[i] = r.peer
+	}
+	return out
+}
+
+// classFor maps a transaction's table set to its conflict class. Tables
+// outside every configured class, or spanning classes, fall back to class 0
+// (the paper schedules such transactions on a single designated master).
+func (s *Scheduler) classFor(tables []string) int {
+	class := -1
+	for _, t := range tables {
+		ci, ok := s.classOf[t]
+		if !ok {
+			return 0
+		}
+		if class == -1 {
+			class = ci
+		} else if class != ci {
+			return 0
+		}
+	}
+	if class == -1 {
+		return 0
+	}
+	return class
+}
+
+// pickReader selects the replica for a read-only transaction tagged with v,
+// implementing the paper's version-aware policy: prefer a replica already
+// running transactions with the same version vector; otherwise assign an
+// idle replica to this version; otherwise wait briefly for one to drain
+// ("read-only transactions may need to wait"); as a last resort pick the
+// least-loaded replica and accept the version-conflict abort risk. A spare
+// backup is chosen with probability WarmupShare to keep its cache warm.
+func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
+	s.mu.RLock()
+	nSpares := len(s.spares)
+	s.mu.RUnlock()
+	if nSpares > 0 && s.opts.WarmupShare > 0 {
+		s.rngMu.Lock()
+		dice := s.rng.Float64()
+		idx := s.rng.Intn(nSpares)
+		s.rngMu.Unlock()
+		if dice < s.opts.WarmupShare {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if idx < len(s.spares) {
+				sp := s.spares[idx]
+				sp.outstanding.Add(1)
+				return sp
+			}
+		}
+	}
+	// Wait up to a few read-transaction lifetimes for a safe replica to
+	// drain before risking aborts ("read-only transactions may need to
+	// wait for other read-only transactions using a previous version").
+	deadline := time.Now().Add(60 * time.Millisecond)
+	for {
+		s.mu.Lock()
+		if len(s.slaves) == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		// A replica is a safe candidate for version v iff it has no
+		// outstanding readers (it gets pinned to v) or its outstanding
+		// readers are already at v. Placing v on a replica busy with a
+		// different version risks aborting one side or the other, so those
+		// replicas are used only as a last resort after a bounded wait.
+		// Ties rotate so equally-loaded replicas share the work.
+		start := int(s.rrSeq.Add(1))
+		var best, least *replicaState
+		for i := range s.slaves {
+			r := s.slaves[(start+i)%len(s.slaves)]
+			out := r.outstanding.Load()
+			if least == nil || out < least.outstanding.Load() {
+				least = r
+			}
+			if !s.opts.VersionAffinity {
+				continue
+			}
+			if out == 0 || r.atVer(v) {
+				if best == nil || out < best.outstanding.Load() {
+					best = r
+				}
+			}
+		}
+		if !s.opts.VersionAffinity {
+			least.outstanding.Add(1)
+			s.mu.Unlock()
+			return least
+		}
+		if best != nil {
+			best.setVer(v)
+			best.outstanding.Add(1)
+			s.mu.Unlock()
+			return best
+		}
+		if time.Now().After(deadline) {
+			least.outstanding.Add(1)
+			s.mu.Unlock()
+			return least
+		}
+		s.mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// AvgOutstanding returns the mean number of in-flight read transactions per
+// active slave — the cluster's overload detector reads it.
+func (s *Scheduler) AvgOutstanding() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.slaves) == 0 {
+		return 0
+	}
+	total := int64(0)
+	for _, r := range s.slaves {
+		total += r.outstanding.Load()
+	}
+	return float64(total) / float64(len(s.slaves))
+}
+
+// LowWater returns the oldest version vector any in-flight read-only
+// transaction may be using: the element-wise minimum of the latest merged
+// vector and the pinned versions of replicas with outstanding readers. Index
+// garbage collection below this mark is safe — new readers are always tagged
+// with the (newer) merged vector.
+func (s *Scheduler) LowWater() vclock.Vector {
+	lw := s.merged.Latest()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, set := range [][]*replicaState{s.slaves, s.spares} {
+		for _, r := range set {
+			if r.outstanding.Load() == 0 {
+				continue
+			}
+			r.verMu.Lock()
+			if r.lastVer != nil {
+				lw = lw.MinInto(r.lastVer)
+			}
+			r.verMu.Unlock()
+		}
+	}
+	return lw
+}
+
+// TakeOver executes the scheduler fail-over protocol of Section 4.1 on this
+// (peer) scheduler: ask every master to abort the transactions that were
+// active under the failed scheduler, collect the highest version each master
+// produced, and adopt the merged vector as the tier's current state. The
+// caller then points clients at this scheduler (the "new topology"
+// broadcast).
+func (s *Scheduler) TakeOver() error {
+	merged := vclock.New(0)
+	for ci := 0; ci < s.NumClasses(); ci++ {
+		m := s.Master(ci)
+		if m == nil {
+			continue
+		}
+		if _, err := m.AbortActiveSessions(); err != nil {
+			return fmt.Errorf("take over: abort on %s: %w", m.ID(), err)
+		}
+		v, err := m.MaxVersions()
+		if err != nil {
+			return fmt.Errorf("take over: versions from %s: %w", m.ID(), err)
+		}
+		merged = merged.Merge(v)
+	}
+	s.merged.Reset(merged)
+	return nil
+}
+
+func (s *Scheduler) reportFailure(id string) {
+	s.stats.Failovers.Add(1)
+	if s.opts.OnPeerFailure != nil {
+		s.opts.OnPeerFailure(id)
+	}
+}

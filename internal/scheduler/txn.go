@@ -1,0 +1,225 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/page"
+	"dmv/internal/replica"
+	"dmv/internal/value"
+	"dmv/internal/vclock"
+)
+
+// TxnSpec declares a transaction before it runs: its access type and the
+// tables it touches. The paper requires each incoming request to be preceded
+// by its type; the scheduler uses the table set for conflict-class routing.
+type TxnSpec struct {
+	ReadOnly bool
+	Tables   []string
+}
+
+// Txn is a running transaction bound to one replica. Statements execute on
+// that replica with per-statement round trips, exactly as the PHP
+// application server talks to the database tier in the paper's setup.
+//
+// Txns come from Scheduler.Begin (explicit sessions, used by the RPC
+// transport) or implicitly inside Scheduler.Run (which adds retries).
+type Txn struct {
+	sched    *Scheduler
+	peer     replica.Peer
+	rep      *replicaState // non-nil for reads (outstanding accounting)
+	id       uint64
+	readOnly bool
+	version  vclock.Vector
+	logged   []LoggedStmt
+	done     bool
+}
+
+// Version returns the version vector the transaction was tagged with
+// (read-only transactions only; nil for updates).
+func (t *Txn) Version() vclock.Vector { return t.version }
+
+// Replica returns the id of the replica executing this transaction.
+func (t *Txn) Replica() string { return t.peer.ID() }
+
+// Exec runs one SQL statement inside the transaction.
+func (t *Txn) Exec(stmt string, params ...value.Value) (*exec.Result, error) {
+	res, err := t.peer.TxExec(t.id, stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	if !t.readOnly && t.sched.isUpdateStmt(stmt) {
+		t.logged = append(t.logged, LoggedStmt{Text: stmt, Params: params})
+	}
+	return res, nil
+}
+
+// QueryInt is a convenience wrapper returning the first column of the first
+// row as an int64 (0 if no rows).
+func (t *Txn) QueryInt(stmt string, params ...value.Value) (int64, error) {
+	res, err := t.Exec(stmt, params...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	return res.Rows[0][0].AsInt(), nil
+}
+
+// isUpdateStmt classifies a statement as a write (cached per text) so the
+// scheduler logs exactly the update queries of each committed transaction
+// for the persistence tier.
+func (s *Scheduler) isUpdateStmt(stmt string) bool {
+	s.stmtMu.RLock()
+	isUpd, ok := s.stmtIsUpd[stmt]
+	s.stmtMu.RUnlock()
+	if ok {
+		return isUpd
+	}
+	p, err := exec.Prepare(stmt)
+	isUpd = err == nil && !p.ReadOnly()
+	s.stmtMu.Lock()
+	s.stmtIsUpd[stmt] = isUpd
+	s.stmtMu.Unlock()
+	return isUpd
+}
+
+// retryable classifies errors the scheduler handles by re-running the
+// transaction elsewhere (version-inconsistency aborts, node failures) or on
+// the same master (deadlock timeouts).
+func retryable(err error) bool {
+	return errors.Is(err, page.ErrVersionConflict) ||
+		errors.Is(err, replica.ErrNodeDown) ||
+		errors.Is(err, heap.ErrLockTimeout)
+}
+
+// Run executes fn as one transaction. Read-only transactions are tagged with
+// the latest merged version vector and routed by version affinity; update
+// transactions go to their conflict-class master. Aborted transactions
+// (version conflicts, deadlock timeouts, node failures) are retried up to
+// MaxRetries times — fn must therefore be idempotent up to its commit, which
+// holds for the TPC-W interactions (all side effects live in the database).
+func (s *Scheduler) Run(spec TxnSpec, fn func(tx *Txn) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
+		err := s.runOnce(spec, fn)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+		if errors.Is(err, page.ErrVersionConflict) {
+			s.stats.VersionAborts.Add(1)
+		}
+		if errors.Is(err, heap.ErrLockTimeout) {
+			s.stats.LockRetries.Add(1)
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}
+
+func (s *Scheduler) runOnce(spec TxnSpec, fn func(tx *Txn) error) error {
+	tx, err := s.Begin(spec)
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		_ = tx.Rollback()
+		if errors.Is(err, replica.ErrNodeDown) {
+			s.reportFailure(tx.peer.ID())
+		}
+		return err
+	}
+	return tx.Commit()
+}
+
+// Begin opens one transaction session: read-only transactions are tagged
+// with the latest version vector and placed by the version-aware policy;
+// updates go to their conflict-class master. The caller must finish the
+// session with Commit or Rollback. Begin does not retry — Run adds retry
+// semantics on top.
+func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) {
+	if spec.ReadOnly {
+		v := s.merged.Latest()
+		rep := s.pickReader(v)
+		if rep == nil {
+			return nil, ErrNoReplicas
+		}
+		id, err := rep.peer.TxBegin(true, v)
+		if err != nil {
+			rep.outstanding.Add(-1) // pickReader incremented under its lock
+			if errors.Is(err, replica.ErrNodeDown) {
+				s.reportFailure(rep.peer.ID())
+			}
+			return nil, err
+		}
+		return &Txn{sched: s, peer: rep.peer, rep: rep, id: id, readOnly: true, version: v}, nil
+	}
+	ci := s.classFor(spec.Tables)
+	master := s.Master(ci)
+	if master == nil {
+		return nil, ErrNoReplicas
+	}
+	id, err := master.TxBegin(false, nil)
+	if err != nil {
+		if errors.Is(err, replica.ErrNodeDown) || errors.Is(err, replica.ErrNotMaster) {
+			s.reportFailure(master.ID())
+			return nil, fmt.Errorf("%w: master %s unavailable", replica.ErrNodeDown, master.ID())
+		}
+		return nil, err
+	}
+	return &Txn{sched: s, peer: master, id: id}, nil
+}
+
+// Commit finishes the session. Update commits report the new version vector
+// to the merged clock and feed the persistence tier.
+func (t *Txn) Commit() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	s := t.sched
+	if t.readOnly {
+		defer t.rep.outstanding.Add(-1)
+		if _, err := t.peer.TxCommit(t.id); err != nil {
+			if errors.Is(err, replica.ErrNodeDown) {
+				s.reportFailure(t.peer.ID())
+			}
+			return err
+		}
+		s.stats.ReadTxns.Add(1)
+		return nil
+	}
+	ver, err := t.peer.TxCommit(t.id)
+	if err != nil {
+		if errors.Is(err, replica.ErrNodeDown) {
+			s.reportFailure(t.peer.ID())
+		}
+		return err
+	}
+	if ver != nil {
+		s.merged.Report(ver)
+	}
+	s.stats.UpdateTxns.Add(1)
+	if s.opts.OnCommit != nil && len(t.logged) > 0 {
+		s.opts.OnCommit(CommitRecord{Version: ver, Stmts: t.logged})
+	}
+	return nil
+}
+
+// Rollback aborts the session.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	if t.rep != nil {
+		defer t.rep.outstanding.Add(-1)
+	}
+	return t.peer.TxRollback(t.id)
+}

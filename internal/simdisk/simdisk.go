@@ -1,0 +1,229 @@
+// Package simdisk models storage and buffer-cache costs.
+//
+// The paper's experiments contrast a fast in-memory tier against an on-disk
+// InnoDB back-end and measure buffer-cache warm-up effects after fail-over.
+// Neither the authors' disks nor their 512 MB machines are available, so
+// this package substitutes a calibrated synthetic cost model: an LRU buffer
+// cache of bounded capacity in front of a "device" that charges a fixed
+// latency per miss, per fsync, and per replayed log record. All experiment
+// shapes in the paper (speedup factors, warm-up dips, log-replay-dominated
+// fail-over) are ratios of these costs, which the model preserves while
+// letting every figure regenerate in seconds.
+package simdisk
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CostModel fixes the synthetic device latencies. Zero durations disable the
+// corresponding charge.
+type CostModel struct {
+	// PageMiss is charged when a page access misses the buffer cache.
+	PageMiss time.Duration
+	// PageHit is charged on every cache hit (usually zero or tiny).
+	PageHit time.Duration
+	// CommitFsync is charged once per transaction commit (WAL flush).
+	CommitFsync time.Duration
+	// ReplayRead is charged per log record read back during recovery replay.
+	ReplayRead time.Duration
+}
+
+// InMemory returns the cost model for a DMV in-memory replica: no disk
+// costs; cache misses model pages being faulted into a cold buffer cache.
+func InMemory(pageFault time.Duration) CostModel {
+	return CostModel{PageMiss: pageFault}
+}
+
+// OnDisk returns the cost model for the InnoDB-like on-disk back-end.
+func OnDisk(miss, fsync, replay time.Duration) CostModel {
+	return CostModel{PageMiss: miss, CommitFsync: fsync, ReplayRead: replay}
+}
+
+// PageKey identifies a cached page.
+type PageKey struct {
+	Table int
+	Page  int32
+}
+
+// Stats are cumulative counters, safe to read concurrently.
+type Stats struct {
+	Hits   atomic.Int64
+	Misses atomic.Int64
+	Fsyncs atomic.Int64
+}
+
+// Disk is a synthetic device with an LRU buffer cache. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Disk struct {
+	model CostModel
+	sleep func(time.Duration)
+
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List                // front = most recent
+	pages    map[PageKey]*list.Element // value: PageKey
+	disabled bool
+
+	stats Stats
+}
+
+// Option configures a Disk.
+type Option func(*Disk)
+
+// WithSleeper replaces time.Sleep (tests inject a recorder instead of
+// sleeping).
+func WithSleeper(fn func(time.Duration)) Option {
+	return func(d *Disk) { d.sleep = fn }
+}
+
+// New returns a Disk with an LRU cache holding capacity pages. A capacity
+// <= 0 disables the cache entirely (every access hits; no warm-up effects),
+// which is the configuration for scaling runs where the working set is
+// memory resident.
+func New(model CostModel, capacity int, opts ...Option) *Disk {
+	d := &Disk{
+		model:    model,
+		sleep:    time.Sleep,
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageKey]*list.Element, capacity),
+		disabled: capacity <= 0,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Stats exposes the counters.
+func (d *Disk) Stats() *Stats { return &d.stats }
+
+// PageAccess records an access to (table, pg), charging the hit or miss
+// cost. It implements the storage engine's access-observer hook.
+func (d *Disk) PageAccess(table int, pg int32) {
+	if d.disabled {
+		d.stats.Hits.Add(1)
+		return
+	}
+	key := PageKey{Table: table, Page: pg}
+	d.mu.Lock()
+	el, ok := d.pages[key]
+	if ok {
+		d.lru.MoveToFront(el)
+	} else {
+		d.pages[key] = d.lru.PushFront(key)
+		if d.lru.Len() > d.capacity {
+			oldest := d.lru.Back()
+			d.lru.Remove(oldest)
+			delete(d.pages, oldest.Value.(PageKey))
+		}
+	}
+	d.mu.Unlock()
+	if ok {
+		d.stats.Hits.Add(1)
+		if d.model.PageHit > 0 {
+			d.sleep(d.model.PageHit)
+		}
+		return
+	}
+	d.stats.Misses.Add(1)
+	if d.model.PageMiss > 0 {
+		d.sleep(d.model.PageMiss)
+	}
+}
+
+// Warm marks a page resident without charging the miss cost. The page-id
+// transfer warm-up scheme uses this: the spare backup merely "touches" page
+// ids shipped from an active slave to keep them swapped in.
+func (d *Disk) Warm(table int, pg int32) {
+	if d.disabled {
+		return
+	}
+	key := PageKey{Table: table, Page: pg}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.pages[key]; ok {
+		d.lru.MoveToFront(el)
+		return
+	}
+	d.pages[key] = d.lru.PushFront(key)
+	if d.lru.Len() > d.capacity {
+		oldest := d.lru.Back()
+		d.lru.Remove(oldest)
+		delete(d.pages, oldest.Value.(PageKey))
+	}
+}
+
+// Resident reports whether a page is currently cached.
+func (d *Disk) Resident(table int, pg int32) bool {
+	if d.disabled {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.pages[PageKey{Table: table, Page: pg}]
+	return ok
+}
+
+// ResidentCount returns the number of cached pages.
+func (d *Disk) ResidentCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lru.Len()
+}
+
+// ResidentSet returns the cached page keys, most recently used first. Active
+// slaves ship this set to spare backups in the page-id-transfer warm-up
+// scheme.
+func (d *Disk) ResidentSet(limit int) []PageKey {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.lru.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]PageKey, 0, n)
+	for el := d.lru.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(PageKey))
+	}
+	return out
+}
+
+// Drop empties the cache (a cold restart).
+func (d *Disk) Drop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lru.Init()
+	d.pages = make(map[PageKey]*list.Element, d.capacity)
+}
+
+// CommitFsync charges one WAL flush.
+func (d *Disk) CommitFsync() {
+	d.stats.Fsyncs.Add(1)
+	if d.model.CommitFsync > 0 {
+		d.sleep(d.model.CommitFsync)
+	}
+}
+
+// ReplayRead charges reading n log records back from disk during recovery.
+func (d *Disk) ReplayRead(n int) {
+	if d.model.ReplayRead > 0 && n > 0 {
+		d.sleep(time.Duration(n) * d.model.ReplayRead)
+	}
+}
+
+// Model returns the configured cost model.
+func (d *Disk) Model() CostModel { return d.model }
+
+// HitRatio returns hits/(hits+misses), or 1 if no accesses.
+func (d *Disk) HitRatio() float64 {
+	h := float64(d.stats.Hits.Load())
+	m := float64(d.stats.Misses.Load())
+	if h+m == 0 {
+		return 1
+	}
+	return h / (h + m)
+}

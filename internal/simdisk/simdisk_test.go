@@ -1,0 +1,124 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder replaces time.Sleep and accumulates charged durations.
+type recorder struct {
+	total time.Duration
+	calls int
+}
+
+func (r *recorder) sleep(d time.Duration) {
+	r.total += d
+	r.calls++
+}
+
+func TestLRUEviction(t *testing.T) {
+	rec := &recorder{}
+	d := New(InMemory(time.Millisecond), 2, WithSleeper(rec.sleep))
+	d.PageAccess(0, 1) // miss
+	d.PageAccess(0, 2) // miss
+	d.PageAccess(0, 1) // hit, 1 now most recent
+	d.PageAccess(0, 3) // miss, evicts 2
+	if d.Resident(0, 2) {
+		t.Fatal("page 2 should have been evicted (LRU)")
+	}
+	if !d.Resident(0, 1) || !d.Resident(0, 3) {
+		t.Fatal("pages 1 and 3 should be resident")
+	}
+	if got := d.Stats().Misses.Load(); got != 3 {
+		t.Fatalf("misses = %d, want 3", got)
+	}
+	if got := d.Stats().Hits.Load(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if rec.total != 3*time.Millisecond {
+		t.Fatalf("charged %v, want 3ms (3 misses)", rec.total)
+	}
+}
+
+func TestUnboundedCacheDisablesCosts(t *testing.T) {
+	rec := &recorder{}
+	d := New(InMemory(time.Millisecond), 0, WithSleeper(rec.sleep))
+	for i := 0; i < 100; i++ {
+		d.PageAccess(0, int32(i))
+	}
+	if rec.calls != 0 {
+		t.Fatalf("unbounded cache charged %d sleeps", rec.calls)
+	}
+	if d.HitRatio() != 1 {
+		t.Fatalf("hit ratio = %f", d.HitRatio())
+	}
+}
+
+func TestWarmDoesNotCharge(t *testing.T) {
+	rec := &recorder{}
+	d := New(InMemory(time.Millisecond), 10, WithSleeper(rec.sleep))
+	d.Warm(1, 5)
+	if rec.calls != 0 {
+		t.Fatal("Warm must not charge the miss cost")
+	}
+	d.PageAccess(1, 5)
+	if rec.calls != 0 {
+		t.Fatal("access after Warm must hit")
+	}
+}
+
+func TestResidentSetMRUOrderAndLimit(t *testing.T) {
+	d := New(CostModel{}, 10)
+	for i := int32(1); i <= 5; i++ {
+		d.PageAccess(0, i)
+	}
+	d.PageAccess(0, 2) // 2 becomes most recent
+	keys := d.ResidentSet(3)
+	if len(keys) != 3 {
+		t.Fatalf("limit ignored: %d keys", len(keys))
+	}
+	if keys[0] != (PageKey{Table: 0, Page: 2}) {
+		t.Fatalf("MRU first, got %v", keys[0])
+	}
+	all := d.ResidentSet(0)
+	if len(all) != 5 {
+		t.Fatalf("full set = %d", len(all))
+	}
+}
+
+func TestDropEmptiesCache(t *testing.T) {
+	d := New(CostModel{}, 10)
+	d.PageAccess(0, 1)
+	d.Drop()
+	if d.ResidentCount() != 0 {
+		t.Fatal("drop left pages resident")
+	}
+}
+
+func TestFsyncAndReplayCharges(t *testing.T) {
+	rec := &recorder{}
+	d := New(OnDisk(0, 2*time.Millisecond, time.Millisecond), 4, WithSleeper(rec.sleep))
+	d.CommitFsync()
+	if rec.total != 2*time.Millisecond {
+		t.Fatalf("fsync charged %v", rec.total)
+	}
+	d.ReplayRead(5)
+	if rec.total != 7*time.Millisecond {
+		t.Fatalf("replay charged %v total", rec.total)
+	}
+	if d.Stats().Fsyncs.Load() != 1 {
+		t.Fatal("fsync not counted")
+	}
+	d.ReplayRead(0) // no charge for zero records
+	if rec.total != 7*time.Millisecond {
+		t.Fatal("zero-record replay charged")
+	}
+}
+
+func TestTablesShareCacheButNotKeys(t *testing.T) {
+	d := New(CostModel{}, 10)
+	d.PageAccess(1, 7)
+	if d.Resident(2, 7) {
+		t.Fatal("page keys must be per table")
+	}
+}

@@ -1,0 +1,197 @@
+package sql
+
+import (
+	"dmv/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression.
+type Expr interface{ expr() }
+
+// --- statements -------------------------------------------------------------
+
+// ColumnDef declares one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       value.ColumnType
+	PrimaryKey bool
+}
+
+// CreateTable is CREATE TABLE name (col type [PRIMARY KEY], ...).
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols...).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// SelectExpr is one output column: an expression with an optional alias, or
+// a bare * (Star).
+type SelectExpr struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// JoinKind discriminates join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota + 1
+	JoinLeft
+)
+
+// TableRef is one FROM-clause table with its join condition (nil for the
+// first table).
+type TableRef struct {
+	Table string
+	Alias string
+	Join  JoinKind
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Distinct bool
+	Exprs    []SelectExpr
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil = no limit
+	Offset   Expr // nil = no offset
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Update is UPDATE table SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Begin / Commit / Rollback are transaction-control statements handled by
+// the session layer.
+type (
+	// Begin is BEGIN.
+	Begin struct{}
+	// Commit is COMMIT.
+	Commit struct{}
+	// Rollback is ROLLBACK.
+	Rollback struct{}
+)
+
+func (*CreateTable) stmt() {}
+func (*CreateIndex) stmt() {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
+
+// --- expressions ------------------------------------------------------------
+
+// ColRef references a column, optionally qualified by table or alias.
+type ColRef struct {
+	Table string // "" if unqualified
+	Col   string
+}
+
+// Lit is a literal value.
+type Lit struct{ V value.Value }
+
+// Param is the n-th positional ? parameter (0-based).
+type Param struct{ N int }
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+// Binary is a binary operation. Op is one of
+// = <> < <= > >= AND OR + - * / LIKE.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// InList is x IN (e1, e2, ...) or x IN (SELECT ...). Exactly one of List
+// and Sub is set.
+type InList struct {
+	X    Expr
+	List []Expr
+	Sub  *Subquery
+}
+
+// Between is x BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+}
+
+// Subquery is an uncorrelated scalar or IN-list subquery.
+type Subquery struct {
+	Sel *Select
+}
+
+// Call is an aggregate or scalar function call; Star marks COUNT(*) and
+// Distinct marks COUNT(DISTINCT x) and friends.
+type Call struct {
+	Fn       string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*ColRef) expr()   {}
+func (*Lit) expr()      {}
+func (*Param) expr()    {}
+func (*Unary) expr()    {}
+func (*Binary) expr()   {}
+func (*IsNull) expr()   {}
+func (*InList) expr()   {}
+func (*Between) expr()  {}
+func (*Subquery) expr() {}
+func (*Call) expr()     {}

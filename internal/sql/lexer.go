@@ -1,0 +1,156 @@
+// Package sql implements the SQL dialect used by the TPC-W workload: a
+// lexer, an AST, and a recursive-descent parser for SELECT (joins, GROUP
+// BY/HAVING, ORDER BY, LIMIT, LIKE), INSERT, UPDATE, DELETE, CREATE
+// TABLE/INDEX, and positional ? parameters.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam // ?
+	TokPunct // ( ) , . * = < > <= >= <> != + - / ;
+)
+
+// Token is one lexical token. Pos is a byte offset for error messages.
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "ON": true, "PRIMARY": true, "KEY": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"DISTINCT": true, "LIKE": true, "IS": true, "NULL": true, "IN": true,
+	"BETWEEN": true, "HAVING": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "INT": true, "INTEGER": true, "BIGINT": true,
+	"FLOAT": true, "DOUBLE": true, "VARCHAR": true, "TEXT": true, "CHAR": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "DEFAULT": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+	SQL string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	frag := e.SQL
+	if e.Pos < len(frag) {
+		frag = frag[e.Pos:]
+	}
+	if len(frag) > 30 {
+		frag = frag[:30] + "..."
+	}
+	return fmt.Sprintf("sql: %s at offset %d near %q", e.Msg, e.Pos, frag)
+}
+
+// Lex tokenizes the input.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated string", SQL: input}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '?':
+			toks = append(toks, Token{Kind: TokParam, Text: "?", Pos: i})
+			i++
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentCont(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, Token{Kind: TokPunct, Text: two, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/', ';', '%':
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c), SQL: input}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,787 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"dmv/internal/value"
+)
+
+// Parse parses one SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: input, toks: toks, nextParam: 0}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// optional trailing semicolon
+	if p.peek().Kind == TokPunct && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	src       string
+	toks      []Token
+	pos       int
+	nextParam int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(msg string) error {
+	return &SyntaxError{Pos: p.peek().Pos, Msg: msg, SQL: p.src}
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.peek().Kind == TokKeyword && p.peek().Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected " + kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.peek().Kind == TokPunct && p.peek().Text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected " + strconv.Quote(s))
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	// Permit non-reserved keyword-ish identifiers (e.g. a column named
+	// "count" would be ambiguous; the TPC-W schema does not need them).
+	if t.Kind != TokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.next()
+	return t.Text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, p.errf("expected statement keyword")
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	case "CREATE":
+		return p.createStmt()
+	case "BEGIN":
+		p.next()
+		return &Begin{}, nil
+	case "COMMIT":
+		p.next()
+		return &Commit{}, nil
+	case "ROLLBACK":
+		p.next()
+		return &Rollback{}, nil
+	default:
+		return nil, p.errf("unsupported statement " + t.Text)
+	}
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	p.next() // CREATE
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case p.acceptKw("TABLE"):
+		if unique {
+			return nil, p.errf("UNIQUE TABLE is not valid")
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var cols []ColumnDef
+		for {
+			cname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ctype, err := p.columnType()
+			if err != nil {
+				return nil, err
+			}
+			cd := ColumnDef{Name: cname, Type: ctype}
+			if p.acceptKw("PRIMARY") {
+				if err := p.expectKw("KEY"); err != nil {
+					return nil, err
+				}
+				cd.PrimaryKey = true
+			}
+			if p.acceptKw("NOT") {
+				if err := p.expectKw("NULL"); err != nil {
+					return nil, err
+				}
+			}
+			cols = append(cols, cd)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTable{Name: name, Cols: cols}, nil
+	case p.acceptKw("INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndex{Name: name, Table: table, Cols: cols, Unique: unique}, nil
+	default:
+		return nil, p.errf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) columnType() (value.ColumnType, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return 0, p.errf("expected column type")
+	}
+	p.next()
+	var ct value.ColumnType
+	switch t.Text {
+	case "INT", "INTEGER", "BIGINT":
+		ct = value.TInt
+	case "FLOAT", "DOUBLE":
+		ct = value.TFloat
+	case "VARCHAR", "TEXT", "CHAR":
+		ct = value.TString
+	default:
+		return 0, p.errf("unsupported column type " + t.Text)
+	}
+	// optional length: VARCHAR(60)
+	if p.acceptPunct("(") {
+		if p.peek().Kind != TokNumber {
+			return 0, p.errf("expected length")
+		}
+		p.next()
+		if err := p.expectPunct(")"); err != nil {
+			return 0, err
+		}
+	}
+	return ct, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.acceptPunct("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	return &Insert{Table: table, Cols: cols, Rows: rows}, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	var sets []SetClause
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, SetClause{Col: col, Expr: e})
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	var where Expr
+	if p.acceptKw("WHERE") {
+		if where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return &Update{Table: table, Sets: sets, Where: where}, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	var where Expr
+	if p.acceptKw("WHERE") {
+		if where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return &Delete{Table: table, Where: where}, nil
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	p.next() // SELECT
+	sel := &Select{}
+	sel.Distinct = p.acceptKw("DISTINCT")
+	for {
+		if p.acceptPunct("*") {
+			sel.Exprs = append(sel.Exprs, SelectExpr{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			se := SelectExpr{Expr: e}
+			if p.acceptKw("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				se.Alias = a
+			} else if p.peek().Kind == TokIdent {
+				se.Alias = p.next().Text
+			}
+			sel.Exprs = append(sel.Exprs, se)
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("FROM") {
+		ref, err := p.tableRef(true)
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		for {
+			join := JoinInner
+			switch {
+			case p.acceptKw("JOIN"):
+			case p.acceptKw("INNER"):
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+			case p.acceptKw("LEFT"):
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				join = JoinLeft
+			case p.acceptPunct(","):
+				// implicit cross join (condition lives in WHERE)
+			default:
+				goto fromDone
+			}
+			ref, err := p.tableRef(false)
+			if err != nil {
+				return nil, err
+			}
+			ref.Join = join
+			if p.acceptKw("ON") {
+				if ref.On, err = p.expr(); err != nil {
+					return nil, err
+				}
+			}
+			sel.From = append(sel.From, ref)
+		}
+	}
+fromDone:
+	var err error
+	if p.acceptKw("WHERE") {
+		if sel.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("HAVING") {
+		if sel.Having, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		if sel.Limit, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if p.acceptKw("OFFSET") {
+			if sel.Offset, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) tableRef(first bool) (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if first {
+		ref.Join = JoinInner
+	}
+	if p.acceptKw("AS") {
+		if ref.Alias, err = p.ident(); err != nil {
+			return TableRef{}, err
+		}
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// --- expression grammar (precedence climbing) -------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "=", "<", "<=", ">", ">=", "<>", "!=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "LIKE":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: "LIKE", L: l, R: r}, nil
+		case "IS":
+			p.next()
+			not := p.acceptKw("NOT")
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			return &IsNull{X: l, Not: not}, nil
+		case "IN":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return &InList{X: l, Sub: &Subquery{Sel: sub}}, nil
+			}
+			var list []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if p.acceptPunct(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &InList{X: l, List: list}, nil
+		case "BETWEEN":
+			p.next()
+			lo, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Between{X: l, Lo: lo, Hi: hi}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokPunct && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokPunct && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.acceptPunct("-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+var aggFns = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number")
+			}
+			return &Lit{V: value.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number")
+		}
+		return &Lit{V: value.NewInt(n)}, nil
+	case TokString:
+		p.next()
+		return &Lit{V: value.NewString(t.Text)}, nil
+	case TokParam:
+		p.next()
+		e := &Param{N: p.nextParam}
+		p.nextParam++
+		return e, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Lit{V: value.NewNull()}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			call := &Call{Fn: t.Text}
+			if p.acceptPunct("*") {
+				call.Star = true
+			} else {
+				call.Distinct = p.acceptKw("DISTINCT")
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return nil, p.errf("unexpected keyword " + t.Text)
+	case TokIdent:
+		p.next()
+		name := t.Text
+		if p.acceptPunct(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Col: col}, nil
+		}
+		return &ColRef{Col: name}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Sel: sub}, nil
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token")
+}
+
+// IsAggregate reports whether the expression contains an aggregate call.
+func IsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *Call:
+		return aggFns[x.Fn]
+	case *Binary:
+		return IsAggregate(x.L) || IsAggregate(x.R)
+	case *Unary:
+		return IsAggregate(x.X)
+	case *IsNull:
+		return IsAggregate(x.X)
+	case *Between:
+		return IsAggregate(x.X) || IsAggregate(x.Lo) || IsAggregate(x.Hi)
+	case *InList:
+		if IsAggregate(x.X) {
+			return true
+		}
+		for _, e := range x.List {
+			if IsAggregate(e) {
+				return true
+			}
+		}
+	}
+	return false
+}

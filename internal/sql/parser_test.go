@@ -1,0 +1,311 @@
+package sql
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dmv/internal/value"
+)
+
+func parseSelect(t *testing.T, q string) *Select {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		t.Fatalf("parsed %T, want *Select", stmt)
+	}
+	return sel
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	sel := parseSelect(t, `SELECT a, b AS bee, t.c FROM tab t WHERE a = 1 AND b <> 'x' ORDER BY a DESC LIMIT 10 OFFSET 5`)
+	if len(sel.Exprs) != 3 {
+		t.Fatalf("exprs = %d", len(sel.Exprs))
+	}
+	if sel.Exprs[1].Alias != "bee" {
+		t.Fatalf("alias = %q", sel.Exprs[1].Alias)
+	}
+	ref, ok := sel.Exprs[2].Expr.(*ColRef)
+	if !ok || ref.Table != "t" || ref.Col != "c" {
+		t.Fatalf("qualified ref = %+v", sel.Exprs[2].Expr)
+	}
+	if len(sel.From) != 1 || sel.From[0].Alias != "t" {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatal("where/order-by missing")
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Fatal("limit/offset missing")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := parseSelect(t, `
+		SELECT i.i_id FROM item i
+		JOIN author a ON i.i_a_id = a.a_id
+		LEFT JOIN orders o ON o.o_id = i.i_id
+		INNER JOIN country c ON c.co_id = o.o_id`)
+	if len(sel.From) != 4 {
+		t.Fatalf("from = %d tables", len(sel.From))
+	}
+	if sel.From[1].Join != JoinInner || sel.From[2].Join != JoinLeft || sel.From[3].Join != JoinInner {
+		t.Fatalf("join kinds = %v %v %v", sel.From[1].Join, sel.From[2].Join, sel.From[3].Join)
+	}
+	for i := 1; i < 4; i++ {
+		if sel.From[i].On == nil {
+			t.Fatalf("table %d missing ON", i)
+		}
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	sel := parseSelect(t, `
+		SELECT grp, COUNT(*), SUM(v) AS total, AVG(v), MIN(v), MAX(v)
+		FROM t GROUP BY grp HAVING COUNT(*) > 2`)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatal("group by / having missing")
+	}
+	call, ok := sel.Exprs[1].Expr.(*Call)
+	if !ok || call.Fn != "COUNT" || !call.Star {
+		t.Fatalf("count(*) = %+v", sel.Exprs[1].Expr)
+	}
+	if !IsAggregate(sel.Exprs[2].Expr) {
+		t.Fatal("SUM not detected as aggregate")
+	}
+	if !IsAggregate(sel.Having) {
+		t.Fatal("HAVING aggregate not detected")
+	}
+}
+
+func TestParseParamNumbering(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE a = ? AND b > ? AND c IN (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var params []*Param
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Param:
+			params = append(params, x)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *InList:
+			walk(x.X)
+			for _, le := range x.List {
+				walk(le)
+			}
+		}
+	}
+	walk(stmt.(*Select).Where)
+	if len(params) != 4 {
+		t.Fatalf("params = %d", len(params))
+	}
+	for i, p := range params {
+		if p.N != i {
+			t.Fatalf("param %d numbered %d", i, p.N)
+		}
+	}
+}
+
+func TestParseInsertUpdateDelete(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Cols) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+
+	stmt, err = Parse(`UPDATE t SET a = a + 1, b = ? WHERE c BETWEEN 1 AND 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(*Update)
+	if len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	if _, ok := up.Where.(*Between); !ok {
+		t.Fatalf("where = %T, want Between", up.Where)
+	}
+
+	stmt, err = Parse(`DELETE FROM t WHERE a IS NOT NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmt.(*Delete)
+	isn, ok := d.Where.(*IsNull)
+	if !ok || !isn.Not {
+		t.Fatalf("where = %+v", d.Where)
+	}
+}
+
+func TestParseCreate(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL, price FLOAT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTable)
+	if len(ct.Cols) != 3 || !ct.Cols[0].PrimaryKey {
+		t.Fatalf("create table = %+v", ct)
+	}
+	if ct.Cols[1].Type != value.TString || ct.Cols[2].Type != value.TFloat {
+		t.Fatalf("types = %v %v", ct.Cols[1].Type, ct.Cols[2].Type)
+	}
+
+	stmt, err = Parse(`CREATE UNIQUE INDEX ix ON t (name, price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := stmt.(*CreateIndex)
+	if !ci.Unique || len(ci.Cols) != 2 {
+		t.Fatalf("create index = %+v", ci)
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	for q, want := range map[string]any{
+		"BEGIN": &Begin{}, "COMMIT": &Commit{}, "ROLLBACK": &Rollback{},
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if want, got := want, stmt; strings.TrimPrefix(strings.TrimPrefix(typename(got), "*sql."), "*") != strings.TrimPrefix(typename(want), "*sql.") {
+			t.Fatalf("%s parsed as %T", q, got)
+		}
+	}
+}
+
+func typename(v any) string {
+	switch v.(type) {
+	case *Begin:
+		return "Begin"
+	case *Commit:
+		return "Commit"
+	case *Rollback:
+		return "Rollback"
+	default:
+		return "?"
+	}
+}
+
+func TestStringLiteralEscapes(t *testing.T) {
+	stmt, err := Parse(`SELECT 'it''s fine'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := stmt.(*Select).Exprs[0].Expr.(*Lit)
+	if lit.V.AsString() != "it's fine" {
+		t.Fatalf("literal = %q", lit.V.AsString())
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	_, err := Parse("SELECT a -- trailing comment\nFROM t")
+	if err != nil {
+		t.Fatalf("comment not skipped: %v", err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT`,
+		`SELECT FROM t`,
+		`INSERT t VALUES (1)`,
+		`UPDATE t WHERE a = 1`,
+		`CREATE TABLE t (a BLOB)`,
+		`SELECT 'unterminated`,
+		`SELECT a FROM t trailing garbage ,`,
+		`DELETE t`,
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("no error for %q", q)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("error for %q is %T, want *SyntaxError", q, err)
+			}
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel := parseSelect(t, `SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3`)
+	or, ok := sel.Where.(*Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %+v, want OR (AND binds tighter)", sel.Where)
+	}
+	and, ok := or.R.(*Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %+v, want AND", or.R)
+	}
+
+	sel = parseSelect(t, `SELECT 1 + 2 * 3`)
+	add := sel.Exprs[0].Expr.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s", add.Op)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("mul must bind tighter: %+v", add.R)
+	}
+}
+
+func TestNotAndUnaryMinus(t *testing.T) {
+	sel := parseSelect(t, `SELECT a FROM t WHERE NOT a = -1`)
+	not, ok := sel.Where.(*Unary)
+	if !ok || not.Op != "NOT" {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	cmp := not.X.(*Binary)
+	if neg, ok := cmp.R.(*Unary); !ok || neg.Op != "-" {
+		t.Fatalf("rhs = %+v", cmp.R)
+	}
+}
+
+// TestParserNeverPanics feeds random byte soup and mutated SQL through the
+// parser: it must return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`SELECT a FROM t WHERE b = 1`,
+		`INSERT INTO t (a) VALUES (1)`,
+		`UPDATE t SET a = a + 1 WHERE b IN (SELECT c FROM u)`,
+		`CREATE TABLE t (a INT PRIMARY KEY)`,
+	}
+	f := func(seed int64, mutations uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := []byte(seeds[rng.Intn(len(seeds))])
+		for m := 0; m < int(mutations%12)+1; m++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				if len(src) > 0 {
+					src[rng.Intn(len(src))] = byte(rng.Intn(128))
+				}
+			case 1: // delete a byte
+				if len(src) > 1 {
+					i := rng.Intn(len(src))
+					src = append(src[:i], src[i+1:]...)
+				}
+			case 2: // insert a byte
+				i := rng.Intn(len(src) + 1)
+				src = append(src[:i], append([]byte{byte(rng.Intn(128))}, src[i:]...)...)
+			}
+		}
+		_, _ = Parse(string(src)) // error or statement; never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

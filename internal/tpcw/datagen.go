@@ -1,0 +1,278 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmv/internal/heap"
+	"dmv/internal/value"
+)
+
+// Scale parameterizes the database size. The paper's standard size is 288K
+// customers and 100K items (~610 MB); the generator scales down linearly so
+// the experiments run on one machine while preserving the working-set-to-
+// cache ratios that drive every measured effect.
+type Scale struct {
+	Items     int
+	Customers int
+	// OrdersPerCustomer preloads this many historical orders per customer
+	// (TPC-W preloads ~0.9). Default 1.
+	OrdersPerCustomer int
+	// LinesPerOrder is order lines per preloaded order (TPC-W averages 3).
+	LinesPerOrder int
+	Seed          int64
+}
+
+// SmallScale is a laptop-friendly configuration used by tests and examples.
+func SmallScale() Scale { return Scale{Items: 1000, Customers: 500} }
+
+// BenchScale is the configuration used by the figure-regeneration benches.
+// Sized so real executor compute stays well under the modelled per-node
+// service time — the scaling effects must come from the capacity model, not
+// from saturating the host running all nodes.
+func BenchScale() Scale { return Scale{Items: 400, Customers: 200} }
+
+// FailoverScale is the larger configuration for the fail-over experiments
+// (Figures 4-9): the paper uses a bigger database there precisely to
+// emphasize the buffer warm-up phase (Section 6.3 switches to 400K
+// customers / 800 MB for the cold-backup experiments). The working set must
+// span enough pages that faulting it in takes visible time.
+func FailoverScale() Scale { return Scale{Items: 2000, Customers: 1000} }
+
+func (s Scale) withDefaults() Scale {
+	if s.Items <= 0 {
+		s.Items = 1000
+	}
+	if s.Customers <= 0 {
+		s.Customers = 500
+	}
+	if s.OrdersPerCustomer <= 0 {
+		s.OrdersPerCustomer = 1
+	}
+	if s.LinesPerOrder <= 0 {
+		s.LinesPerOrder = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 20070625 // DSN'07
+	}
+	return s
+}
+
+// NumAuthors returns the author count (TPC-W: items/4, min 25).
+func (s Scale) NumAuthors() int {
+	n := s.Items / 4
+	if n < 25 {
+		n = 25
+	}
+	return n
+}
+
+// NumOrders returns the preloaded order count.
+func (s Scale) NumOrders() int {
+	sc := s.withDefaults()
+	return sc.Customers * sc.OrdersPerCustomer
+}
+
+const numCountries = 92
+
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry",
+	"Ivy", "Jack", "Karen", "Liam", "Mona", "Ned", "Olga", "Paul",
+}
+
+var lastNames = []string{
+	"Abbot", "Baker", "Carver", "Dunne", "Eliot", "Forster", "Greene",
+	"Hardy", "Irving", "Joyce", "Keats", "Lawrence", "Milton", "Norris",
+	"Orwell", "Pound", "Quine", "Ruskin", "Swift", "Twain",
+}
+
+// Load populates an engine with the deterministic initial image. Every node
+// calling Load with the same Scale builds a byte-identical database,
+// modelling the shared on-disk image each node mmaps at startup.
+func (s Scale) Load(e *heap.Engine) error {
+	sc := s.withDefaults()
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	tid := func(name string) (int, error) {
+		id, ok := e.TableID(name)
+		if !ok {
+			return 0, fmt.Errorf("tpcw: schema missing table %q", name)
+		}
+		return id, nil
+	}
+
+	// country
+	ct, err := tid("country")
+	if err != nil {
+		return err
+	}
+	rows := make([]value.Row, 0, numCountries)
+	for i := 1; i <= numCountries; i++ {
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Country-%02d", i)),
+			value.NewString("CUR"),
+		})
+	}
+	if err := e.Load(ct, rows); err != nil {
+		return err
+	}
+
+	// address: 2 per customer.
+	at, err := tid("address")
+	if err != nil {
+		return err
+	}
+	nAddr := 2 * sc.Customers
+	rows = rows[:0]
+	for i := 1; i <= nAddr; i++ {
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("%d Main St", rng.Intn(9999)+1)),
+			value.NewString(fmt.Sprintf("City-%03d", rng.Intn(500))),
+			value.NewString(fmt.Sprintf("%05d", rng.Intn(99999))),
+			value.NewInt(int64(rng.Intn(numCountries) + 1)),
+		})
+	}
+	if err := e.Load(at, rows); err != nil {
+		return err
+	}
+
+	// customer
+	cu, err := tid("customer")
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := 1; i <= sc.Customers; i++ {
+		fn := firstNames[rng.Intn(len(firstNames))]
+		ln := lastNames[rng.Intn(len(lastNames))]
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("user%06d", i)),
+			value.NewString(fn),
+			value.NewString(ln),
+			value.NewInt(int64(rng.Intn(nAddr) + 1)),
+			value.NewString(fmt.Sprintf("555-%07d", rng.Intn(9999999))),
+			value.NewString(fmt.Sprintf("user%06d@example.com", i)),
+			value.NewInt(int64(rng.Intn(3650))),
+			value.NewFloat(float64(rng.Intn(50)) / 100),
+			value.NewFloat(0),
+			value.NewFloat(0),
+		})
+	}
+	if err := e.Load(cu, rows); err != nil {
+		return err
+	}
+
+	// author
+	au, err := tid("author")
+	if err != nil {
+		return err
+	}
+	nAuthors := sc.NumAuthors()
+	rows = rows[:0]
+	for i := 1; i <= nAuthors; i++ {
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(firstNames[rng.Intn(len(firstNames))]),
+			value.NewString(lastNames[rng.Intn(len(lastNames))]),
+			value.NewString("bio"),
+		})
+	}
+	if err := e.Load(au, rows); err != nil {
+		return err
+	}
+
+	// item
+	it, err := tid("item")
+	if err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := 1; i <= sc.Items; i++ {
+		srp := 1 + rng.Float64()*99
+		rows = append(rows, value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("Title %06d %s", i, lastNames[rng.Intn(len(lastNames))])),
+			value.NewInt(int64(rng.Intn(nAuthors) + 1)),
+			value.NewInt(int64(rng.Intn(7300))), // pub date: days
+			value.NewString("Publisher"),
+			value.NewString(Subjects[rng.Intn(len(Subjects))]),
+			value.NewString("desc"),
+			value.NewInt(int64(rng.Intn(sc.Items) + 1)),
+			value.NewString("thumb.gif"),
+			value.NewString("image.gif"),
+			value.NewFloat(srp),
+			value.NewFloat(srp * (0.5 + rng.Float64()*0.5)),
+			value.NewInt(int64(10 + rng.Intn(21))),
+		})
+	}
+	if err := e.Load(it, rows); err != nil {
+		return err
+	}
+
+	// orders + order_line + cc_xacts
+	ot, err := tid("orders")
+	if err != nil {
+		return err
+	}
+	olt, err := tid("order_line")
+	if err != nil {
+		return err
+	}
+	cct, err := tid("cc_xacts")
+	if err != nil {
+		return err
+	}
+	nOrders := sc.Customers * sc.OrdersPerCustomer
+	orderRows := make([]value.Row, 0, nOrders)
+	lineRows := make([]value.Row, 0, nOrders*sc.LinesPerOrder)
+	ccRows := make([]value.Row, 0, nOrders)
+	olID := 0
+	for o := 1; o <= nOrders; o++ {
+		cID := int64((o-1)%sc.Customers + 1)
+		sub := 1 + rng.Float64()*200
+		orderRows = append(orderRows, value.Row{
+			value.NewInt(int64(o)),
+			value.NewInt(cID),
+			value.NewInt(int64(rng.Intn(3650))),
+			value.NewFloat(sub),
+			value.NewFloat(sub * 0.08),
+			value.NewFloat(sub * 1.08),
+			value.NewString("AIR"),
+			value.NewInt(int64(rng.Intn(3650))),
+			value.NewInt(int64(rng.Intn(2*sc.Customers) + 1)),
+			value.NewInt(int64(rng.Intn(2*sc.Customers) + 1)),
+			value.NewString("SHIPPED"),
+		})
+		for l := 0; l < sc.LinesPerOrder; l++ {
+			olID++
+			lineRows = append(lineRows, value.Row{
+				value.NewInt(int64(olID)),
+				value.NewInt(int64(o)),
+				value.NewInt(int64(rng.Intn(sc.Items) + 1)),
+				value.NewInt(int64(rng.Intn(5) + 1)),
+				value.NewFloat(float64(rng.Intn(30)) / 100),
+				value.NewString(""),
+			})
+		}
+		ccRows = append(ccRows, value.Row{
+			value.NewInt(int64(o)),
+			value.NewString("VISA"),
+			value.NewString("4111111111111111"),
+			value.NewString("CARD HOLDER"),
+			value.NewInt(int64(rng.Intn(3650))),
+			value.NewFloat(sub * 1.08),
+			value.NewInt(int64(rng.Intn(3650))),
+			value.NewInt(int64(rng.Intn(numCountries) + 1)),
+		})
+	}
+	if err := e.Load(ot, orderRows); err != nil {
+		return err
+	}
+	if err := e.Load(olt, lineRows); err != nil {
+		return err
+	}
+	return e.Load(cct, ccRows)
+}

@@ -1,0 +1,118 @@
+// Package tpcw implements the TPC-W online-bookstore benchmark as used in
+// the paper's evaluation: the eight-table schema (customer, address, orders,
+// order_line, cc_xacts, item, author, country), a deterministic scalable
+// data generator, the fourteen web interactions as parametrized SQL
+// (including the complex BestSellers / NewProducts / Search joins), and the
+// three standard workload mixes — browsing (~5% updates), shopping (~20%)
+// and ordering (~50%).
+package tpcw
+
+// SchemaDDL returns the CREATE TABLE / CREATE INDEX statements for the
+// TPC-W schema. Every node of the tier executes these identically.
+func SchemaDDL() []string {
+	return []string{
+		`CREATE TABLE country (
+			co_id INT PRIMARY KEY,
+			co_name VARCHAR(50),
+			co_currency VARCHAR(18))`,
+
+		`CREATE TABLE address (
+			addr_id INT PRIMARY KEY,
+			addr_street VARCHAR(40),
+			addr_city VARCHAR(30),
+			addr_zip VARCHAR(10),
+			addr_co_id INT)`,
+		`CREATE INDEX ix_addr_co ON address (addr_co_id)`,
+
+		`CREATE TABLE customer (
+			c_id INT PRIMARY KEY,
+			c_uname VARCHAR(20),
+			c_fname VARCHAR(17),
+			c_lname VARCHAR(17),
+			c_addr_id INT,
+			c_phone VARCHAR(16),
+			c_email VARCHAR(50),
+			c_since INT,
+			c_discount FLOAT,
+			c_balance FLOAT,
+			c_ytd_pmt FLOAT)`,
+		`CREATE UNIQUE INDEX ix_cust_uname ON customer (c_uname)`,
+
+		`CREATE TABLE author (
+			a_id INT PRIMARY KEY,
+			a_fname VARCHAR(20),
+			a_lname VARCHAR(20),
+			a_bio VARCHAR(100))`,
+		`CREATE INDEX ix_author_lname ON author (a_lname)`,
+
+		`CREATE TABLE item (
+			i_id INT PRIMARY KEY,
+			i_title VARCHAR(60),
+			i_a_id INT,
+			i_pub_date INT,
+			i_publisher VARCHAR(60),
+			i_subject VARCHAR(20),
+			i_desc VARCHAR(100),
+			i_related1 INT,
+			i_thumbnail VARCHAR(40),
+			i_image VARCHAR(40),
+			i_srp FLOAT,
+			i_cost FLOAT,
+			i_stock INT)`,
+		`CREATE INDEX ix_item_author ON item (i_a_id)`,
+		`CREATE INDEX ix_item_subject ON item (i_subject)`,
+		`CREATE INDEX ix_item_title ON item (i_title)`,
+		`CREATE INDEX ix_item_pubdate ON item (i_subject, i_pub_date)`,
+
+		`CREATE TABLE orders (
+			o_id INT PRIMARY KEY,
+			o_c_id INT,
+			o_date INT,
+			o_sub_total FLOAT,
+			o_tax FLOAT,
+			o_total FLOAT,
+			o_ship_type VARCHAR(10),
+			o_ship_date INT,
+			o_bill_addr_id INT,
+			o_ship_addr_id INT,
+			o_status VARCHAR(16))`,
+		`CREATE INDEX ix_orders_cust ON orders (o_c_id)`,
+
+		`CREATE TABLE order_line (
+			ol_id INT PRIMARY KEY,
+			ol_o_id INT,
+			ol_i_id INT,
+			ol_qty INT,
+			ol_discount FLOAT,
+			ol_comments VARCHAR(100))`,
+		`CREATE INDEX ix_ol_order ON order_line (ol_o_id)`,
+		`CREATE INDEX ix_ol_item ON order_line (ol_i_id)`,
+
+		`CREATE TABLE cc_xacts (
+			cx_o_id INT PRIMARY KEY,
+			cx_type VARCHAR(10),
+			cx_num VARCHAR(16),
+			cx_name VARCHAR(31),
+			cx_expire INT,
+			cx_xact_amt FLOAT,
+			cx_xact_date INT,
+			cx_co_id INT)`,
+	}
+}
+
+// TableNames lists the schema's tables in creation order.
+func TableNames() []string {
+	return []string{
+		"country", "address", "customer", "author",
+		"item", "orders", "order_line", "cc_xacts",
+	}
+}
+
+// Subjects are the item subject categories (the TPC-W spec defines 24).
+var Subjects = []string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS",
+	"COOKING", "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE",
+	"MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
+	"RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION",
+	"SPORTS", "YOUTH", "TRAVEL",
+}

@@ -1,0 +1,466 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"dmv/internal/exec"
+	"dmv/internal/value"
+)
+
+// Querier executes one SQL statement inside a transaction. Both the DMV
+// scheduler transaction and the InnoDB-tier transaction satisfy it (via thin
+// adapters in the harness).
+type Querier interface {
+	Exec(stmt string, params ...value.Value) (*exec.Result, error)
+}
+
+// Store runs transactions against a database tier. The TPC-W workload is
+// written against this interface so the identical interaction code drives
+// the DMV cluster, a stand-alone on-disk database, and the replicated
+// InnoDB baseline.
+type Store interface {
+	Run(readOnly bool, tables []string, fn func(Querier) error) error
+}
+
+// CartLine is one shopping-cart entry (carts live in the application
+// session, as in the paper's PHP implementation; the database holds the
+// eight TPC-W tables only).
+type CartLine struct {
+	ItemID int64
+	Qty    int64
+	Cost   float64
+}
+
+// Session is one emulated browser's state.
+type Session struct {
+	R        *rand.Rand
+	Customer int64
+	Cart     []CartLine
+}
+
+// Workload executes TPC-W interactions against a Store.
+type Workload struct {
+	store Store
+	scale Scale
+
+	nextOrder atomic.Int64
+	nextOL    atomic.Int64
+	nextCust  atomic.Int64
+	nextAddr  atomic.Int64
+
+	hotItems     int
+	hotCustomers int
+}
+
+// NewWorkload builds a workload bound to a store. The id sequences continue
+// from the preloaded data.
+func NewWorkload(store Store, scale Scale) *Workload {
+	sc := scale.withDefaults()
+	w := &Workload{store: store, scale: sc}
+	w.nextOrder.Store(int64(sc.NumOrders()))
+	w.nextOL.Store(int64(sc.NumOrders() * sc.LinesPerOrder))
+	w.nextCust.Store(int64(sc.Customers))
+	w.nextAddr.Store(int64(2 * sc.Customers))
+	w.hotItems = sc.Items / 5
+	if w.hotItems < 1 {
+		w.hotItems = 1
+	}
+	w.hotCustomers = sc.Customers / 5
+	if w.hotCustomers < 1 {
+		w.hotCustomers = 1
+	}
+	return w
+}
+
+// NewSession creates an emulated-browser session.
+func (w *Workload) NewSession(seed int64) *Session {
+	r := rand.New(rand.NewSource(seed))
+	return &Session{
+		R:        r,
+		Customer: int64(r.Intn(w.scale.Customers) + 1),
+	}
+}
+
+// pickItem draws an item id with 80/20 locality: the benchmark's operating
+// data set is a fraction of the database, which is what makes it memory
+// resident (Section 5.1) and what gives buffer-cache warm-up its effect.
+func (w *Workload) pickItem(r *rand.Rand) int64 {
+	if r.Float64() < 0.8 {
+		return int64(r.Intn(w.hotItems) + 1)
+	}
+	return int64(r.Intn(w.scale.Items) + 1)
+}
+
+func (w *Workload) pickCustomer(r *rand.Rand) int64 {
+	if r.Float64() < 0.8 {
+		return int64(r.Intn(w.hotCustomers) + 1)
+	}
+	return int64(r.Intn(w.scale.Customers) + 1)
+}
+
+// Do executes one interaction for the session.
+func (w *Workload) Do(s *Session, i Interaction) error {
+	switch i {
+	case Home:
+		return w.home(s)
+	case NewProducts:
+		return w.newProducts(s)
+	case BestSellers:
+		return w.bestSellers(s)
+	case ProductDetail, AdminRequest:
+		return w.productDetail(s)
+	case SearchRequest:
+		return w.searchRequest(s)
+	case SearchResults:
+		return w.searchResults(s)
+	case ShoppingCart:
+		return w.shoppingCart(s)
+	case CustomerRegistration:
+		return w.customerRegistration(s)
+	case BuyRequest:
+		return w.buyRequest(s)
+	case BuyConfirm:
+		return w.buyConfirm(s)
+	case OrderInquiry, OrderDisplay:
+		return w.orderDisplay(s)
+	case AdminConfirm:
+		return w.adminConfirm(s)
+	default:
+		return fmt.Errorf("tpcw: unknown interaction %d", int(i))
+	}
+}
+
+// --- read-only interactions --------------------------------------------------
+
+func (w *Workload) home(s *Session) error {
+	cID := s.Customer
+	promo := make([]int64, 5)
+	for i := range promo {
+		promo[i] = w.pickItem(s.R)
+	}
+	return w.store.Run(true, Home.Tables(), func(q Querier) error {
+		if _, err := q.Exec(
+			`SELECT c_fname, c_lname FROM customer WHERE c_id = ?`,
+			value.NewInt(cID)); err != nil {
+			return err
+		}
+		for _, it := range promo {
+			if _, err := q.Exec(
+				`SELECT i_id, i_title, i_thumbnail, i_cost FROM item WHERE i_id = ?`,
+				value.NewInt(it)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (w *Workload) newProducts(s *Session) error {
+	subject := Subjects[s.R.Intn(len(Subjects))]
+	return w.store.Run(true, NewProducts.Tables(), func(q Querier) error {
+		_, err := q.Exec(`
+			SELECT i.i_id, i.i_title, i.i_pub_date, a.a_fname, a.a_lname
+			FROM item i JOIN author a ON i.i_a_id = a.a_id
+			WHERE i.i_subject = ?
+			ORDER BY i.i_pub_date DESC, i.i_title ASC
+			LIMIT 50`,
+			value.NewString(subject))
+		return err
+	})
+}
+
+func (w *Workload) bestSellers(s *Session) error {
+	subject := Subjects[s.R.Intn(len(Subjects))]
+	// TPC-W restricts BestSellers to the most recent 3333 orders.
+	latest := w.nextOrder.Load()
+	window := int64(3333)
+	lo := latest - window
+	if lo < 0 {
+		lo = 0
+	}
+	// The executor joins in FROM order (no join reordering), so the query
+	// leads with the subject-indexed item table and probes order lines and
+	// orders through their indexes — the plan MySQL's optimizer would pick.
+	return w.store.Run(true, BestSellers.Tables(), func(q Querier) error {
+		_, err := q.Exec(`
+			SELECT i.i_id, i.i_title, a.a_fname, a.a_lname, SUM(ol.ol_qty) AS qty
+			FROM item i
+			JOIN order_line ol ON ol.ol_i_id = i.i_id
+			JOIN orders o ON ol.ol_o_id = o.o_id
+			JOIN author a ON i.i_a_id = a.a_id
+			WHERE o.o_id > ? AND i.i_subject = ?
+			GROUP BY i.i_id, i.i_title, a.a_fname, a.a_lname
+			ORDER BY qty DESC
+			LIMIT 50`,
+			value.NewInt(lo), value.NewString(subject))
+		return err
+	})
+}
+
+func (w *Workload) productDetail(s *Session) error {
+	itemID := w.pickItem(s.R)
+	return w.store.Run(true, ProductDetail.Tables(), func(q Querier) error {
+		_, err := q.Exec(`
+			SELECT i.i_id, i.i_title, i.i_pub_date, i.i_publisher, i.i_subject,
+			       i.i_desc, i.i_image, i.i_cost, i.i_srp, i.i_stock,
+			       a.a_fname, a.a_lname
+			FROM item i JOIN author a ON i.i_a_id = a.a_id
+			WHERE i.i_id = ?`,
+			value.NewInt(itemID))
+		return err
+	})
+}
+
+func (w *Workload) searchRequest(s *Session) error {
+	return w.store.Run(true, SearchRequest.Tables(), func(q Querier) error {
+		_, err := q.Exec(`SELECT co_id, co_name FROM country ORDER BY co_name LIMIT 20`)
+		return err
+	})
+}
+
+func (w *Workload) searchResults(s *Session) error {
+	switch s.R.Intn(3) {
+	case 0: // by author last name
+		name := lastNames[s.R.Intn(len(lastNames))]
+		return w.store.Run(true, SearchResults.Tables(), func(q Querier) error {
+			_, err := q.Exec(`
+				SELECT i.i_id, i.i_title, a.a_fname, a.a_lname
+				FROM author a JOIN item i ON i.i_a_id = a.a_id
+				WHERE a.a_lname LIKE ?
+				ORDER BY i.i_title LIMIT 50`,
+				value.NewString(name+"%"))
+			return err
+		})
+	case 1: // by title
+		frag := fmt.Sprintf("Title %03d%%", s.R.Intn(1000))
+		return w.store.Run(true, SearchResults.Tables(), func(q Querier) error {
+			_, err := q.Exec(`
+				SELECT i.i_id, i.i_title, a.a_fname, a.a_lname
+				FROM item i JOIN author a ON i.i_a_id = a.a_id
+				WHERE i.i_title LIKE ?
+				ORDER BY i.i_title LIMIT 50`,
+				value.NewString(frag))
+			return err
+		})
+	default: // by subject
+		subject := Subjects[s.R.Intn(len(Subjects))]
+		return w.store.Run(true, SearchResults.Tables(), func(q Querier) error {
+			_, err := q.Exec(`
+				SELECT i.i_id, i.i_title, a.a_fname, a.a_lname
+				FROM item i JOIN author a ON i.i_a_id = a.a_id
+				WHERE i.i_subject = ?
+				ORDER BY i.i_title LIMIT 50`,
+				value.NewString(subject))
+			return err
+		})
+	}
+}
+
+func (w *Workload) shoppingCart(s *Session) error {
+	itemID := w.pickItem(s.R)
+	qty := int64(s.R.Intn(3) + 1)
+	var cost float64
+	err := w.store.Run(true, ShoppingCart.Tables(), func(q Querier) error {
+		res, err := q.Exec(`SELECT i_cost, i_stock FROM item WHERE i_id = ?`, value.NewInt(itemID))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) > 0 {
+			cost = res.Rows[0][0].AsFloat()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(s.Cart) < 10 {
+		s.Cart = append(s.Cart, CartLine{ItemID: itemID, Qty: qty, Cost: cost})
+	}
+	return nil
+}
+
+func (w *Workload) buyRequest(s *Session) error {
+	cID := s.Customer
+	return w.store.Run(true, BuyRequest.Tables(), func(q Querier) error {
+		res, err := q.Exec(`
+			SELECT c.c_fname, c.c_lname, c.c_discount, a.addr_street, a.addr_city, co.co_name
+			FROM customer c
+			JOIN address a ON c.c_addr_id = a.addr_id
+			JOIN country co ON a.addr_co_id = co.co_id
+			WHERE c.c_id = ?`,
+			value.NewInt(cID))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return fmt.Errorf("tpcw: customer %d not found", cID)
+		}
+		return nil
+	})
+}
+
+func (w *Workload) orderDisplay(s *Session) error {
+	cID := w.pickCustomer(s.R)
+	return w.store.Run(true, OrderDisplay.Tables(), func(q Querier) error {
+		res, err := q.Exec(`
+			SELECT o_id, o_date, o_total, o_status FROM orders
+			WHERE o_c_id = ? ORDER BY o_id DESC LIMIT 1`,
+			value.NewInt(cID))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return nil // customer without orders
+		}
+		oID := res.Rows[0][0].AsInt()
+		_, err = q.Exec(`
+			SELECT ol.ol_i_id, i.i_title, ol.ol_qty, ol.ol_discount
+			FROM order_line ol JOIN item i ON ol.ol_i_id = i.i_id
+			WHERE ol.ol_o_id = ?`,
+			value.NewInt(oID))
+		return err
+	})
+}
+
+// --- update interactions -----------------------------------------------------
+
+func (w *Workload) customerRegistration(s *Session) error {
+	cID := w.nextCust.Add(1)
+	addrID := w.nextAddr.Add(1)
+	coID := int64(s.R.Intn(numCountries) + 1)
+	err := w.store.Run(false, CustomerRegistration.Tables(), func(q Querier) error {
+		if _, err := q.Exec(`
+			INSERT INTO address (addr_id, addr_street, addr_city, addr_zip, addr_co_id)
+			VALUES (?, ?, ?, ?, ?)`,
+			value.NewInt(addrID),
+			value.NewString("1 New St"),
+			value.NewString("Newcity"),
+			value.NewString("00000"),
+			value.NewInt(coID)); err != nil {
+			return err
+		}
+		_, err := q.Exec(`
+			INSERT INTO customer (c_id, c_uname, c_fname, c_lname, c_addr_id,
+				c_phone, c_email, c_since, c_discount, c_balance, c_ytd_pmt)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			value.NewInt(cID),
+			value.NewString(fmt.Sprintf("user%06d", cID)),
+			value.NewString("New"),
+			value.NewString("Customer"),
+			value.NewInt(addrID),
+			value.NewString("555-0000000"),
+			value.NewString(fmt.Sprintf("user%06d@example.com", cID)),
+			value.NewInt(0),
+			value.NewFloat(0.05),
+			value.NewFloat(0),
+			value.NewFloat(0))
+		return err
+	})
+	if err == nil {
+		s.Customer = cID
+	}
+	return err
+}
+
+func (w *Workload) buyConfirm(s *Session) error {
+	if len(s.Cart) == 0 {
+		// An emulated browser reaching BuyConfirm has filled a cart.
+		n := s.R.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			s.Cart = append(s.Cart, CartLine{
+				ItemID: w.pickItem(s.R),
+				Qty:    int64(s.R.Intn(3) + 1),
+				Cost:   10,
+			})
+		}
+	}
+	cart := s.Cart
+	s.Cart = nil
+	oID := w.nextOrder.Add(1)
+	cID := s.Customer
+	var subTotal float64
+	for _, l := range cart {
+		subTotal += l.Cost * float64(l.Qty)
+	}
+	total := subTotal * 1.08
+
+	return w.store.Run(false, BuyConfirm.Tables(), func(q Querier) error {
+		if _, err := q.Exec(`
+			INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax, o_total,
+				o_ship_type, o_ship_date, o_bill_addr_id, o_ship_addr_id, o_status)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			value.NewInt(oID), value.NewInt(cID), value.NewInt(0),
+			value.NewFloat(subTotal), value.NewFloat(subTotal*0.08), value.NewFloat(total),
+			value.NewString("AIR"), value.NewInt(3),
+			value.NewInt(1), value.NewInt(1),
+			value.NewString("PENDING")); err != nil {
+			return err
+		}
+		for _, l := range cart {
+			olID := w.nextOL.Add(1)
+			if _, err := q.Exec(`
+				INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount, ol_comments)
+				VALUES (?, ?, ?, ?, ?, ?)`,
+				value.NewInt(olID), value.NewInt(oID), value.NewInt(l.ItemID),
+				value.NewInt(l.Qty), value.NewFloat(0), value.NewString("")); err != nil {
+				return err
+			}
+			// Decrement stock; restock when it would drop below 10 (TPC-W
+			// clause 2.7.3). The new stock is computed here so the logged
+			// statement replays deterministically on the persistence tier.
+			res, err := q.Exec(`SELECT i_stock FROM item WHERE i_id = ?`, value.NewInt(l.ItemID))
+			if err != nil {
+				return err
+			}
+			if len(res.Rows) == 0 {
+				continue
+			}
+			stock := res.Rows[0][0].AsInt() - l.Qty
+			if stock < 10 {
+				stock += 21
+			}
+			if _, err := q.Exec(`UPDATE item SET i_stock = ? WHERE i_id = ?`,
+				value.NewInt(stock), value.NewInt(l.ItemID)); err != nil {
+				return err
+			}
+		}
+		if _, err := q.Exec(`
+			INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expire,
+				cx_xact_amt, cx_xact_date, cx_co_id)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+			value.NewInt(oID), value.NewString("VISA"),
+			value.NewString("4111111111111111"), value.NewString("CARD HOLDER"),
+			value.NewInt(1000), value.NewFloat(total), value.NewInt(0),
+			value.NewInt(1)); err != nil {
+			return err
+		}
+		_, err := q.Exec(`UPDATE customer SET c_balance = c_balance + ? WHERE c_id = ?`,
+			value.NewFloat(total), value.NewInt(cID))
+		return err
+	})
+}
+
+func (w *Workload) adminConfirm(s *Session) error {
+	itemID := w.pickItem(s.R)
+	newCost := 1 + s.R.Float64()*99
+	newDate := int64(s.R.Intn(7300))
+	related := w.pickItem(s.R)
+	return w.store.Run(false, AdminConfirm.Tables(), func(q Querier) error {
+		// The index update on (i_subject, i_pub_date) is what makes this
+		// interaction expensive on the master (RB-tree rebalancing).
+		_, err := q.Exec(`
+			UPDATE item SET i_cost = ?, i_pub_date = ?, i_related1 = ?, i_thumbnail = ?
+			WHERE i_id = ?`,
+			value.NewFloat(newCost), value.NewInt(newDate), value.NewInt(related),
+			value.NewString("new_thumb.gif"), value.NewInt(itemID))
+		return err
+	})
+}
+
+// LatestOrderID returns the newest allocated order id (diagnostics).
+func (w *Workload) LatestOrderID() int64 { return w.nextOrder.Load() }
+
+// Scale returns the workload's scale.
+func (w *Workload) Scale() Scale { return w.scale }

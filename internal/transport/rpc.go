@@ -1,0 +1,629 @@
+// Package transport serves the replica Peer interface and the scheduler
+// session API over TCP using net/rpc (gob encoding), enabling real
+// multi-process deployments: each database node runs cmd/dmv-node, the
+// scheduler runs cmd/dmv-scheduler, and the two sides exchange exactly the
+// messages of the in-process cluster — write-set broadcasts with
+// acknowledgments, version-tagged transaction sessions, heartbeats, page
+// migration, and warm-up traffic.
+//
+// Error identity matters to the scheduler (version-conflict aborts and
+// node-down errors are retried differently), and net/rpc flattens errors to
+// strings; replies therefore carry an explicit error code that the client
+// side converts back to the canonical sentinel errors.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+
+	"dmv/internal/exec"
+	"dmv/internal/heap"
+	"dmv/internal/page"
+	"dmv/internal/replica"
+	"dmv/internal/simdisk"
+	"dmv/internal/value"
+	"dmv/internal/vclock"
+)
+
+// error codes carried in RPC replies.
+const (
+	errNone = iota
+	errNodeDown
+	errNotMaster
+	errVersionConflict
+	errLockTimeout
+	errOther
+)
+
+func encodeErr(err error) (int, string) {
+	switch {
+	case err == nil:
+		return errNone, ""
+	case errors.Is(err, replica.ErrNodeDown):
+		return errNodeDown, err.Error()
+	case errors.Is(err, replica.ErrNotMaster):
+		return errNotMaster, err.Error()
+	case errors.Is(err, page.ErrVersionConflict):
+		return errVersionConflict, err.Error()
+	case errors.Is(err, heap.ErrLockTimeout):
+		return errLockTimeout, err.Error()
+	default:
+		return errOther, err.Error()
+	}
+}
+
+func decodeErr(code int, msg string) error {
+	switch code {
+	case errNone:
+		return nil
+	case errNodeDown:
+		return fmt.Errorf("%w: %s", replica.ErrNodeDown, msg)
+	case errNotMaster:
+		return fmt.Errorf("%w: %s", replica.ErrNotMaster, msg)
+	case errVersionConflict:
+		return fmt.Errorf("%w: %s", page.ErrVersionConflict, msg)
+	case errLockTimeout:
+		return fmt.Errorf("%w: %s", heap.ErrLockTimeout, msg)
+	default:
+		return errors.New(msg)
+	}
+}
+
+// --- RPC argument/reply types -------------------------------------------------
+
+// Status is the common reply carrying an encoded error.
+type Status struct {
+	Code int
+	Msg  string
+}
+
+func (s *Status) set(err error) { s.Code, s.Msg = encodeErr(err) }
+
+// Err converts the status back into a sentinel-matching error.
+func (s Status) Err() error { return decodeErr(s.Code, s.Msg) }
+
+// BeginArgs opens a transaction session.
+type BeginArgs struct {
+	ReadOnly bool
+	Version  vclock.Vector
+}
+
+// BeginReply returns the session id.
+type BeginReply struct {
+	ID uint64
+	Status
+}
+
+// ExecArgs executes one statement in a session.
+type ExecArgs struct {
+	TxID   uint64
+	Stmt   string
+	Params []value.Value
+}
+
+// ExecReply returns the statement result.
+type ExecReply struct {
+	Result *exec.Result
+	Status
+}
+
+// CommitReply returns the commit version vector (updates only).
+type CommitReply struct {
+	Version vclock.Vector
+	Status
+}
+
+// DeltaArgs requests a page-migration delta.
+type DeltaArgs struct {
+	Have   heap.PageVersionMap
+	Target vclock.Vector
+}
+
+// DeltaReply carries the migrated page images.
+type DeltaReply struct {
+	Images []page.Image
+	Status
+}
+
+// VersionReply carries a version vector.
+type VersionReply struct {
+	Version vclock.Vector
+	Status
+}
+
+// PageVersionsReply carries a node's page-version map.
+type PageVersionsReply struct {
+	Versions heap.PageVersionMap
+	Status
+}
+
+// PagesReply carries resident page ids.
+type PagesReply struct {
+	Keys []simdisk.PageKey
+	Status
+}
+
+// RoleReply carries a node role.
+type RoleReply struct {
+	Role replica.Role
+	Status
+}
+
+// NodeService exposes a replica.Node over net/rpc under the service name
+// "Node".
+type NodeService struct {
+	node *replica.Node
+}
+
+// Ping implements the heartbeat probe.
+func (s *NodeService) Ping(_ struct{}, reply *Status) error {
+	reply.set(s.node.Ping())
+	return nil
+}
+
+// ReceiveWriteSet delivers one replication message; returning is the ack.
+func (s *NodeService) ReceiveWriteSet(ws *heap.WriteSet, reply *Status) error {
+	reply.set(s.node.ReceiveWriteSet(ws))
+	return nil
+}
+
+// TxBegin opens a session.
+func (s *NodeService) TxBegin(args BeginArgs, reply *BeginReply) error {
+	id, err := s.node.TxBegin(args.ReadOnly, args.Version)
+	reply.ID = id
+	reply.set(err)
+	return nil
+}
+
+// TxExec runs one statement.
+func (s *NodeService) TxExec(args ExecArgs, reply *ExecReply) error {
+	res, err := s.node.TxExec(args.TxID, args.Stmt, args.Params)
+	reply.Result = res
+	reply.set(err)
+	return nil
+}
+
+// TxCommit commits a session.
+func (s *NodeService) TxCommit(txID uint64, reply *CommitReply) error {
+	ver, err := s.node.TxCommit(txID)
+	reply.Version = ver
+	reply.set(err)
+	return nil
+}
+
+// TxRollback aborts a session.
+func (s *NodeService) TxRollback(txID uint64, reply *Status) error {
+	reply.set(s.node.TxRollback(txID))
+	return nil
+}
+
+// AbortReply carries the aborted-transaction count.
+type AbortReply struct {
+	Aborted int
+	Status
+}
+
+// AbortActiveSessions rolls back sessions owned by a failed scheduler.
+func (s *NodeService) AbortActiveSessions(_ struct{}, reply *AbortReply) error {
+	n, err := s.node.AbortActiveSessions()
+	reply.Aborted = n
+	reply.set(err)
+	return nil
+}
+
+// Role reports the node's replication role.
+func (s *NodeService) Role(_ struct{}, reply *RoleReply) error {
+	r, err := s.node.Role()
+	reply.Role = r
+	reply.set(err)
+	return nil
+}
+
+// Promote makes the node a conflict-class master.
+func (s *NodeService) Promote(classTables []int, reply *Status) error {
+	reply.set(s.node.Promote(classTables))
+	return nil
+}
+
+// Demote changes the node's role.
+func (s *NodeService) Demote(to replica.Role, reply *Status) error {
+	reply.set(s.node.Demote(to))
+	return nil
+}
+
+// DiscardAbove drops buffered modifications beyond a vector.
+func (s *NodeService) DiscardAbove(v vclock.Vector, reply *Status) error {
+	reply.set(s.node.DiscardAbove(v))
+	return nil
+}
+
+// MaxVersions reports the node's highest versions.
+func (s *NodeService) MaxVersions(_ struct{}, reply *VersionReply) error {
+	v, err := s.node.MaxVersions()
+	reply.Version = v
+	reply.set(err)
+	return nil
+}
+
+// StartJoin begins write-set buffering for reintegration.
+func (s *NodeService) StartJoin(_ struct{}, reply *Status) error {
+	reply.set(s.node.StartJoin())
+	return nil
+}
+
+// PageVersions reports per-page applied versions.
+func (s *NodeService) PageVersions(_ struct{}, reply *PageVersionsReply) error {
+	v, err := s.node.PageVersions()
+	reply.Versions = v
+	reply.set(err)
+	return nil
+}
+
+// DeltaSince serves a migration request (support-slave side).
+func (s *NodeService) DeltaSince(args DeltaArgs, reply *DeltaReply) error {
+	imgs, err := s.node.DeltaSince(args.Have, args.Target)
+	reply.Images = imgs
+	reply.set(err)
+	return nil
+}
+
+// InstallDelta installs migrated pages (joining-node side).
+func (s *NodeService) InstallDelta(images []page.Image, reply *Status) error {
+	reply.set(s.node.InstallDelta(images))
+	return nil
+}
+
+// FinishJoin drains the join buffer and re-enters the slave role.
+func (s *NodeService) FinishJoin(_ struct{}, reply *Status) error {
+	reply.set(s.node.FinishJoin())
+	return nil
+}
+
+// WarmPages touches page ids (page-id-transfer warm-up).
+func (s *NodeService) WarmPages(keys []simdisk.PageKey, reply *Status) error {
+	reply.set(s.node.WarmPages(keys))
+	return nil
+}
+
+// ResidentPages reports the node's hottest pages.
+func (s *NodeService) ResidentPages(limit int, reply *PagesReply) error {
+	keys, err := s.node.ResidentPages(limit)
+	reply.Keys = keys
+	reply.set(err)
+	return nil
+}
+
+// SetSubscribers re-points the node's replication stream at the given peer
+// addresses (id -> address). A master node dials each subscriber itself.
+func (s *NodeService) SetSubscribers(addrs map[string]string, reply *Status) error {
+	peers := make([]replica.Peer, 0, len(addrs))
+	for id, addr := range addrs {
+		p, err := DialNode(id, addr)
+		if err != nil {
+			reply.set(fmt.Errorf("dial subscriber %s at %s: %w", id, addr, err))
+			return nil
+		}
+		peers = append(peers, p)
+	}
+	s.node.SetSubscribers(peers)
+	reply.set(nil)
+	return nil
+}
+
+// Server is a listening RPC endpoint for one node.
+type Server struct {
+	lis  net.Listener
+	done chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// ServeNode starts serving a node's Peer interface on addr.
+func ServeNode(n *replica.Node, addr string) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Node", &NodeService{node: n}); err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, done: make(chan struct{}), conns: make(map[net.Conn]struct{}, 8)}
+	go func() {
+		defer close(s.done)
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.connMu.Lock()
+			s.conns[conn] = struct{}{}
+			s.connMu.Unlock()
+			go func() {
+				srv.ServeConn(conn)
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting connections and severs the established ones — a
+// fail-stopped or shut-down node must look dead to its peers immediately,
+// not only to new dialers.
+func (s *Server) Close() {
+	_ = s.lis.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
+	<-s.done
+}
+
+// RemoteNode is a replica.Peer backed by an RPC client; it reconnects
+// lazily after connection loss so a rebooted node is reachable again.
+type RemoteNode struct {
+	id   string
+	addr string
+
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+var _ replica.Peer = (*RemoteNode)(nil)
+
+// DialNode connects to a node served by ServeNode.
+func DialNode(id, addr string) (*RemoteNode, error) {
+	n := &RemoteNode{id: id, addr: addr}
+	if _, err := n.conn(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *RemoteNode) conn() (*rpc.Client, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.client != nil {
+		return n.client, nil
+	}
+	c, err := rpc.Dial("tcp", n.addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", replica.ErrNodeDown, n.addr, err)
+	}
+	n.client = c
+	return c, nil
+}
+
+func (n *RemoteNode) drop() {
+	n.mu.Lock()
+	if n.client != nil {
+		_ = n.client.Close()
+		n.client = nil
+	}
+	n.mu.Unlock()
+}
+
+// call performs one RPC, mapping transport failures to ErrNodeDown (the
+// fail-stop model: a broken connection is a missed heartbeat).
+func (n *RemoteNode) call(method string, args, reply any) error {
+	c, err := n.conn()
+	if err != nil {
+		return err
+	}
+	if err := c.Call(method, args, reply); err != nil {
+		n.drop()
+		if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) ||
+			errors.Is(err, io.ErrUnexpectedEOF) || isNetError(err) {
+			return fmt.Errorf("%w: %s: %v", replica.ErrNodeDown, n.id, err)
+		}
+		return err
+	}
+	return nil
+}
+
+func isNetError(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return strings.Contains(err.Error(), "connection")
+}
+
+// ID implements replica.Peer.
+func (n *RemoteNode) ID() string { return n.id }
+
+// Addr returns the remote address.
+func (n *RemoteNode) Addr() string { return n.addr }
+
+// Ping implements replica.Peer.
+func (n *RemoteNode) Ping() error {
+	var st Status
+	if err := n.call("Node.Ping", struct{}{}, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// ReceiveWriteSet implements replica.Peer.
+func (n *RemoteNode) ReceiveWriteSet(ws *heap.WriteSet) error {
+	var st Status
+	if err := n.call("Node.ReceiveWriteSet", ws, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// TxBegin implements replica.Peer.
+func (n *RemoteNode) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
+	var reply BeginReply
+	if err := n.call("Node.TxBegin", BeginArgs{ReadOnly: readOnly, Version: version}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.ID, reply.Err()
+}
+
+// TxExec implements replica.Peer.
+func (n *RemoteNode) TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error) {
+	var reply ExecReply
+	if err := n.call("Node.TxExec", ExecArgs{TxID: txID, Stmt: stmt, Params: params}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Result, reply.Err()
+}
+
+// TxCommit implements replica.Peer.
+func (n *RemoteNode) TxCommit(txID uint64) (vclock.Vector, error) {
+	var reply CommitReply
+	if err := n.call("Node.TxCommit", txID, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Version, reply.Err()
+}
+
+// TxRollback implements replica.Peer.
+func (n *RemoteNode) TxRollback(txID uint64) error {
+	var st Status
+	if err := n.call("Node.TxRollback", txID, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// AbortActiveSessions implements replica.Peer.
+func (n *RemoteNode) AbortActiveSessions() (int, error) {
+	var reply AbortReply
+	if err := n.call("Node.AbortActiveSessions", struct{}{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Aborted, reply.Err()
+}
+
+// Role implements replica.Peer.
+func (n *RemoteNode) Role() (replica.Role, error) {
+	var reply RoleReply
+	if err := n.call("Node.Role", struct{}{}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Role, reply.Err()
+}
+
+// Promote implements replica.Peer.
+func (n *RemoteNode) Promote(classTables []int) error {
+	var st Status
+	if err := n.call("Node.Promote", classTables, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Demote implements replica.Peer.
+func (n *RemoteNode) Demote(to replica.Role) error {
+	var st Status
+	if err := n.call("Node.Demote", to, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// DiscardAbove implements replica.Peer.
+func (n *RemoteNode) DiscardAbove(v vclock.Vector) error {
+	var st Status
+	if err := n.call("Node.DiscardAbove", v, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// MaxVersions implements replica.Peer.
+func (n *RemoteNode) MaxVersions() (vclock.Vector, error) {
+	var reply VersionReply
+	if err := n.call("Node.MaxVersions", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Version, reply.Err()
+}
+
+// StartJoin implements replica.Peer.
+func (n *RemoteNode) StartJoin() error {
+	var st Status
+	if err := n.call("Node.StartJoin", struct{}{}, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// PageVersions implements replica.Peer.
+func (n *RemoteNode) PageVersions() (heap.PageVersionMap, error) {
+	var reply PageVersionsReply
+	if err := n.call("Node.PageVersions", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Versions, reply.Err()
+}
+
+// DeltaSince implements replica.Peer.
+func (n *RemoteNode) DeltaSince(have heap.PageVersionMap, target vclock.Vector) ([]page.Image, error) {
+	var reply DeltaReply
+	if err := n.call("Node.DeltaSince", DeltaArgs{Have: have, Target: target}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Images, reply.Err()
+}
+
+// InstallDelta implements replica.Peer.
+func (n *RemoteNode) InstallDelta(images []page.Image) error {
+	var st Status
+	if err := n.call("Node.InstallDelta", images, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// FinishJoin implements replica.Peer.
+func (n *RemoteNode) FinishJoin() error {
+	var st Status
+	if err := n.call("Node.FinishJoin", struct{}{}, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// WarmPages implements replica.Peer.
+func (n *RemoteNode) WarmPages(keys []simdisk.PageKey) error {
+	var st Status
+	if err := n.call("Node.WarmPages", keys, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// ResidentPages implements replica.Peer.
+func (n *RemoteNode) ResidentPages(limit int) ([]simdisk.PageKey, error) {
+	var reply PagesReply
+	if err := n.call("Node.ResidentPages", limit, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Keys, reply.Err()
+}
+
+// SetSubscribers re-points the remote node's replication stream.
+func (n *RemoteNode) SetSubscribers(addrs map[string]string) error {
+	var st Status
+	if err := n.call("Node.SetSubscribers", addrs, &st); err != nil {
+		return err
+	}
+	return st.Err()
+}

@@ -1,0 +1,302 @@
+// Package value defines the SQL value model shared by the storage engines,
+// the SQL executor, and the replication wire format.
+//
+// A Value is a small tagged union over the four column types the TPC-W
+// schema needs (64-bit integers, 64-bit floats, strings, and NULL). Rows are
+// flat slices of values in table-column order. Values are comparable with a
+// total order (NULL sorts first, then numerics by numeric value, then
+// strings lexicographically) so they can key the red-black-tree indexes.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. Null is deliberately the zero value so that a zero Value is a
+// valid SQL NULL.
+const (
+	Null Kind = iota
+	Int
+	Float
+	String
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "NULL"
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "STRING"
+	default:
+		return "KIND(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Value is one SQL datum. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Row is one table row, in declared column order.
+type Row []Value
+
+// Convenience constructors.
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{K: Int, I: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Value{K: Float, F: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{K: String, S: s} }
+
+// NewNull returns the NULL value.
+func NewNull() Value { return Value{} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.K == Null }
+
+// AsInt returns the value coerced to int64. Floats truncate; strings parse
+// (returning 0 on failure); NULL is 0.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case Int:
+		return v.I
+	case Float:
+		return int64(v.F)
+	case String:
+		n, _ := strconv.ParseInt(v.S, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat returns the value coerced to float64.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case Int:
+		return float64(v.I)
+	case Float:
+		return v.F
+	case String:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString returns the value rendered as a string.
+func (v Value) AsString() string {
+	switch v.K {
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer; strings are quoted for readability.
+func (v Value) String() string {
+	if v.K == String {
+		return strconv.Quote(v.S)
+	}
+	if v.K == Null {
+		return "NULL"
+	}
+	return v.AsString()
+}
+
+// Compare returns -1, 0, or +1 ordering a before/equal/after b. The order is
+// total: NULL < numbers < strings; Int and Float compare numerically with
+// each other.
+func Compare(a, b Value) int {
+	ra, rb := rank(a.K), rank(b.K)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0: // both NULL
+		return 0
+	case 1: // both numeric
+		if a.K == Int && b.K == Int {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	default: // both strings
+		return strings.Compare(a.S, b.S)
+	}
+}
+
+func rank(k Kind) int {
+	switch k {
+	case Null:
+		return 0
+	case Int, Float:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Equal reports whether a and b are equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// CompareRows orders two rows (or row prefixes) lexicographically; shorter
+// prefixes sort first when equal so far.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the row (values are already value types, so a
+// shallow copy of the slice suffices; the backing array is new).
+func (r Row) Clone() Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for diagnostics.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key renders a row as a stable map key for grouping and duplicate
+// elimination. The encoding is injective: each value is prefixed by its kind
+// and length so distinct rows never collide.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		switch v.K {
+		case Null:
+			b.WriteString("n;")
+		case Int:
+			b.WriteString("i")
+			b.WriteString(strconv.FormatInt(v.I, 10))
+			b.WriteByte(';')
+		case Float:
+			b.WriteString("f")
+			b.WriteString(strconv.FormatFloat(v.F, 'b', -1, 64))
+			b.WriteByte(';')
+		case String:
+			b.WriteString("s")
+			b.WriteString(strconv.Itoa(len(v.S)))
+			b.WriteByte(':')
+			b.WriteString(v.S)
+			b.WriteByte(';')
+		}
+	}
+	return b.String()
+}
+
+// ColumnType is the declared type of a table column.
+type ColumnType uint8
+
+// Column types supported by the engine.
+const (
+	TInt ColumnType = iota + 1
+	TFloat
+	TString
+)
+
+// String implements fmt.Stringer.
+func (t ColumnType) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Coerce converts v to column type t, mirroring permissive SQL assignment.
+func Coerce(v Value, t ColumnType) Value {
+	if v.IsNull() {
+		return v
+	}
+	switch t {
+	case TInt:
+		if v.K == Int {
+			return v
+		}
+		return NewInt(v.AsInt())
+	case TFloat:
+		if v.K == Float {
+			return v
+		}
+		return NewFloat(v.AsFloat())
+	case TString:
+		if v.K == String {
+			return v
+		}
+		return NewString(v.AsString())
+	default:
+		return v
+	}
+}
