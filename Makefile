@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+# Standard vet plus the project's own concurrency analyzers (cmd/dmv-vet).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dmv-vet ./...
+
+# The full gate CI runs: build, vet, dmv-vet, race tests, dmvdebug chaos leg.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -217,7 +217,9 @@ func electAndPromote(sched *scheduler.Scheduler, slaves []*transport.RemoteNode,
 		if s.ID() == failedID || s.Ping() != nil {
 			continue
 		}
-		_ = s.DiscardAbove(lastSeen)
+		if err := s.DiscardAbove(lastSeen); err != nil {
+			log.Printf("discard on %s: %v (continuing fail-over)", s.ID(), err)
+		}
 		if candidate == nil {
 			candidate = s
 		}

@@ -72,8 +72,12 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
-			return harness.WriteCSV(f, r.Series)
+			if err := harness.WriteCSV(f, r.Series); err != nil {
+				_ = f.Close()
+				return err
+			}
+			// Close flushes: its error is the write's error.
+			return f.Close()
 		}
 		return nil
 	}

@@ -1,0 +1,84 @@
+// Package analysis is a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository: an Analyzer is
+// a named check with a Run function, a Pass hands it one type-checked
+// package, and diagnostics are positioned messages. The subset exists
+// because the DMV invariant checkers (lockorder, vclockmut, guardedfield,
+// copylockws) must build with the standard library alone; the API mirrors
+// x/tools so the analyzers port verbatim if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer run with a single type-checked package and a
+// sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined findings sorted by file position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { out = append(out, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(out, func(i, j int) bool {
+			pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			return out[i].Analyzer < out[j].Analyzer
+		})
+	}
+	return out, nil
+}

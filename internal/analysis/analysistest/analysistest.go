@@ -1,0 +1,196 @@
+// Package analysistest runs an analyzer over small fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest with the standard library
+// alone. Fixtures live under <testdata>/src/<pkg>/; imports are resolved
+// from sibling fixture directories first and from the real source importer
+// (standard library) otherwise.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dmv/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package and reports any
+// mismatch between actual diagnostics and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		root:     filepath.Join(testdata, "src"),
+		imported: make(map[string]*fixture),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	for _, pkg := range pkgs {
+		fx, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pkg, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     fx.files,
+			Pkg:       fx.pkg,
+			TypesInfo: fx.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: run on %s: %v", a.Name, pkg, err)
+		}
+		check(t, ld.fset, fx.files, diags)
+	}
+}
+
+type fixture struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	fallback types.Importer
+	imported map[string]*fixture
+}
+
+// Import lets fixture packages import sibling fixtures by bare path.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fx, err := l.load(path); err == nil {
+		return fx.pkg, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *loader) load(path string) (*fixture, error) {
+	if fx, done := l.imported[path]; done {
+		return fx, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files", path)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check fixture %s: %w", path, err)
+	}
+	fx := &fixture{pkg: pkg, files: files, info: info}
+	l.imported[path] = fx
+	return fx, nil
+}
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want((?:\s+(?:"(?:[^"\\]|\\.)*"` + "|`[^`]*`" + `))+)\s*$`)
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+// check compares diagnostics against // want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	got := make(map[lineKey][]analysis.Diagnostic)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		got[key] = append(got[key], d)
+	}
+	keys := make(map[lineKey]struct{})
+	for k := range wants {
+		keys[k] = struct{}{}
+	}
+	for k := range got {
+		keys[k] = struct{}{}
+	}
+	sorted := make([]lineKey, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].file != sorted[j].file {
+			return sorted[i].file < sorted[j].file
+		}
+		return sorted[i].line < sorted[j].line
+	})
+	for _, k := range sorted {
+		msgs := got[k]
+		used := make([]bool, len(msgs))
+		for _, re := range wants[k] {
+			matched := false
+			for i, d := range msgs {
+				if !used[i] && re.MatchString(d.Message) {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re.String())
+			}
+		}
+		for i, d := range msgs {
+			if !used[i] {
+				t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", k.file, k.line, d.Analyzer, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package copylockws flags by-value copies of replication-critical
+// buffers: heap.WriteSet (the shipped modification list — a copy aliases
+// Records while forking TxID/Version bookkeeping) and page.Page (which
+// embeds the page latch; a copy tears the latch from the rows it guards).
+// Like the standard copylocks vet check, it inspects parameters, results,
+// receivers, assignments, dereferences, and range clauses.
+package copylockws
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dmv/internal/analysis"
+)
+
+// Analyzer flags by-value copies of WriteSet and Page values.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylockws",
+	Doc:  "flag by-value copies of WriteSet / page buffers that alias shipped modification lists",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, node.Recv, "receiver")
+				if node.Type.Params != nil {
+					checkFieldList(pass, node.Type.Params, "parameter")
+				}
+				if node.Type.Results != nil {
+					checkFieldList(pass, node.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if node.Type.Params != nil {
+					checkFieldList(pass, node.Type.Params, "parameter")
+				}
+				if node.Type.Results != nil {
+					checkFieldList(pass, node.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.GenDecl:
+				for _, spec := range node.Specs {
+					if vs, isVal := spec.(*ast.ValueSpec); isVal {
+						for _, val := range vs.Values {
+							checkCopyExpr(pass, val)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil {
+					if name := protectedName(info.TypeOf(node.Value)); name != "" {
+						pass.Reportf(node.Value.Pos(), "range clause copies %s by value per iteration; iterate over pointers or index the slice", name)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range node.Args {
+					checkCopyExpr(pass, arg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFieldList flags declared values (params/results/receivers) of a
+// protected type passed by value.
+func checkFieldList(pass *analysis.Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		if name := protectedName(pass.TypesInfo.TypeOf(field.Type)); name != "" {
+			pass.Reportf(field.Type.Pos(), "%s passes %s by value: the copy aliases the shipped modification list; use *%s", kind, name, name)
+		}
+	}
+}
+
+// checkCopyExpr flags expressions whose evaluation copies an existing
+// protected value: identifiers, selectors, index expressions, and
+// dereferences. Composite literals and call results construct fresh
+// values and are allowed.
+func checkCopyExpr(pass *analysis.Pass, e ast.Expr) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if name := protectedName(pass.TypesInfo.TypeOf(e)); name != "" {
+		pass.Reportf(e.Pos(), "copies %s by value: the copy aliases the shipped modification list; use *%s", name, name)
+	}
+}
+
+// protectedName reports the type name when t is a protected buffer type
+// copied by value: WriteSet (any package) or Page from a package named
+// "page".
+func protectedName(t types.Type) string {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return ""
+	}
+	switch {
+	case obj.Name() == "WriteSet":
+		return "WriteSet"
+	case obj.Name() == "Page" && obj.Pkg().Name() == "page":
+		return "Page"
+	}
+	return ""
+}

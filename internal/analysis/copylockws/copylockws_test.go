@@ -1,0 +1,12 @@
+package copylockws_test
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+	"dmv/internal/analysis/copylockws"
+)
+
+func TestCopyLockWS(t *testing.T) {
+	analysistest.Run(t, "testdata", copylockws.Analyzer, "copylockws")
+}

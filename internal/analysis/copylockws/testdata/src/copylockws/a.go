@@ -1,0 +1,60 @@
+// Fixture for copylockws: WriteSet and page.Page must travel by pointer.
+package copylockws
+
+import "page"
+
+// WriteSet doubles dmv/internal/heap.WriteSet (matched by type name).
+type WriteSet struct {
+	TxID    uint64
+	Records []int
+}
+
+func byValue(ws WriteSet) uint64 { // want `parameter passes WriteSet by value`
+	return ws.TxID
+}
+
+func byPointer(ws *WriteSet) uint64 {
+	return ws.TxID
+}
+
+func returnsValue() WriteSet { // want `result passes WriteSet by value`
+	return WriteSet{}
+}
+
+func deref(p *WriteSet) uint64 {
+	w := *p // want `copies WriteSet by value`
+	return w.TxID
+}
+
+func callCopies(p *WriteSet) uint64 {
+	return byPointer(p) + byValue(*p) // want `copies WriteSet by value`
+}
+
+func ranged(list []WriteSet) uint64 {
+	var total uint64
+	for _, ws := range list { // want `range clause copies WriteSet by value per iteration`
+		total += ws.TxID
+	}
+	for i := range list { // ok: indexing does not copy
+		total += list[i].TxID
+	}
+	return total
+}
+
+func pageByValue(p page.Page) int { // want `parameter passes Page by value`
+	return p.Rows()
+}
+
+func pageDeref(p *page.Page) {
+	q := *p // want `copies Page by value`
+	_ = q.Rows()
+}
+
+func pointersOK(list []*WriteSet, p *page.Page) uint64 {
+	var total uint64
+	for _, ws := range list { // ok: pointer elements
+		total += ws.TxID
+	}
+	_ = p.Rows()
+	return total
+}

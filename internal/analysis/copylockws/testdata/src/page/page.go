@@ -1,0 +1,17 @@
+// Stub of dmv/internal/page for the copylockws fixtures.
+package page
+
+import "sync"
+
+// Page is a versioned memory page with an embedded latch.
+type Page struct {
+	mu   sync.RWMutex
+	rows map[uint64][]byte
+}
+
+// Rows returns the row count.
+func (p *Page) Rows() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.rows)
+}

@@ -1,0 +1,246 @@
+// Package guardedfield checks the `// guarded by <mu>` comment convention:
+// a struct field carrying that comment may only be read while some lock on
+// the same receiver named <mu> is held (RLock suffices) and only be
+// written under the exclusive lock.
+//
+// The analysis walks each function with the branch-aware lock tracker, so
+// early-unlock-and-return branches, deferred unlocks, and switch arms are
+// modelled. Exemptions: functions whose name ends in "Locked" (callers
+// hold the lock by contract), and accesses through objects freshly
+// constructed in the same function (composite literal or new), which are
+// unshared by definition.
+package guardedfield
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"dmv/internal/analysis"
+)
+
+// Analyzer enforces // guarded by annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedfield",
+	Doc:  "check that fields annotated `// guarded by <mu>` are accessed only under their lock",
+	Run:  run,
+}
+
+var guardRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			v := &visitor{
+				pass:   pass,
+				guards: guards,
+				fresh:  make(map[types.Object]bool),
+				writes: collectWrites(fd.Body),
+			}
+			analysis.WalkFunc(pass.TypesInfo, fd.Body, v)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guard mutex name.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, isStruct := n.(*ast.StructType)
+			if !isStruct {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardName(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if vr, isVar := pass.TypesInfo.Defs[name].(*types.Var); isVar {
+						guards[vr] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// collectWrites gathers the selector nodes that appear in a mutating
+// position: assignment targets (including index writes through the
+// field), ++/--, and delete() calls.
+func collectWrites(body *ast.BlockStmt) map[ast.Node]bool {
+	writes := make(map[ast.Node]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		case *ast.CallExpr:
+			if id, isIdent := st.Fun.(*ast.Ident); isIdent && id.Name == "delete" && len(st.Args) > 0 {
+				mark(st.Args[0])
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+type visitor struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]string
+	fresh  map[types.Object]bool
+	writes map[ast.Node]bool
+}
+
+func (v *visitor) Acquire(call *ast.CallExpr, h analysis.Held, held []analysis.Held) {}
+
+func (v *visitor) Visit(n ast.Node, held []analysis.Held) {
+	switch node := n.(type) {
+	case *ast.AssignStmt:
+		// x := &T{...} / T{...} / new(T): x is unshared in this frame.
+		for i, lhs := range node.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || i >= len(node.Rhs) {
+				continue
+			}
+			if isFreshValue(node.Rhs[i]) {
+				if obj := v.pass.TypesInfo.Defs[id]; obj != nil {
+					v.fresh[obj] = true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		v.checkAccess(node, held)
+	}
+}
+
+func (v *visitor) checkAccess(sel *ast.SelectorExpr, held []analysis.Held) {
+	s, found := v.pass.TypesInfo.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return
+	}
+	field, isVar := s.Obj().(*types.Var)
+	if !isVar {
+		return
+	}
+	guard, guarded := v.guards[field]
+	if !guarded {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		if obj := objOf(v.pass.TypesInfo, root); obj != nil && v.fresh[obj] {
+			return
+		}
+	}
+	base := types.ExprString(sel.X)
+	isWrite := v.writes[sel]
+	var readHeld bool
+	for _, h := range held {
+		if h.Field != guard || h.Inst != base {
+			continue
+		}
+		if !h.RLock {
+			return // exclusive lock covers reads and writes
+		}
+		readHeld = true
+	}
+	if isWrite {
+		if readHeld {
+			v.pass.Reportf(sel.Pos(), "write to %s.%s (guarded by %s) while holding only the read lock", base, field.Name(), guard)
+		} else {
+			v.pass.Reportf(sel.Pos(), "write to %s.%s (guarded by %s) without holding %s.%s", base, field.Name(), guard, base, guard)
+		}
+		return
+	}
+	if !readHeld {
+		v.pass.Reportf(sel.Pos(), "access to %s.%s (guarded by %s) without holding %s.%s", base, field.Name(), guard, base, guard)
+	}
+}
+
+// isFreshValue reports whether e constructs a brand-new object.
+func isFreshValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, isLit := x.X.(*ast.CompositeLit)
+		return x.Op.String() == "&" && isLit
+	case *ast.CallExpr:
+		id, isIdent := x.Fun.(*ast.Ident)
+		return isIdent && id.Name == "new"
+	}
+	return false
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj, found := info.Uses[id]; found {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,12 @@
+package guardedfield_test
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+	"dmv/internal/analysis/guardedfield"
+)
+
+func TestGuardedField(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedfield.Analyzer, "guardedfield")
+}

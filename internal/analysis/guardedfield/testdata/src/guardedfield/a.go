@@ -1,0 +1,86 @@
+// Fixture for guardedfield: the subs/sessions fields carry the
+// `// guarded by <mu>` annotation; accesses must hold the named lock on
+// the same receiver, writes need the exclusive lock, and constructors /
+// *Locked helpers are exempt.
+package guardedfield
+
+import "sync"
+
+type Node struct {
+	mu sync.RWMutex
+	// subs is the replication subscriber list.
+	subs []string // guarded by mu
+
+	sessMu   sync.Mutex
+	sessions map[uint64]string // guarded by sessMu
+}
+
+func (n *Node) Good() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, len(n.subs))
+	copy(out, n.subs)
+	return out
+}
+
+func (n *Node) GoodWrite(s string) {
+	n.mu.Lock()
+	n.subs = append(n.subs, s)
+	n.mu.Unlock()
+}
+
+func (n *Node) Bad() int {
+	return len(n.subs) // want `access to n\.subs \(guarded by mu\) without holding n\.mu`
+}
+
+func (n *Node) BadWrite() {
+	n.mu.RLock()
+	n.subs = nil // want `write to n\.subs \(guarded by mu\) while holding only the read lock`
+	n.mu.RUnlock()
+}
+
+func (n *Node) WrongLock(id uint64) string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.sessions[id] // want `access to n\.sessions \(guarded by sessMu\) without holding n\.sessMu`
+}
+
+func (n *Node) BadDelete(id uint64) {
+	delete(n.sessions, id) // want `write to n\.sessions \(guarded by sessMu\) without holding n\.sessMu`
+}
+
+func (n *Node) appendLocked(s string) {
+	n.subs = append(n.subs, s) // ok: *Locked functions hold the lock by contract
+}
+
+func NewNode() *Node {
+	n := &Node{sessions: make(map[uint64]string)}
+	n.subs = []string{"seed"} // ok: n is unshared until returned
+	return n
+}
+
+func (n *Node) EarlyUnlock(skip bool) int {
+	n.mu.Lock()
+	if skip {
+		n.mu.Unlock()
+		return 0
+	}
+	total := len(n.subs) // ok: the lock is still held on this path
+	n.mu.Unlock()
+	return total
+}
+
+func (n *Node) BadAfterUnlock() int {
+	n.mu.Lock()
+	n.mu.Unlock()
+	return len(n.subs) // want `access to n\.subs \(guarded by mu\) without holding n\.mu`
+}
+
+// BadGoroutine accesses the field from a closure that outlives the lock.
+func (n *Node) BadGoroutine() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		_ = n.subs // want `access to n\.subs \(guarded by mu\) without holding n\.mu`
+	}()
+}

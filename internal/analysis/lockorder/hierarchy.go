@@ -1,0 +1,99 @@
+package lockorder
+
+// This file is the single declaration of DMV's lock hierarchy. Lower
+// levels are outer locks: code holding a lock may only acquire locks with
+// a strictly greater level. The bands mirror the layering of the system —
+// cluster orchestration on the outside, then scheduler routing state,
+// then per-node replica state, the transport, the storage engine
+// (engine -> table -> index), page latches, and finally the version
+// clocks, which are leaf locks acquired with page latches held during the
+// master pre-commit (heap.UpdateTx.Commit ticks the clock while the
+// transaction's page locks are still down).
+//
+// Same-level locks are exempt from ordering so that ordered same-class
+// acquisition stays legal (2PL acquires many page latches; the innodb
+// tier locks its table mutexes in sorted order), but re-acquiring the
+// same instance is always flagged.
+//
+// DESIGN.md ("Concurrency invariants") documents the bands; dmv-vet
+// enforces them.
+
+// Hierarchy bands. Gaps leave room for new locks without renumbering.
+const (
+	levelFence     = 5  // scheduler commit fence: held across fail-over rollback, outermost
+	levelCluster   = 10 // cluster orchestration (membership, event log)
+	levelScheduler = 20 // scheduler routing state
+	levelReplica   = 30 // per-node replica state (sessions, subscribers)
+	levelTransport = 35 // RPC client/server bookkeeping
+	levelEngine    = 40 // heap engine catalog
+	levelTable     = 44 // per-table directory / row-location / allocator
+	levelIndex     = 48 // versioned secondary indexes
+	levelPage      = 50 // page latches (2PL; many held at once)
+	levelClock     = 60 // version clocks: innermost, held for a few loads
+)
+
+// DefaultConfig declares every annotated mutex in the tree. A lock absent
+// from this table is ignored by the hierarchy check (but still feeds the
+// cycle detector), so new locks fail open until declared here.
+var DefaultConfig = &Config{
+	Levels: map[string]int{
+		// cluster
+		"dmv/internal/cluster.Cluster.mu":   levelCluster,
+		"dmv/internal/cluster.Cluster.evMu": levelCluster + 2,
+
+		// scheduler
+		"dmv/internal/scheduler.Scheduler.commitFence": levelFence,
+		"dmv/internal/scheduler.Scheduler.mu":          levelScheduler,
+		"dmv/internal/scheduler.classState.mu":         levelScheduler + 1,
+		"dmv/internal/scheduler.replicaState.verMu":    levelScheduler + 2,
+		"dmv/internal/scheduler.Scheduler.rngMu":       levelScheduler + 3,
+		"dmv/internal/scheduler.Scheduler.stmtMu":      levelScheduler + 3,
+
+		// replica. TxCommit fixes the order session.mu -> commitMu ->
+		// (broadcast) subsMu; sessMu is released before any session.mu is
+		// taken, but sits outside it for clarity.
+		"dmv/internal/replica.Node.joinMu":   levelReplica,
+		"dmv/internal/replica.Node.sessMu":   levelReplica + 1,
+		"dmv/internal/replica.session.mu":    levelReplica + 2,
+		"dmv/internal/replica.Node.commitMu": levelReplica + 3,
+		"dmv/internal/replica.Node.subsMu":   levelReplica + 4,
+		"dmv/internal/replica.Node.roleMu":   levelReplica + 4,
+		"dmv/internal/replica.Node.stmtMu":   levelReplica + 4,
+		"dmv/internal/replica.Node.cpMu":     levelReplica + 4,
+
+		// transport
+		"dmv/internal/transport.Server.connMu": levelTransport,
+		"dmv/internal/transport.RemoteNode.mu": levelTransport,
+
+		// heap storage engine
+		"dmv/internal/heap.Engine.mu":      levelEngine,
+		"dmv/internal/heap.Engine.txSeqMu": levelEngine + 1,
+		"dmv/internal/heap.Table.allocMu":  levelTable,
+		"dmv/internal/heap.Table.dirMu":    levelTable + 1,
+		"dmv/internal/heap.Table.rlMu":     levelTable + 2,
+		"dmv/internal/heap.Table.idxMu":    levelTable + 3,
+		"dmv/internal/heap.Index.mu":       levelIndex,
+
+		// page latches
+		"dmv/internal/page.Page.mu": levelPage,
+
+		// version clocks (leaves)
+		"dmv/internal/vclock.Clock.mu":  levelClock,
+		"dmv/internal/vclock.Merged.mu": levelClock,
+	},
+	Callees: map[string]int{
+		// Cross-package entry points that acquire locks internally; calling
+		// one of these while holding a lock of a *higher* level inverts the
+		// hierarchy even though the acquisition is not visible in the
+		// calling package.
+		"dmv/internal/vclock.Clock.Tick":     levelClock,
+		"dmv/internal/vclock.Clock.Current":  levelClock,
+		"dmv/internal/vclock.Clock.Advance":  levelClock,
+		"dmv/internal/vclock.Clock.ResetTo":  levelClock,
+		"dmv/internal/vclock.Merged.Report":  levelClock,
+		"dmv/internal/vclock.Merged.Latest":  levelClock,
+		"dmv/internal/vclock.Merged.Reset":   levelClock,
+		"dmv/internal/heap.Engine.table":     levelEngine,
+		"dmv/internal/heap.Engine.allTables": levelEngine,
+	},
+}

@@ -1,0 +1,315 @@
+// Package lockorder flags lock acquisitions that violate DMV's declared
+// lock hierarchy and cycles in the per-package lock-acquisition graph.
+//
+// The checker walks every function with the branch-aware lock tracker,
+// records an edge A -> B whenever lock B is acquired while A is held, and
+// reports: (1) acquisitions whose declared level is lower (more outer)
+// than a lock already held — the classic inversion that deadlocks two
+// goroutines locking in opposite orders; (2) calls to functions known to
+// acquire low-level locks while a higher-level lock is held, using
+// package-local call summaries plus the declared cross-package table; and
+// (3) cycles in the aggregated acquisition graph, which catch inversions
+// split across two functions even when neither site is annotated.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dmv/internal/analysis"
+)
+
+// Config declares the lock hierarchy the analyzer enforces.
+type Config struct {
+	// Levels maps a lock site key ("pkgpath.Type.field") to its level.
+	// Lower levels are outer locks: while holding level L, only locks with
+	// level strictly greater than L may be acquired (equal levels are
+	// tolerated for ordered same-class acquisition, e.g. sorted page or
+	// table locks).
+	Levels map[string]int
+	// Callees maps a qualified function or interface-method name
+	// ("pkgpath.Type.Method" or "pkgpath.Func") to the minimum lock level
+	// it may acquire, covering calls that cross package boundaries where
+	// the per-package summary cannot see the callee's body.
+	Callees map[string]int
+}
+
+// New returns a lockorder analyzer enforcing cfg.
+func New(cfg *Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "lockorder",
+		Doc:  "check lock acquisitions against the declared DMV lock hierarchy and find acquisition cycles",
+	}
+	a.Run = func(pass *analysis.Pass) error { return run(pass, cfg) }
+	return a
+}
+
+// Analyzer enforces the repository's default hierarchy (hierarchy.go).
+var Analyzer = New(DefaultConfig)
+
+type edge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func run(pass *analysis.Pass, cfg *Config) error {
+	summaries := buildSummaries(pass, cfg)
+	var edges []edge
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			v := &visitor{pass: pass, cfg: cfg, summaries: summaries, edges: &edges}
+			analysis.WalkFunc(pass.TypesInfo, fd.Body, v)
+		}
+	}
+	reportCycles(pass, edges)
+	return nil
+}
+
+type visitor struct {
+	pass      *analysis.Pass
+	cfg       *Config
+	summaries map[*types.Func]int
+	edges     *[]edge
+}
+
+func (v *visitor) Acquire(call *ast.CallExpr, h analysis.Held, held []analysis.Held) {
+	for _, g := range held {
+		if g.Key != "" && h.Key != "" && g.Key != h.Key {
+			*v.edges = append(*v.edges, edge{from: g.Key, to: h.Key, pos: call.Pos()})
+		}
+		// Re-acquiring the same mutex instance exclusively self-deadlocks
+		// (Go sync mutexes are not reentrant).
+		if g.Key == h.Key && g.Inst == h.Inst && !(g.RLock && h.RLock) {
+			v.pass.Reportf(call.Pos(), "acquires %s.%s while already holding it (sync mutexes are not reentrant)", h.Inst, h.Field)
+			continue
+		}
+		lh, okH := v.cfg.Levels[h.Key]
+		lg, okG := v.cfg.Levels[g.Key]
+		if okH && okG && lh < lg {
+			v.pass.Reportf(call.Pos(), "acquires %s (level %d) while holding %s (level %d): violates the declared lock hierarchy", short(h.Key), lh, short(g.Key), lg)
+		}
+	}
+}
+
+func (v *visitor) Visit(n ast.Node, held []analysis.Held) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall || len(held) == 0 {
+		return
+	}
+	if _, _, isLockCall := analysis.ClassifyLockCall(v.pass.TypesInfo, call); isLockCall {
+		return
+	}
+	fn := calleeFunc(v.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	floor, known := v.summaries[fn]
+	if !known {
+		floor, known = v.cfg.Callees[funcKey(fn)]
+	}
+	if !known {
+		return
+	}
+	for _, g := range held {
+		if lg, okG := v.cfg.Levels[g.Key]; okG && floor < lg {
+			v.pass.Reportf(call.Pos(), "calls %s (acquires locks at level %d) while holding %s (level %d): violates the declared lock hierarchy", fn.Name(), floor, short(g.Key), lg)
+		}
+	}
+}
+
+// buildSummaries computes, per package-local function, the minimum
+// declared level of any lock it may (transitively, within the package)
+// acquire. Functions that acquire nothing relevant are absent.
+func buildSummaries(pass *analysis.Pass, cfg *Config) map[*types.Func]int {
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			if fn, isDef := pass.TypesInfo.Defs[fd.Name].(*types.Func); isDef {
+				bodies[fn] = fd
+			}
+		}
+	}
+	direct := make(map[*types.Func]int)
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range bodies {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if op, h, isLockCall := analysis.ClassifyLockCall(pass.TypesInfo, call); isLockCall {
+				if op == analysis.OpLock || op == analysis.OpRLock {
+					if lvl, declared := cfg.Levels[h.Key]; declared {
+						setMin(direct, fn, lvl)
+					}
+				}
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if _, local := bodies[callee]; local {
+					calls[fn] = append(calls[fn], callee)
+				} else if lvl, declared := cfg.Callees[funcKey(callee)]; declared {
+					setMin(direct, fn, lvl)
+				}
+			}
+			return true
+		})
+	}
+	// Propagate to a fixed point (the package call graph is tiny).
+	summaries := make(map[*types.Func]int, len(direct))
+	for fn, lvl := range direct {
+		summaries[fn] = lvl
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			for _, callee := range callees {
+				if lvl, known := summaries[callee]; known {
+					if cur, has := summaries[fn]; !has || lvl < cur {
+						summaries[fn] = lvl
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return summaries
+}
+
+func setMin(m map[*types.Func]int, fn *types.Func, lvl int) {
+	if cur, has := m[fn]; !has || lvl < cur {
+		m[fn] = lvl
+	}
+}
+
+// calleeFunc resolves a call expression to its static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcKey renders a function as "pkgpath.Recv.Name" / "pkgpath.Name".
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if isSig && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// short trims the module path prefix from a lock key for messages.
+func short(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// reportCycles runs Tarjan's SCC over the aggregated acquisition graph and
+// reports every edge inside a non-trivial strongly connected component.
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	adj := make(map[string][]string)
+	firstPos := make(map[[2]string]token.Pos)
+	for _, e := range edges {
+		key := [2]string{e.from, e.to}
+		if _, seen := firstPos[key]; !seen {
+			firstPos[key] = e.pos
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string]int)
+	next, ncomp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	nodes := make([]string, 0, len(adj))
+	for v := range adj {
+		nodes = append(nodes, v)
+	}
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sizes := make(map[int]int)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	reported := make(map[[2]string]bool)
+	for _, e := range edges {
+		key := [2]string{e.from, e.to}
+		if reported[key] {
+			continue
+		}
+		cf, okF := comp[e.from]
+		ct, okT := comp[e.to]
+		if okF && okT && cf == ct && sizes[cf] > 1 {
+			reported[key] = true
+			pass.Report(analysis.Diagnostic{
+				Pos:      firstPos[key],
+				Analyzer: "lockorder",
+				Message:  fmt.Sprintf("lock-acquisition edge %s -> %s participates in a cycle: goroutines can deadlock by locking in opposite orders", short(e.from), short(e.to)),
+			})
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package lockorder
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+)
+
+func TestHierarchyAndCycles(t *testing.T) {
+	cfg := &Config{
+		Levels: map[string]int{
+			"lockorder.G1.mu": 10,
+			"lockorder.G2.mu": 20,
+			"lockorder.B1.mu": 10,
+			"lockorder.B2.mu": 20,
+		},
+	}
+	analysistest.Run(t, "testdata", New(cfg), "lockorder", "cycle")
+}

@@ -1,0 +1,34 @@
+// Fixture for the cycle detector: two locks with no declared levels,
+// acquired in opposite orders by two functions. Neither site violates a
+// declared hierarchy, but together they deadlock; only the graph sees it.
+package cycle
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-acquisition edge cycle\.A\.mu -> cycle\.B\.mu participates in a cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-acquisition edge cycle\.B\.mu -> cycle\.A\.mu participates in a cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// onlyOneDirection acquires a third lock pair in a single order; no cycle.
+type C struct{ mu sync.Mutex }
+
+func ac(a *A, c *C) {
+	a.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}

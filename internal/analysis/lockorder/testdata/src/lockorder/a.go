@@ -1,0 +1,84 @@
+// Fixture for the lockorder hierarchy checks. The test declares
+// lockorder.G1.mu / lockorder.B1.mu at level 10 (outer) and
+// lockorder.G2.mu / lockorder.B2.mu at level 20 (inner).
+package lockorder
+
+import "sync"
+
+// G1/G2 exercise the compliant path; B1/B2 the violations. Separate pairs
+// keep the acquisition graph acyclic so the cycle detector stays quiet
+// here (it has its own fixture).
+type G1 struct{ mu sync.Mutex }
+
+type G2 struct{ mu sync.Mutex }
+
+type B1 struct{ mu sync.Mutex }
+
+type B2 struct{ mu sync.Mutex }
+
+func good(o *G1, i *G2) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func goodDeferred(o *G1, i *G2) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return 1
+}
+
+// earlyUnlock releases the outer lock on one branch only; the inner
+// acquisition below is still in order on the fall-through path.
+func earlyUnlock(o *G1, i *G2, skip bool) {
+	o.mu.Lock()
+	if skip {
+		o.mu.Unlock()
+		return
+	}
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func inverted(o *B1, i *B2) {
+	i.mu.Lock()
+	o.mu.Lock() // want `acquires lockorder\.B1\.mu \(level 10\) while holding lockorder\.B2\.mu \(level 20\)`
+	o.mu.Unlock()
+	i.mu.Unlock()
+}
+
+func reentrant(o *B1) {
+	o.mu.Lock()
+	o.mu.Lock() // want `acquires o\.mu while already holding it`
+	o.mu.Unlock()
+	o.mu.Unlock()
+}
+
+func lockB1(o *B1) {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// callInverted holds the inner lock and calls a helper that acquires the
+// outer one: the inversion is only visible through the call summary.
+func callInverted(o *B1, i *B2) {
+	i.mu.Lock()
+	lockB1(o) // want `calls lockB1 \(acquires locks at level 10\) while holding lockorder\.B2\.mu \(level 20\)`
+	i.mu.Unlock()
+}
+
+// callInOrder holds the outer lock while the helper takes the inner one.
+func lockB2(i *B2) {
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+func callInOrder(o *B1, i *B2) {
+	o.mu.Lock()
+	lockB2(i)
+	o.mu.Unlock()
+}

@@ -1,0 +1,495 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Held is one mutex the walker believes is held at a program point.
+type Held struct {
+	// Key names the lock site: "pkgpath.Type.field" for struct-field
+	// mutexes, "pkgpath.var" for package-level mutexes, "local:name" for
+	// function-local ones, "" when the site cannot be resolved.
+	Key string
+	// Field is the mutex field or variable name (e.g. "mu").
+	Field string
+	// Inst renders the receiver base expression ("s" for s.mu), so two
+	// locks of the same type on different objects stay distinguishable.
+	Inst string
+	// RLock marks a shared (read) acquisition.
+	RLock bool
+	// Deferred marks a lock whose release is deferred to function exit.
+	Deferred bool
+	// Pos is the acquisition site.
+	Pos token.Pos
+}
+
+// LockVisitor observes the walk. Visit fires pre-order for every statement
+// and expression with the current held set; Acquire fires for each lock
+// acquisition with the set held just before it.
+type LockVisitor interface {
+	Visit(n ast.Node, held []Held)
+	Acquire(call *ast.CallExpr, h Held, held []Held)
+}
+
+// LockOp classifies a sync.(RW)Mutex method call.
+type LockOp int
+
+const (
+	OpNone LockOp = iota
+	OpLock
+	OpRLock
+	OpUnlock
+	OpRUnlock
+)
+
+// ClassifyLockCall reports whether call is a (possibly promoted)
+// sync.Mutex/sync.RWMutex lock-family method call and resolves its site.
+func ClassifyLockCall(info *types.Info, call *ast.CallExpr) (op LockOp, h Held, ok bool) {
+	fsel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return OpNone, h, false
+	}
+	switch fsel.Sel.Name {
+	case "Lock", "TryLock":
+		op = OpLock
+	case "RLock", "TryRLock":
+		op = OpRLock
+	case "Unlock":
+		op = OpUnlock
+	case "RUnlock":
+		op = OpRUnlock
+	default:
+		return OpNone, h, false
+	}
+	fn, isFn := info.Uses[fsel.Sel].(*types.Func)
+	if !isFn || !isSyncMutexMethod(fn) {
+		return OpNone, h, false
+	}
+	h = lockSite(info, fsel.X)
+	h.Pos = call.Pos()
+	h.RLock = op == OpRLock || op == OpRUnlock
+	return op, h, true
+}
+
+func isSyncMutexMethod(fn *types.Func) bool {
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+// lockSite resolves the mutex expression x (the receiver of Lock/Unlock)
+// to a stable site key plus instance rendering.
+func lockSite(info *types.Info, x ast.Expr) Held {
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, found := info.Selections[e]; found && sel.Kind() == types.FieldVal {
+			field := sel.Obj().(*types.Var)
+			if owner := namedOf(sel.Recv()); owner != nil && owner.Obj().Pkg() != nil {
+				return Held{
+					Key:   owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + field.Name(),
+					Field: field.Name(),
+					Inst:  types.ExprString(e.X),
+				}
+			}
+			return Held{Field: field.Name(), Inst: types.ExprString(e.X)}
+		}
+		// Qualified package-level var: pkg.Mu.Lock().
+		if vr, isVar := info.Uses[e.Sel].(*types.Var); isVar && vr.Pkg() != nil {
+			return Held{Key: vr.Pkg().Path() + "." + vr.Name(), Field: vr.Name()}
+		}
+	case *ast.Ident:
+		if vr, isVar := info.Uses[e].(*types.Var); isVar {
+			if vr.Pkg() != nil && vr.Parent() == vr.Pkg().Scope() {
+				return Held{Key: vr.Pkg().Path() + "." + vr.Name(), Field: vr.Name()}
+			}
+			return Held{Key: "local:" + vr.Name(), Field: vr.Name()}
+		}
+	case *ast.ParenExpr:
+		return lockSite(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockSite(info, e.X)
+		}
+	case *ast.StarExpr:
+		return lockSite(info, e.X)
+	}
+	// Embedded mutex (t.Lock() where T embeds sync.Mutex), index
+	// expressions, call results: fall back to the receiver type.
+	if tv, found := info.Types[x]; found {
+		if named := namedOf(tv.Type); named != nil && named.Obj().Pkg() != nil {
+			if named.Obj().Pkg().Path() == "sync" {
+				// Bare mutex reached through an index/call; identify by text.
+				return Held{Inst: types.ExprString(x)}
+			}
+			return Held{
+				Key:   named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".Mutex",
+				Field: "Mutex",
+				Inst:  types.ExprString(x),
+			}
+		}
+	}
+	return Held{Inst: types.ExprString(x)}
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+// WalkFunc walks one function body tracking the held-lock set with a small
+// branch-aware abstract interpretation: if/else and switch arms merge by
+// intersection, arms ending in return/break/continue/panic do not leak
+// their lock-state past the branch, deferred unlocks pin a lock to
+// function exit, and function literals are walked separately with an empty
+// held set (their bodies run at another time, on another goroutine, or
+// after the frame returns).
+func WalkFunc(info *types.Info, body *ast.BlockStmt, v LockVisitor) {
+	w := &lockWalker{info: info, v: v}
+	w.stmt(body)
+	for len(w.lits) > 0 {
+		lit := w.lits[0]
+		w.lits = w.lits[1:]
+		w.held = nil
+		w.stmt(lit.Body)
+	}
+}
+
+type lockWalker struct {
+	info *types.Info
+	v    LockVisitor
+	held []Held
+	lits []*ast.FuncLit
+}
+
+func (w *lockWalker) snapshot() []Held { return append([]Held(nil), w.held...) }
+
+func (w *lockWalker) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// terminates reports whether the statement list ends in a statement that
+// never falls through to the code after the enclosing block.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	}
+	return false
+}
+
+// intersect keeps the held entries present in every branch outcome.
+func intersect(outcomes [][]Held) []Held {
+	if len(outcomes) == 0 {
+		return nil
+	}
+	out := make([]Held, 0, len(outcomes[0]))
+	for _, h := range outcomes[0] {
+		inAll := true
+		for _, o := range outcomes[1:] {
+			found := false
+			for _, g := range o {
+				if g.Key == h.Key && g.Inst == h.Inst && g.RLock == h.RLock {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	w.v.Visit(s, w.held)
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.stmtList(st.List)
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, isGen := st.Decl.(*ast.GenDecl); isGen {
+			for _, spec := range gd.Specs {
+				if vs, isVal := spec.(*ast.ValueSpec); isVal {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e)
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	case *ast.SendStmt:
+		w.expr(st.Value)
+		w.expr(st.Chan)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.IfStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond)
+		saved := w.snapshot()
+		w.stmt(st.Body)
+		thenHeld, thenTerm := w.snapshot(), terminates(st.Body.List)
+		elseHeld, elseTerm := saved, false
+		if st.Else != nil {
+			w.held = append([]Held(nil), saved...)
+			w.stmt(st.Else)
+			elseHeld = w.snapshot()
+			if eb, isBlock := st.Else.(*ast.BlockStmt); isBlock {
+				elseTerm = terminates(eb.List)
+			} else if ei, isIf := st.Else.(*ast.IfStmt); isIf {
+				elseTerm = terminates([]ast.Stmt{ei})
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			w.held = saved
+		case thenTerm:
+			w.held = elseHeld
+		case elseTerm:
+			w.held = thenHeld
+		default:
+			w.held = intersect([][]Held{thenHeld, elseHeld})
+		}
+	case *ast.ForStmt:
+		w.stmt(st.Init)
+		w.expr(st.Cond)
+		saved := w.snapshot()
+		w.stmt(st.Body)
+		w.stmt(st.Post)
+		w.held = saved
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		saved := w.snapshot()
+		w.stmt(st.Body)
+		w.held = saved
+	case *ast.SwitchStmt:
+		w.stmt(st.Init)
+		w.expr(st.Tag)
+		w.caseClauses(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init)
+		w.stmt(st.Assign)
+		w.caseClauses(st.Body)
+	case *ast.SelectStmt:
+		w.caseClauses(st.Body)
+	case *ast.DeferStmt:
+		w.deferStmt(st)
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			w.expr(a)
+		}
+		if lit, isLit := st.Call.Fun.(*ast.FuncLit); isLit {
+			w.lits = append(w.lits, lit)
+		} else {
+			w.expr(st.Call.Fun)
+		}
+	}
+}
+
+// caseClauses processes a switch/select body: every arm starts from the
+// pre-switch state and the fall-through arms merge by intersection.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt) {
+	saved := w.snapshot()
+	outcomes := [][]Held{}
+	hasDefault := false
+	for _, cs := range body.List {
+		w.held = append([]Held(nil), saved...)
+		var list []ast.Stmt
+		switch clause := cs.(type) {
+		case *ast.CaseClause:
+			if clause.List == nil {
+				hasDefault = true
+			}
+			for _, e := range clause.List {
+				w.expr(e)
+			}
+			list = clause.Body
+		case *ast.CommClause:
+			if clause.Comm == nil {
+				hasDefault = true
+			}
+			w.stmt(clause.Comm)
+			list = clause.Body
+		}
+		w.stmtList(list)
+		if !terminates(list) {
+			outcomes = append(outcomes, w.snapshot())
+		}
+	}
+	if !hasDefault {
+		outcomes = append(outcomes, saved)
+	}
+	if len(outcomes) == 0 {
+		w.held = saved
+		return
+	}
+	w.held = intersect(outcomes)
+}
+
+// deferStmt handles `defer mu.Unlock()` (and the closure form) by pinning
+// the matching held entry to function exit instead of releasing it.
+func (w *lockWalker) deferStmt(st *ast.DeferStmt) {
+	for _, a := range st.Call.Args {
+		w.expr(a)
+	}
+	if op, h, isLockCall := ClassifyLockCall(w.info, st.Call); isLockCall && (op == OpUnlock || op == OpRUnlock) {
+		w.pinDeferred(h, op == OpRUnlock)
+		return
+	}
+	if lit, isLit := st.Call.Fun.(*ast.FuncLit); isLit {
+		// A deferred closure that releases a lock keeps it held to exit.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, isCall := n.(*ast.CallExpr); isCall {
+				if op, h, isLockCall := ClassifyLockCall(w.info, call); isLockCall && (op == OpUnlock || op == OpRUnlock) {
+					w.pinDeferred(h, op == OpRUnlock)
+				}
+			}
+			return true
+		})
+		w.lits = append(w.lits, lit)
+		return
+	}
+	w.expr(st.Call.Fun)
+}
+
+func (w *lockWalker) pinDeferred(h Held, runlock bool) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		g := &w.held[i]
+		if g.Key == h.Key && g.Inst == h.Inst && g.RLock == runlock && !g.Deferred {
+			g.Deferred = true
+			return
+		}
+	}
+}
+
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch ex := e.(type) {
+	case *ast.FuncLit:
+		w.v.Visit(ex, w.held)
+		w.lits = append(w.lits, ex)
+		return
+	case *ast.CallExpr:
+		w.v.Visit(ex, w.held)
+		// Evaluate receiver/args first, then apply the lock transition.
+		if fsel, isSel := ex.Fun.(*ast.SelectorExpr); isSel {
+			w.expr(fsel.X)
+		} else {
+			w.expr(ex.Fun)
+		}
+		for _, a := range ex.Args {
+			w.expr(a)
+		}
+		op, h, isLockCall := ClassifyLockCall(w.info, ex)
+		if !isLockCall {
+			return
+		}
+		switch op {
+		case OpLock, OpRLock:
+			w.v.Acquire(ex, h, w.held)
+			w.held = append(w.held, h)
+		case OpUnlock, OpRUnlock:
+			w.release(h, op == OpRUnlock)
+		}
+		return
+	}
+	w.v.Visit(e, w.held)
+	switch ex := e.(type) {
+	case *ast.SelectorExpr:
+		w.expr(ex.X)
+	case *ast.IndexExpr:
+		w.expr(ex.X)
+		w.expr(ex.Index)
+	case *ast.IndexListExpr:
+		w.expr(ex.X)
+	case *ast.SliceExpr:
+		w.expr(ex.X)
+		w.expr(ex.Low)
+		w.expr(ex.High)
+		w.expr(ex.Max)
+	case *ast.StarExpr:
+		w.expr(ex.X)
+	case *ast.UnaryExpr:
+		w.expr(ex.X)
+	case *ast.BinaryExpr:
+		w.expr(ex.X)
+		w.expr(ex.Y)
+	case *ast.ParenExpr:
+		w.expr(ex.X)
+	case *ast.TypeAssertExpr:
+		w.expr(ex.X)
+	case *ast.CompositeLit:
+		for _, elt := range ex.Elts {
+			w.expr(elt)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(ex.Key)
+		w.expr(ex.Value)
+	}
+}
+
+// release drops the most recent non-deferred matching acquisition.
+func (w *lockWalker) release(h Held, runlock bool) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		g := w.held[i]
+		if g.Key == h.Key && g.Inst == h.Inst && g.RLock == runlock && !g.Deferred {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}

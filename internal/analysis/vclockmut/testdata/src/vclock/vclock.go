@@ -1,0 +1,34 @@
+// Stub of dmv/internal/vclock for the vclockmut fixtures: the analyzer
+// matches the type by name and package name, so a minimal double keeps
+// the fixture free of module-path imports.
+package vclock
+
+// Vector is a version vector.
+type Vector []uint64
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Merge writes the element-wise maximum through v's backing array.
+func (v Vector) Merge(o Vector) Vector {
+	for i, x := range o {
+		if i < len(v) && x > v[i] {
+			v[i] = x
+		}
+	}
+	return v
+}
+
+// MinInto lowers v element-wise.
+func (v Vector) MinInto(o Vector) Vector {
+	for i := range v {
+		if i < len(o) && o[i] < v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}

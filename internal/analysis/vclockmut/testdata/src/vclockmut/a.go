@@ -1,0 +1,58 @@
+// Fixture for vclockmut: vectors may be mutated freely until they escape
+// (channel send, composite-literal publication, marshalling call); after
+// that every in-place write is a finding. Write-set version fields are
+// immutable unconditionally.
+package vclockmut
+
+import "vclock"
+
+// WriteSet doubles dmv/internal/heap.WriteSet (matched by type name).
+type WriteSet struct {
+	TxID    uint64
+	Version vclock.Vector
+}
+
+func sendThenMutate(ch chan vclock.Vector, v vclock.Vector) {
+	v[0] = 7 // ok: not escaped yet
+	ch <- v
+	v[0] = 8 // want `writes element of version vector "v" after it escaped`
+}
+
+func publishThenMerge(v, o vclock.Vector) *WriteSet {
+	ws := &WriteSet{TxID: 1, Version: v}
+	v.Merge(o) // want `calls Merge on version vector "v" after it escaped`
+	return ws
+}
+
+func marshalThenMinInto(v, o vclock.Vector) {
+	marshalVector(v)
+	v.MinInto(o) // want `calls MinInto on version vector "v" after it escaped`
+}
+
+func marshalVector(v vclock.Vector) []byte {
+	return nil
+}
+
+func writeSetStamp(ws *WriteSet) {
+	ws.Version[0]++ // want `writes element of ws\.Version: write-set version vectors are immutable`
+}
+
+func writeSetMerge(ws *WriteSet, o vclock.Vector) {
+	ws.Version.Merge(o) // want `calls Merge on ws\.Version: write-set version vectors are immutable`
+}
+
+func cloneBeforeSend(ch chan vclock.Vector, v vclock.Vector) {
+	ch <- v.Clone()
+	v[0] = 9 // ok: the clone escaped, not v
+}
+
+func fieldPublish(dst *WriteSet, v vclock.Vector) {
+	dst.Version = v
+	v[0] = 1 // want `writes element of version vector "v" after it escaped`
+}
+
+func rebindClears(ch chan vclock.Vector, v vclock.Vector) {
+	ch <- v
+	v = vclock.Vector{1, 2}
+	v[0] = 3 // ok: v was re-bound to a fresh vector after the send
+}

@@ -1,0 +1,222 @@
+// Package vclockmut enforces the paper's "stamped at pre-commit, immutable
+// thereafter" rule for version vectors: once a vclock.Vector value has
+// escaped the producing function — sent on a channel, published into a
+// struct field or composite literal, or handed to a marshalling /
+// broadcasting call — mutating it in place (index writes, Merge, MinInto)
+// races with every reader of the published value and silently rewrites the
+// database version a committed transaction was stamped with.
+//
+// Mutation through a WriteSet's Version field is flagged unconditionally:
+// a write-set is by construction already published to the replication
+// stream.
+//
+// The escape analysis is intraprocedural and tracks variables by identity
+// in source order; aliases created through plain assignment are not
+// followed (Clone the vector instead).
+package vclockmut
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"dmv/internal/analysis"
+)
+
+// Analyzer flags in-place mutation of escaped version vectors.
+var Analyzer = &analysis.Analyzer{
+	Name: "vclockmut",
+	Doc:  "flag mutation of version vectors after they escape (publication makes them immutable)",
+	Run:  run,
+}
+
+// publishRE matches call names that hand a value to the replication or
+// serialization machinery.
+var publishRE = regexp.MustCompile(`(?i)^(marshal|encode|send|broadcast|publish|report|gob)`)
+
+// mutators are vclock.Vector methods that write through the receiver.
+var mutators = map[string]bool{"Merge": true, "MinInto": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	escaped := make(map[*types.Var]bool)
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			// ch <- v, ch <- T{..., v, ...}: the vector is now shared with
+			// the receiving goroutine.
+			markVectors(info, st.Value, escaped)
+		case *ast.CompositeLit:
+			// Building a struct or slice around the vector aliases it into
+			// a value that typically outlives this frame (write-sets,
+			// commit records, RPC argument structs).
+			for _, elt := range st.Elts {
+				if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+					markVectors(info, kv.Value, escaped)
+				} else {
+					markVectors(info, elt, escaped)
+				}
+			}
+		case *ast.CallExpr:
+			if name := callName(st); publishRE.MatchString(name) {
+				for _, a := range st.Args {
+					markVectors(info, a, escaped)
+				}
+			}
+			// v.Merge(o) / v.MinInto(o) write through v's backing array.
+			if fsel, isSel := st.Fun.(*ast.SelectorExpr); isSel && mutators[fsel.Sel.Name] && isVector(info.TypeOf(fsel.X)) {
+				if vr := rootVar(info, fsel.X); vr != nil && escaped[vr] {
+					pass.Reportf(st.Pos(), "calls %s on version vector %q after it escaped: published vectors are immutable, Clone first", fsel.Sel.Name, vr.Name())
+				}
+				if ws := writeSetField(info, fsel.X); ws != "" {
+					pass.Reportf(st.Pos(), "calls %s on %s: write-set version vectors are immutable once published", fsel.Sel.Name, ws)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkMutation(pass, lhs, escaped)
+			}
+			// Publishing into a field of an existing object (p.Version = v)
+			// escapes the vector; re-binding the whole variable (v = ...)
+			// starts a fresh value.
+			for i, lhs := range st.Lhs {
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					if i < len(st.Rhs) {
+						markVectors(info, st.Rhs[i], escaped)
+					}
+					_ = l
+				case *ast.Ident:
+					if vr, isVar := objOf(info, l).(*types.Var); isVar && isVector(vr.Type()) {
+						delete(escaped, vr)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkMutation(pass, st.X, escaped)
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				markVectors(info, r, escaped)
+			}
+		}
+		return true
+	})
+}
+
+// checkMutation reports lhs if it is an index write into an escaped or
+// write-set-owned vector. Assign/IncDec on v[i] both route here.
+func checkMutation(pass *analysis.Pass, lhs ast.Expr, escaped map[*types.Var]bool) {
+	ix, isIndex := lhs.(*ast.IndexExpr)
+	if !isIndex || !isVector(pass.TypesInfo.TypeOf(ix.X)) {
+		return
+	}
+	if vr := rootVar(pass.TypesInfo, ix.X); vr != nil && escaped[vr] {
+		pass.Reportf(lhs.Pos(), "writes element of version vector %q after it escaped: published vectors are immutable, Clone first", vr.Name())
+	}
+	if ws := writeSetField(pass.TypesInfo, ix.X); ws != "" {
+		pass.Reportf(lhs.Pos(), "writes element of %s: write-set version vectors are immutable once published", ws)
+	}
+}
+
+// markVectors marks every vector-typed identifier reachable in e escaped.
+// Call expressions are not descended into: their results are fresh values
+// (ch <- v.Clone() escapes the clone, not v).
+func markVectors(info *types.Info, e ast.Expr, escaped map[*types.Var]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if vr, isVar := objOf(info, id).(*types.Var); isVar && isVector(vr.Type()) {
+			escaped[vr] = true
+		}
+		return true
+	})
+}
+
+// isVector reports whether t is the version-vector type: a named type
+// called Vector or VC declared in a package named vclock.
+func isVector(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == "vclock" && (obj.Name() == "Vector" || obj.Name() == "VC")
+}
+
+// writeSetField renders "ws.Version" when e selects a vector field out of
+// a WriteSet-typed value; "" otherwise.
+func writeSetField(info *types.Info, e ast.Expr) string {
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return ""
+	}
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return ""
+	}
+	owner := derefNamed(s.Recv())
+	if owner == nil || owner.Obj().Name() != "WriteSet" {
+		return ""
+	}
+	return types.ExprString(sel)
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// rootVar resolves e to the variable it denotes (identifiers only).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	id, isIdent := e.(*ast.Ident)
+	if !isIdent {
+		return nil
+	}
+	vr, _ := objOf(info, id).(*types.Var)
+	return vr
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj, found := info.Uses[id]; found {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// callName extracts the called function's bare name.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package vclockmut_test
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+	"dmv/internal/analysis/vclockmut"
+)
+
+func TestVclockMut(t *testing.T) {
+	analysistest.Run(t, "testdata", vclockmut.Analyzer, "vclockmut")
+}

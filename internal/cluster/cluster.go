@@ -18,6 +18,7 @@ import (
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
+	"dmv/internal/vclock"
 )
 
 // Errors surfaced by cluster operations.
@@ -157,13 +158,13 @@ type Cluster struct {
 	primary atomic.Int32
 
 	mu      sync.Mutex
-	nodes   map[string]*nodeState
-	order   []string
-	handled map[string]bool // failure handling is idempotent per node
+	nodes   map[string]*nodeState // guarded by mu
+	order   []string              // guarded by mu
+	handled map[string]bool       // guarded by mu; failure handling is idempotent per node
 
 	evMu   sync.Mutex
-	events []Event
-	evHook func(Event)
+	events []Event     // guarded by evMu
+	evHook func(Event) // guarded by evMu
 
 	stop chan struct{}
 	done chan struct{}
@@ -229,6 +230,24 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.scheds = append(c.scheds, sched)
+	}
+	// Committed versions fan out to the standby schedulers: a standby's
+	// merged vector must cover every acknowledged commit, or a take-over
+	// followed by a master fail-over would roll acknowledged state back.
+	for si, s := range c.scheds {
+		peers := make([]*scheduler.Scheduler, 0, len(c.scheds)-1)
+		for pi, p := range c.scheds {
+			if pi != si {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) > 0 {
+			s.SetVersionFanout(func(v vclock.Vector) {
+				for _, p := range peers {
+					p.ReportVersion(v)
+				}
+			})
+		}
 	}
 	sched := c.scheds[0]
 	_ = sched

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmv/internal/heap"
+	"dmv/internal/scheduler"
+	"dmv/internal/value"
+)
+
+// TestMasterFailoverDoesNotDiscardAckedCommit pins the commit fence: a
+// commit that has broadcast its write-set but not yet reported its version
+// to the scheduler must not be rolled back by a concurrent master
+// fail-over. The master's CommitDelay hook stalls one commit exactly in
+// that window (post-broadcast, pre-report) while the master is killed;
+// the fail-over rollback must wait for the commit's version report, so the
+// acknowledged increment survives on the promoted slave.
+func TestMasterFailoverDoesNotDiscardAckedCommit(t *testing.T) {
+	var (
+		armed    atomic.Bool
+		inCommit = make(chan struct{})
+		release  = make(chan struct{})
+	)
+	c := newTestCluster(t, Config{
+		Slaves:     2,
+		MaxRetries: 20,
+		EngineOptions: func(nodeID string) heap.Options {
+			if nodeID != "master0" {
+				return heap.Options{}
+			}
+			return heap.Options{CommitDelay: func() {
+				if armed.CompareAndSwap(true, false) {
+					close(inCommit)
+					<-release
+				}
+			}}
+		},
+	})
+
+	// Warm-up commit so the victim is not the first version ever produced.
+	if err := deposit(t, c, 1, 1, 1); err != nil {
+		t.Fatalf("warm-up deposit: %v", err)
+	}
+
+	armed.Store(true)
+	victimErr := make(chan error, 1)
+	go func() {
+		victimErr <- c.Run(scheduler.TxnSpec{Tables: []string{"account", "audit"}}, func(tx *scheduler.Txn) error {
+			_, err := tx.Exec(`UPDATE account SET a_balance = a_balance + ? WHERE a_id = ?`,
+				value.NewInt(10), value.NewInt(1))
+			return err
+		})
+	}()
+
+	// The victim has ticked the clock and broadcast its write-set; it is
+	// stalled before returning to the scheduler. Kill the master now and
+	// give the failure handler time to run its rollback — with the fence
+	// it must block instead until the victim's version is reported.
+	<-inCommit
+	if err := c.Kill("master0"); err != nil {
+		t.Fatalf("kill master: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+
+	if err := <-victimErr; err != nil {
+		t.Fatalf("victim commit not acknowledged: %v", err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		m := c.MasterID(0)
+		return m != "" && m != "master0"
+	}, "master election")
+
+	// The acknowledged increment must be visible after fail-over.
+	waitFor(t, 2*time.Second, func() bool {
+		var bal int64
+		err := c.Run(scheduler.TxnSpec{ReadOnly: true, Tables: []string{"account"}}, func(tx *scheduler.Txn) error {
+			v, err := tx.QueryInt(`SELECT a_balance FROM account WHERE a_id = ?`, value.NewInt(1))
+			bal = v
+			return err
+		})
+		return err == nil && bal == 1011
+	}, "acked increment visible after fail-over")
+}

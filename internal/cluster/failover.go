@@ -51,11 +51,17 @@ func (c *Cluster) masterFailover(failed string, classID int) {
 
 	// Stage 1 — Recovery: discard partially propagated pre-commits beyond
 	// the last version the scheduler has seen, then elect a new master.
+	// The commit fence makes the rollback atomic against in-flight
+	// commits: a commit either reports its version before the fence
+	// closes (so lastSeen covers it and its write-sets survive the
+	// discard) or runs entirely after and fails against the dead master.
+	c.eachSched(func(s *scheduler.Scheduler) { s.BlockCommits() })
 	lastSeen := c.Scheduler().Latest()
 	for _, p := range c.livePeers(failed) {
 		_ = p.DiscardAbove(lastSeen)
 	}
 	c.eachSched(func(s *scheduler.Scheduler) { s.ResetVersion(lastSeen) })
+	c.eachSched(func(s *scheduler.Scheduler) { s.UnblockCommits() })
 
 	newMaster := c.electMaster(failed)
 	if newMaster == nil {

@@ -1,0 +1,9 @@
+//go:build !dmvdebug
+
+package heap
+
+// Write-set sanity assertions. Release builds compile these to nothing;
+// build with -tags dmvdebug for the checked versions in debug_on.go.
+
+func debugSealWriteSet(*WriteSet)  {}
+func debugCheckWriteSet(*WriteSet) {}

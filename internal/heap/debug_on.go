@@ -1,0 +1,39 @@
+//go:build dmvdebug
+
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"dmv/internal/vclock"
+)
+
+// debugSealWriteSet runs at master pre-commit, the moment the write-set is
+// built: the version vector it carries is immutable from here on.
+func debugSealWriteSet(ws *WriteSet) {
+	vclock.Seal(ws.Version)
+	checkShape(ws, "seal")
+}
+
+// debugCheckWriteSet runs on every replica apply: the vector must be
+// byte-identical to what the master sealed, and the write-set well-formed.
+func debugCheckWriteSet(ws *WriteSet) {
+	vclock.CheckSealed(ws.Version)
+	checkShape(ws, "apply")
+}
+
+func checkShape(ws *WriteSet, site string) {
+	if !sort.IntsAreSorted(ws.Tables) {
+		panic(fmt.Sprintf("heap: %s write-set tx %d: Tables %v not sorted", site, ws.TxID, ws.Tables))
+	}
+	touched := make(map[int]bool, len(ws.Tables))
+	for _, t := range ws.Tables {
+		touched[t] = true
+	}
+	for _, rec := range ws.Records {
+		if !touched[rec.Table] {
+			panic(fmt.Sprintf("heap: %s write-set tx %d: record for table %d absent from Tables %v", site, ws.TxID, rec.Table, ws.Tables))
+		}
+	}
+}

@@ -128,10 +128,10 @@ type Engine struct {
 	opts Options
 
 	mu      sync.RWMutex
-	tables  []*Table
-	byName  map[string]int
+	tables  []*Table       // guarded by mu
+	byName  map[string]int // guarded by mu
 	clock   *vclock.Clock
-	txSeq   uint64
+	txSeq   uint64 // guarded by txSeqMu
 	txSeqMu sync.Mutex
 }
 

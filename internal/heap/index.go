@@ -53,7 +53,7 @@ func visible(spans []span, v uint64) bool {
 type Index struct {
 	def  IndexDef
 	mu   sync.RWMutex
-	tree *rbtree.Tree[ikey, []span]
+	tree *rbtree.Tree[ikey, []span] // guarded by mu
 }
 
 func newIndex(def IndexDef) *Index {

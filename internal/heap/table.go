@@ -18,20 +18,20 @@ type Table struct {
 
 	// page directory: append-only slice of pages.
 	dirMu sync.RWMutex
-	pages []*page.Page
+	pages []*page.Page // guarded by dirMu
 
 	// row location: row id -> owning page. Rows never move between pages,
 	// so entries are stable once created; they are retained after delete so
 	// that stale readers reach the page and fail the version check instead
 	// of silently missing the row.
 	rlMu   sync.RWMutex
-	rowLoc map[page.RowID]*page.Page
+	rowLoc map[page.RowID]*page.Page // guarded by rlMu
 
 	// master-side insert cursor: pages are filled up to pageCap reserved
 	// slots, then a new page is allocated.
 	allocMu   sync.Mutex
-	curPage   *page.Page
-	curCount  int
+	curPage   *page.Page // guarded by allocMu
+	curCount  int        // guarded by allocMu
 	nextRowID atomic.Int64
 
 	// maxVer is the highest table version seen (applied, buffered, or
@@ -39,7 +39,7 @@ type Table struct {
 	maxVer atomic.Uint64
 
 	idxMu   sync.RWMutex
-	indexes []*Index
+	indexes []*Index // guarded by idxMu
 }
 
 func newTable(id int, def TableDef, pageCap int) *Table {

@@ -598,6 +598,7 @@ func (tx *UpdateTx) Commit(broadcast func(*WriteSet) error) (vclock.Vector, erro
 		}
 	}
 	ws := &WriteSet{TxID: tx.id, Version: ver, Tables: tables, Records: tx.recs}
+	debugSealWriteSet(ws)
 	var bErr error
 	if broadcast != nil {
 		bErr = broadcast(ws)

@@ -39,6 +39,7 @@ type WriteSet struct {
 // Write-sets from one master must be applied in commit order by a single
 // goroutine per master (the replication layer guarantees this).
 func (e *Engine) ApplyWriteSet(ws *WriteSet) error {
+	debugCheckWriteSet(ws)
 	type groupKey struct {
 		table int
 		pg    page.ID

@@ -149,28 +149,28 @@ type Node struct {
 	onPeerFailure func(string)
 
 	roleMu      sync.RWMutex
-	role        Role
-	classTables []int
+	role        Role  // guarded by roleMu
+	classTables []int // guarded by roleMu
 
 	// commitMu serializes version ticks with write-set broadcasts so every
 	// subscriber observes one ordered stream per master.
 	commitMu sync.Mutex
 	subsMu   sync.RWMutex
-	subs     []Peer
+	subs     []Peer // guarded by subsMu
 
 	sessMu   sync.Mutex
-	sessions map[uint64]*session
-	sessSeq  uint64
+	sessions map[uint64]*session // guarded by sessMu
+	sessSeq  uint64              // guarded by sessMu
 
 	stmtMu sync.RWMutex
-	stmts  map[string]*exec.Prepared
+	stmts  map[string]*exec.Prepared // guarded by stmtMu
 
 	joinMu  sync.Mutex
-	joining bool
-	joinBuf []*heap.WriteSet
+	joining bool             // guarded by joinMu
+	joinBuf []*heap.WriteSet // guarded by joinMu
 
 	cpMu   sync.Mutex
-	lastCP []byte // encoded fuzzy checkpoint (in-memory stable storage)
+	lastCP []byte // guarded by cpMu; encoded fuzzy checkpoint (in-memory stable storage)
 	cpDir  string // when set, checkpoints live in files instead
 
 	svcPer    time.Duration
@@ -194,10 +194,10 @@ type Stats struct {
 // statement that is still in flight).
 type session struct {
 	mu     sync.Mutex
-	readTx *heap.ReadTx
-	upTx   *heap.UpdateTx
-	stmts  int // update-transaction statements, charged at commit
-	done   bool
+	readTx *heap.ReadTx   // guarded by mu
+	upTx   *heap.UpdateTx // guarded by mu
+	stmts  int            // guarded by mu; update-transaction statements, charged at commit
+	done   bool           // guarded by mu
 }
 
 // NewNode returns a live node in the slave role.

@@ -87,7 +87,7 @@ type replicaState struct {
 	outstanding atomic.Int64
 
 	verMu   sync.Mutex
-	lastVer vclock.Vector
+	lastVer vclock.Vector // guarded by verMu
 }
 
 func (r *replicaState) setVer(v vclock.Vector) {
@@ -108,7 +108,7 @@ type classState struct {
 	tableIDs []int
 
 	mu     sync.RWMutex
-	master replica.Peer
+	master replica.Peer // guarded by mu
 }
 
 // Scheduler routes transactions across the in-memory tier.
@@ -118,15 +118,29 @@ type Scheduler struct {
 	classes []*classState
 	classOf map[string]int
 
+	// commitFence orders update-commit acknowledgments against master
+	// fail-over rollback. A commit holds it shared across [master
+	// TxCommit; merged.Report]; the fail-over holds it exclusive across
+	// [read Latest; DiscardAbove; ResetVersion]. Without the fence a
+	// commit can broadcast its write-set, have the rollback discard it
+	// from every replica, and still acknowledge success to the client —
+	// a lost update.
+	commitFence sync.RWMutex
+
+	// fanout forwards committed version vectors to peer schedulers so a
+	// standby's merged vector always covers every acknowledged commit.
+	// Wired once before the scheduler serves traffic; nil without peers.
+	fanout func(vclock.Vector)
+
 	mu     sync.RWMutex
-	slaves []*replicaState
-	spares []*replicaState
+	slaves []*replicaState // guarded by mu
+	spares []*replicaState // guarded by mu
 
 	rngMu sync.Mutex
-	rng   *rand.Rand
+	rng   *rand.Rand // guarded by rngMu
 
 	stmtMu    sync.RWMutex
-	stmtIsUpd map[string]bool
+	stmtIsUpd map[string]bool // guarded by stmtMu
 
 	rrSeq atomic.Int64 // rotates tie-breaking across equally-loaded replicas
 
@@ -186,6 +200,23 @@ func (s *Scheduler) ReportVersion(v vclock.Vector) { s.merged.Report(v) }
 
 // ResetVersion overwrites the merged vector (master fail-over rollback).
 func (s *Scheduler) ResetVersion(v vclock.Vector) { s.merged.Reset(v) }
+
+// BlockCommits pauses update-commit acknowledgments: it waits for every
+// in-flight commit to finish reporting its version and holds off new ones.
+// Master fail-over brackets its rollback (Latest / DiscardAbove /
+// ResetVersion) with BlockCommits/UnblockCommits on every peer scheduler so
+// a commit is ordered entirely before the rollback (its version is part of
+// the rollback point and survives) or entirely after (it fails against the
+// dead master and is retried).
+func (s *Scheduler) BlockCommits() { s.commitFence.Lock() }
+
+// UnblockCommits releases BlockCommits.
+func (s *Scheduler) UnblockCommits() { s.commitFence.Unlock() }
+
+// SetVersionFanout installs a hook receiving every committed version vector
+// (after it is merged locally). The cluster wires it to ReportVersion on
+// every peer scheduler. Must be called before the scheduler serves traffic.
+func (s *Scheduler) SetVersionFanout(fn func(vclock.Vector)) { s.fanout = fn }
 
 // --- topology management (driven by the cluster layer) ----------------------
 
@@ -486,7 +517,11 @@ func (s *Scheduler) TakeOver() error {
 		}
 		merged = merged.Merge(v)
 	}
-	s.merged.Reset(merged)
+	// Merge rather than overwrite: a commit finishing between the poll
+	// above and this line has already fanned its version out to this
+	// scheduler, and a blind reset would drop it below an acknowledged
+	// version — the rollback point of a later master fail-over.
+	s.merged.Report(merged)
 	return nil
 }
 

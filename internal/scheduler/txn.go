@@ -195,8 +195,13 @@ func (t *Txn) Commit() error {
 		s.stats.ReadTxns.Add(1)
 		return nil
 	}
+	// The fence spans the master commit and the version report: master
+	// fail-over cannot read its rollback point between the two, so every
+	// acknowledged commit's version is covered by any rollback.
+	s.commitFence.RLock()
 	ver, err := t.peer.TxCommit(t.id)
 	if err != nil {
+		s.commitFence.RUnlock()
 		if errors.Is(err, replica.ErrNodeDown) {
 			s.reportFailure(t.peer.ID())
 		}
@@ -204,7 +209,11 @@ func (t *Txn) Commit() error {
 	}
 	if ver != nil {
 		s.merged.Report(ver)
+		if s.fanout != nil {
+			s.fanout(ver)
+		}
 	}
+	s.commitFence.RUnlock()
 	s.stats.UpdateTxns.Add(1)
 	if s.opts.OnCommit != nil && len(t.logged) > 0 {
 		s.opts.OnCommit(CommitRecord{Version: ver, Stmts: t.logged})

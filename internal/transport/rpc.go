@@ -321,7 +321,7 @@ type Server struct {
 	done chan struct{}
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]struct{} // guarded by connMu
 }
 
 // ServeNode starts serving a node's Peer interface on addr.
@@ -379,7 +379,7 @@ type RemoteNode struct {
 	addr string
 
 	mu     sync.Mutex
-	client *rpc.Client
+	client *rpc.Client // guarded by mu
 }
 
 var _ replica.Peer = (*RemoteNode)(nil)

@@ -1,0 +1,35 @@
+//go:build dmvdebug
+
+package vclock
+
+import "testing"
+
+// Runs only under -tags dmvdebug (scripts/check.sh has a leg for it).
+
+func TestSealedVectorMutationPanics(t *testing.T) {
+	v := Vector{1, 2, 3}
+	Seal(v)
+	CheckSealed(v) // untouched: must pass
+
+	v[1] = 99
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckSealed did not panic on a mutated sealed vector")
+		}
+	}()
+	CheckSealed(v)
+}
+
+func TestUnsealedVectorPasses(t *testing.T) {
+	v := Vector{4, 5}
+	v[0] = 6
+	CheckSealed(v) // never sealed: no panic
+
+	// A clone of a sealed vector is a fresh value and stays mutable.
+	s := Vector{7, 8}
+	Seal(s)
+	c := s.Clone()
+	c[0] = 0
+	CheckSealed(c)
+	CheckSealed(s)
+}

@@ -1,0 +1,15 @@
+//go:build !dmvdebug
+
+package vclock
+
+// Seal and CheckSealed implement the paper's "stamped at pre-commit,
+// immutable thereafter" invariant as a runtime assertion. In release builds
+// they compile to nothing; build with -tags dmvdebug to activate the
+// fingerprint registry in debug_on.go.
+
+// Seal records v as published. No-op unless built with -tags dmvdebug.
+func Seal(Vector) {}
+
+// CheckSealed panics if a sealed vector has been mutated since Seal. No-op
+// unless built with -tags dmvdebug.
+func CheckSealed(Vector) {}

@@ -1,0 +1,70 @@
+//go:build dmvdebug
+
+package vclock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Debug build: Seal fingerprints a vector at publication time and
+// CheckSealed re-fingerprints it at every consumption point, panicking on
+// any drift. Vectors are keyed by the address of their backing array; the
+// map entry keeps the array reachable, so an address is never reused for a
+// different sealed vector while its entry exists. The registry grows for
+// the life of the process — acceptable for the test runs this tag exists
+// for, never for production builds.
+
+var (
+	sealMu sync.Mutex
+	sealed = make(map[*uint64]uint64)
+)
+
+// Seal records v as published: any later in-place mutation makes
+// CheckSealed panic.
+func Seal(v Vector) {
+	if len(v) == 0 {
+		return
+	}
+	sealMu.Lock()
+	sealed[&v[0]] = fingerprint(v)
+	sealMu.Unlock()
+}
+
+// CheckSealed panics if v was sealed and has since been mutated in place.
+// Vectors that were never sealed pass.
+func CheckSealed(v Vector) {
+	if len(v) == 0 {
+		return
+	}
+	sealMu.Lock()
+	want, isSealed := sealed[&v[0]]
+	sealMu.Unlock()
+	if !isSealed {
+		return
+	}
+	if got := fingerprint(v); got != want {
+		panic(fmt.Sprintf("vclock: sealed vector %v was mutated after publication (fingerprint %#x, sealed as %#x)", v, got, want))
+	}
+}
+
+// fingerprint is FNV-1a over the vector's length and elements.
+func fingerprint(v Vector) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	mix(uint64(len(v)))
+	for _, x := range v {
+		mix(x)
+	}
+	return h
+}

@@ -1,0 +1,151 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+// Zero-length vectors appear in real traffic: a commit with an empty table
+// set, or a scheduler that has not yet seen any master report.
+
+func TestZeroLengthVectors(t *testing.T) {
+	var zero Vector
+
+	if got := zero.Get(0); got != 0 {
+		t.Fatalf("zero.Get(0) = %d, want 0", got)
+	}
+	if got := zero.Get(-1); got != 0 {
+		t.Fatalf("zero.Get(-1) = %d, want 0", got)
+	}
+	if c := zero.Clone(); len(c) != 0 {
+		t.Fatalf("zero.Clone() has length %d, want 0", len(c))
+	}
+	if !zero.Equal(nil) {
+		t.Fatal("zero vector must equal nil vector")
+	}
+	if !zero.Equal(Vector{0, 0, 0}) {
+		t.Fatal("zero vector must equal an all-zero vector of any length")
+	}
+	if !zero.DominatesOrEqual(nil) {
+		t.Fatal("zero vector must dominate nil")
+	}
+	if !(Vector{}).DominatesOrEqual(Vector{0, 0}) {
+		t.Fatal("zero vector must dominate an all-zero longer vector")
+	}
+	if zero.DominatesOrEqual(Vector{0, 1}) {
+		t.Fatal("zero vector must not dominate a non-zero vector")
+	}
+	if got := zero.Merge(nil); len(got) != 0 {
+		t.Fatalf("nil.Merge(nil) has length %d, want 0", len(got))
+	}
+	if got := zero.MinInto(Vector{5}); len(got) != 0 {
+		t.Fatalf("nil.MinInto non-empty has length %d, want 0", len(got))
+	}
+	if got := zero.String(); got != "[]" {
+		t.Fatalf("zero.String() = %q, want %q", got, "[]")
+	}
+}
+
+// Mismatched table counts happen when a cluster's schema grows: vectors
+// stamped before the new table are one entry short.
+
+func TestMismatchedLengths(t *testing.T) {
+	short := Vector{3, 7}
+	long := Vector{1, 9, 4}
+
+	merged := short.Clone().Merge(long)
+	if want := (Vector{3, 9, 4}); !merged.Equal(want) {
+		t.Fatalf("short.Merge(long) = %v, want %v", merged, want)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("merge must grow to the longer length, got %d", len(merged))
+	}
+
+	merged = long.Clone().Merge(short)
+	if want := (Vector{3, 9, 4}); !merged.Equal(want) {
+		t.Fatalf("long.Merge(short) = %v, want %v", merged, want)
+	}
+
+	// Merging a shorter vector must keep the longer one's tail intact.
+	if got := (Vector{0, 0, 5}).Merge(Vector{2}); !got.Equal(Vector{2, 0, 5}) {
+		t.Fatalf("tail lost in merge: %v", got)
+	}
+
+	// MinInto treats missing entries of o as zero: the low-water mark of a
+	// reader that predates table 2 pins table 2 at version 0.
+	lowered := Vector{4, 4, 4}.MinInto(Vector{9, 2})
+	if want := (Vector{4, 2, 0}); !lowered.Equal(want) {
+		t.Fatalf("MinInto short = %v, want %v", lowered, want)
+	}
+
+	// Domination across lengths: a short vector's missing entries are zero.
+	if !long.DominatesOrEqual(Vector{1, 2}) {
+		t.Fatal("long must dominate a shorter, smaller vector")
+	}
+	if (Vector{9, 9}).DominatesOrEqual(Vector{0, 0, 1}) {
+		t.Fatal("short vector must not dominate where the longer one's tail is ahead")
+	}
+	if short.Equal(long) {
+		t.Fatal("distinct vectors reported equal")
+	}
+	if !(Vector{3, 7}).Equal(Vector{3, 7, 0}) {
+		t.Fatal("trailing zeros must not break equality")
+	}
+}
+
+func TestClockIgnoresOutOfRangeTables(t *testing.T) {
+	c := NewClock(2)
+	got := c.Tick([]int{-1, 0, 5})
+	if want := (Vector{1, 0}); !got.Equal(want) {
+		t.Fatalf("Tick with out-of-range tables = %v, want %v", got, want)
+	}
+}
+
+// Concurrent comparison and merge traffic; meaningful under -race, where any
+// unsynchronized access to the shared accumulators trips the detector.
+
+func TestConcurrentCompareAndMerge(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+		tables  = 4
+	)
+	clock := NewClock(tables)
+	merged := NewMerged(tables)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ver := clock.Tick([]int{w % tables})
+				merged.Report(ver)
+				latest := merged.Latest()
+				if !latest.DominatesOrEqual(ver) && !ver.DominatesOrEqual(latest) {
+					// Concurrent merges may interleave, but the merged
+					// vector can never be element-wise behind a reported
+					// one for the entries this worker just advanced.
+					if latest.Get(w%tables) > ver.Get(w%tables) {
+						continue
+					}
+				}
+				_ = latest.Equal(ver)
+				_ = latest.Clone().Merge(ver)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	final := merged.Latest()
+	if !final.Equal(clock.Current()) {
+		t.Fatalf("after quiescence merged %v != clock %v", final, clock.Current())
+	}
+	var total uint64
+	for i := 0; i < tables; i++ {
+		total += final.Get(i)
+	}
+	if total != workers*rounds {
+		t.Fatalf("lost ticks: merged total %d, want %d", total, workers*rounds)
+	}
+}

@@ -116,7 +116,7 @@ func (v Vector) String() string {
 // obtains a unique vector).
 type Clock struct {
 	mu  sync.Mutex
-	cur Vector
+	cur Vector // guarded by mu
 }
 
 // NewClock returns a clock over n tables starting at the zero vector.
@@ -167,7 +167,7 @@ func (c *Clock) ResetTo(v Vector) {
 // report commit vectors, readers take the latest merged vector.
 type Merged struct {
 	mu  sync.RWMutex
-	cur Vector
+	cur Vector // guarded by mu
 }
 
 // NewMerged returns an accumulator over n tables.

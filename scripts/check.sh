@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Full verification gate: build, standard vet, the project's own dmv-vet
+# concurrency analyzers, the race-enabled test suite, and a chaos leg with
+# the dmvdebug runtime assertions compiled in.
+#
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> dmv-vet (lock hierarchy, guarded fields, vector immutability, write-set copies)"
+go run ./cmd/dmv-vet ./...
+
+echo "==> go test -race"
+go test -race -count=1 ./...
+
+echo "==> chaos under -tags dmvdebug (sealed-vector and write-set assertions active)"
+go test -tags dmvdebug -race -count=1 -run 'TestChaos|TestSealed|TestUnsealed' . ./internal/vclock/
+
+echo "==> all checks passed"
