@@ -100,8 +100,8 @@ func BenchmarkFigure6_StageBreakdown(b *testing.B) {
 			name := fmt.Sprintf("%s_%s_sec", row.System, row.Stage)
 			b.ReportMetric(row.Seconds, sanitizeMetric(name))
 		}
-		b.ReportMetric(dmv.Recovery.Seconds(), "dmv_recovery_sec")
-		b.ReportMetric(inno.Recovery.Seconds(), "innodb_recovery_sec")
+		b.ReportMetric(dmv.Recovery.Seconds(), "recovery_dmv_sec")
+		b.ReportMetric(inno.Recovery.Seconds(), "recovery_innodb_sec")
 	}
 }
 

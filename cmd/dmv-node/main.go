@@ -10,6 +10,7 @@
 //
 //	dmv-node -id slave0 -addr :7101 [-items 1000] [-customers 500]
 //	         [-checkpoint 30s] [-cache-pages 0] [-page-fault 5ms]
+//	         [-metrics-addr :9101]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/replica"
 	"dmv/internal/simdisk"
 	"dmv/internal/tpcw"
@@ -47,14 +49,26 @@ func run() error {
 		cachePages = flag.Int("cache-pages", 0, "buffer-cache capacity in pages (0 = unbounded)")
 		pageFault  = flag.Duration("page-fault", 5*time.Millisecond, "cache-miss penalty")
 		pageCap    = flag.Int("page-cap", 64, "rows per page")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /timeline on this address (empty = off)")
 	)
 	flag.Parse()
 
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.New()
+	}
 	var disk *simdisk.Disk
-	opts := heap.Options{PageCap: *pageCap}
+	opts := heap.Options{PageCap: *pageCap, Obs: reg}
 	if *cachePages > 0 {
 		disk = simdisk.New(simdisk.InMemory(*pageFault), *cachePages)
 		opts.Observer = disk
+		if reg != nil {
+			st := disk.Stats()
+			reg.GaugeFunc(obs.CacheHits, func() float64 { return float64(st.Hits.Load()) })
+			reg.GaugeFunc(obs.CacheMisses, func() float64 { return float64(st.Misses.Load()) })
+			reg.GaugeFunc(obs.CacheFsyncs, func() float64 { return float64(st.Fsyncs.Load()) })
+			reg.GaugeFunc(obs.CacheHitRatio, disk.HitRatio)
+		}
 	}
 	eng := heap.NewEngine(opts)
 	for _, ddl := range tpcw.SchemaDDL() {
@@ -68,16 +82,24 @@ func run() error {
 		return err
 	}
 
-	node := replica.NewNode(replica.Options{ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir})
+	node := replica.NewNode(replica.Options{ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir, Obs: reg})
 	if *checkpoint > 0 {
 		cp := node.StartCheckpointer(*checkpoint)
 		defer cp.Stop()
 	}
-	srv, err := transport.ServeNode(node, *addr)
+	srv, err := transport.ServeNodeObs(node, *addr, reg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if reg != nil {
+		mln, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		log.Printf("metrics on http://%s/metrics (also /trace, /timeline)", mln.Addr())
+	}
 	log.Printf("node %s serving on %s (slave role; scheduler assigns masters)", *id, srv.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dmv/internal/harness"
+	"dmv/internal/obs"
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
 	"dmv/internal/tpcw"
@@ -61,12 +62,24 @@ func run() error {
 		clients    = flag.Int("clients", 8, "emulated browsers when driving")
 		items      = flag.Int("items", 1000, "TPC-W items (must match the nodes)")
 		customers  = flag.Int("customers", 500, "TPC-W customers (must match the nodes)")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /timeline on this address (empty = off)")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
 
 	if *masterSpec == "" || len(slaveSpecs) == 0 {
 		return errors.New("need -master and at least one -slave")
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.New()
+		mln, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		log.Printf("metrics on http://%s/metrics (also /trace, /timeline)", mln.Addr())
 	}
 
 	// Dial every node.
@@ -108,6 +121,7 @@ func run() error {
 	sched, err := scheduler.New(scheduler.Options{
 		VersionAffinity: true,
 		MaxRetries:      30,
+		Obs:             reg,
 	}, len(names), tableID)
 	if err != nil {
 		return err
@@ -194,6 +208,13 @@ func run() error {
 	st := sched.Stats()
 	fmt.Printf("reads: %d  updates: %d  version aborts: %d  failovers: %d\n",
 		st.ReadTxns.Load(), st.UpdateTxns.Load(), st.VersionAborts.Load(), st.Failovers.Load())
+	if reg != nil {
+		fmt.Printf("aborts by cause: version=%d lock-timeout=%d node-down=%d retries-exhausted=%d\n",
+			reg.Counter(obs.SchedAbortVersion).Load(),
+			reg.Counter(obs.SchedAbortLockTimeout).Load(),
+			reg.Counter(obs.SchedAbortNodeDown).Load(),
+			reg.Counter(obs.SchedRetriesExhausted).Load())
+	}
 	fmt.Println(harness.AsciiChart("throughput", res.Timeline.Series(), 10))
 	ixNames := make([]string, 0, len(res.ByInteraction))
 	for name := range res.ByInteraction {

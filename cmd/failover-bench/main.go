@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"dmv/internal/experiments"
 	"dmv/internal/harness"
@@ -62,6 +63,20 @@ func run() error {
 		for _, ev := range r.Events {
 			fmt.Printf("  event %-16s node=%-8s dur=%-10s %s\n",
 				ev.Kind, ev.Node, harness.FmtDur(ev.Duration), ev.Detail)
+		}
+		// Stage durations come straight off the cluster's obs event
+		// timeline (experiments.StageBreakdown); the bench does no timing
+		// of its own.
+		if len(r.Stages) > 0 {
+			names := make([]string, 0, len(r.Stages))
+			for st := range r.Stages {
+				names = append(names, st)
+			}
+			sort.Strings(names)
+			fmt.Println("  stage breakdown (obs timeline):")
+			for _, st := range names {
+				fmt.Printf("    %-16s %s\n", st, harness.FmtDur(r.Stages[st]))
+			}
 		}
 		fmt.Println()
 		if *csvDir != "" {

@@ -30,6 +30,11 @@ const (
 	levelIndex     = 48 // versioned secondary indexes
 	levelPage      = 50 // page latches (2PL; many held at once)
 	levelClock     = 60 // version clocks: innermost, held for a few loads
+	levelObs       = 70 // observability registry/tracer/timeline: innermost of
+	// all — metric registration, span recording, and event appends may run
+	// with any other lock held, and obs code never calls back out under its
+	// own locks (timeline hooks fire after unlock; snapshot gauge callbacks
+	// run with no registry lock held).
 )
 
 // DefaultConfig declares every annotated mutex in the tree. A lock absent
@@ -37,9 +42,8 @@ const (
 // cycle detector), so new locks fail open until declared here.
 var DefaultConfig = &Config{
 	Levels: map[string]int{
-		// cluster
-		"dmv/internal/cluster.Cluster.mu":   levelCluster,
-		"dmv/internal/cluster.Cluster.evMu": levelCluster + 2,
+		// cluster (the former evMu event log now lives in obs.Timeline)
+		"dmv/internal/cluster.Cluster.mu": levelCluster,
 
 		// scheduler
 		"dmv/internal/scheduler.Scheduler.commitFence": levelFence,
@@ -80,6 +84,11 @@ var DefaultConfig = &Config{
 		// version clocks (leaves)
 		"dmv/internal/vclock.Clock.mu":  levelClock,
 		"dmv/internal/vclock.Merged.mu": levelClock,
+
+		// observability (innermost; see levelObs)
+		"dmv/internal/obs.Registry.mu": levelObs,
+		"dmv/internal/obs.Tracer.mu":   levelObs,
+		"dmv/internal/obs.Timeline.mu": levelObs,
 	},
 	Callees: map[string]int{
 		// Cross-package entry points that acquire locks internally; calling
@@ -95,5 +104,24 @@ var DefaultConfig = &Config{
 		"dmv/internal/vclock.Merged.Reset":   levelClock,
 		"dmv/internal/heap.Engine.table":     levelEngine,
 		"dmv/internal/heap.Engine.allTables": levelEngine,
+
+		// obs entry points: metric registration and hot-path recording take
+		// only obs locks, so they are safe under anything. Snapshot is the
+		// exception — it invokes gauge callbacks (outside the registry lock)
+		// that may take Cluster.mu, so it carries the cluster level.
+		"dmv/internal/obs.Registry.Counter":   levelObs,
+		"dmv/internal/obs.Registry.Gauge":     levelObs,
+		"dmv/internal/obs.Registry.Histogram": levelObs,
+		"dmv/internal/obs.Registry.GaugeFunc": levelObs,
+		"dmv/internal/obs.Registry.Snapshot":  levelCluster,
+		"dmv/internal/obs.Tracer.Begin":       levelObs,
+		"dmv/internal/obs.Tracer.Total":       levelObs,
+		"dmv/internal/obs.Tracer.Dump":        levelObs,
+		"dmv/internal/obs.Span.Finish":        levelObs,
+		"dmv/internal/obs.Timeline.Record":    levelObs,
+		"dmv/internal/obs.Timeline.Events":    levelObs,
+		"dmv/internal/obs.Timeline.OnEvent":   levelObs,
+		"dmv/internal/obs.Timeline.Start":     levelObs,
+		"dmv/internal/obs.Stage.End":          levelObs,
 	},
 }

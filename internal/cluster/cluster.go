@@ -15,6 +15,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
@@ -117,10 +118,17 @@ type Config struct {
 	OnCommit func(scheduler.CommitRecord)
 	// Seed seeds scheduler randomness.
 	Seed int64
+	// Obs, when set, receives every cluster metric, transaction trace span,
+	// and lifecycle event: it is threaded into the schedulers, replicas, and
+	// engines, the fail-over pipeline records its stage durations on the
+	// registry's timeline, and the node buffer caches are exported as
+	// gauges. Nil disables metrics (the event timeline still works).
+	Obs *obs.Registry
 }
 
-// EventKind classifies cluster events.
-type EventKind string
+// EventKind classifies cluster events. It aliases string so event kinds
+// flow into the obs timeline unconverted.
+type EventKind = string
 
 // Event kinds.
 const (
@@ -136,13 +144,9 @@ const (
 )
 
 // Event is one reconfiguration event with its duration where applicable.
-type Event struct {
-	Time     time.Time
-	Kind     EventKind
-	Node     string
-	Detail   string
-	Duration time.Duration
-}
+// It aliases the obs timeline event so the cluster's log and the
+// observability subsystem share one storage and one schema.
+type Event = obs.Event
 
 type nodeState struct {
 	node    *replica.Node
@@ -161,10 +165,11 @@ type Cluster struct {
 	nodes   map[string]*nodeState // guarded by mu
 	order   []string              // guarded by mu
 	handled map[string]bool       // guarded by mu; failure handling is idempotent per node
+	disks   []*simdisk.Disk       // guarded by mu; every node buffer cache, for gauge export
 
-	evMu   sync.Mutex
-	events []Event     // guarded by evMu
-	evHook func(Event) // guarded by evMu
+	// tl is the lifecycle event timeline (cfg.Obs's timeline when a
+	// registry is configured, a private one otherwise). Never nil.
+	tl *obs.Timeline
 
 	stop chan struct{}
 	done chan struct{}
@@ -180,13 +185,19 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.SpareMode == 0 {
 		cfg.SpareMode = SpareHot
 	}
+	tl := cfg.Obs.Timeline()
+	if tl == nil {
+		tl = obs.NewTimeline()
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		nodes:   make(map[string]*nodeState, 16),
 		handled: make(map[string]bool, 4),
+		tl:      tl,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	c.registerMetrics()
 
 	numClasses := len(cfg.Classes)
 	if numClasses == 0 {
@@ -225,6 +236,7 @@ func New(cfg Config) (*Cluster, error) {
 			OnCommit:        cfg.OnCommit,
 			OnPeerFailure:   func(id string) { go c.handleFailure(id) },
 			Seed:            cfg.Seed + int64(si),
+			Obs:             cfg.Obs,
 		}, ref.NumTables(), ref.TableID)
 		if err != nil {
 			return nil, err
@@ -314,6 +326,9 @@ func (c *Cluster) buildNode(id string) (*replica.Node, error) {
 	if c.cfg.EngineOptions != nil {
 		opts = c.cfg.EngineOptions(id)
 	}
+	if opts.Obs == nil {
+		opts.Obs = c.cfg.Obs
+	}
 	eng := heap.NewEngine(opts)
 	for _, ddl := range c.cfg.SchemaDDL {
 		if err := exec.ExecDDL(eng, ddl); err != nil {
@@ -337,10 +352,14 @@ func (c *Cluster) buildNode(id string) (*replica.Node, error) {
 		ServicePerStmt:       c.cfg.StatementService,
 		ServiceWidth:         c.cfg.ServiceWidth,
 		UpdateServicePerStmt: c.cfg.UpdateStatementService,
+		Obs:                  c.cfg.Obs,
 	})
 	c.mu.Lock()
 	c.nodes[id] = &nodeState{node: n, classID: -1}
 	c.order = append(c.order, id)
+	if disk != nil {
+		c.disks = append(c.disks, disk)
+	}
 	c.mu.Unlock()
 	return n, nil
 }
@@ -441,28 +460,76 @@ func (c *Cluster) MasterID(ci int) string {
 }
 
 // Events returns a copy of the reconfiguration event log.
-func (c *Cluster) Events() []Event {
-	c.evMu.Lock()
-	defer c.evMu.Unlock()
-	return append([]Event(nil), c.events...)
-}
+func (c *Cluster) Events() []Event { return c.tl.Events() }
 
 // OnEvent installs a hook invoked for every event (harness timelines).
-func (c *Cluster) OnEvent(fn func(Event)) {
-	c.evMu.Lock()
-	c.evHook = fn
-	c.evMu.Unlock()
+func (c *Cluster) OnEvent(fn func(Event)) { c.tl.OnEvent(fn) }
+
+// Timeline exposes the lifecycle event timeline (never nil).
+func (c *Cluster) Timeline() *obs.Timeline { return c.tl }
+
+// Obs returns the configured metrics registry (nil when disabled).
+func (c *Cluster) Obs() *obs.Registry { return c.cfg.Obs }
+
+func (c *Cluster) emit(ev Event) { c.tl.Record(ev) }
+
+// registerMetrics wires the timeline and node buffer caches into the
+// configured registry: every lifecycle event counts, stage-completion
+// events feed per-stage duration histograms, and cache hit/miss/fsync
+// totals export as gauges summed across nodes.
+func (c *Cluster) registerMetrics() {
+	reg := c.cfg.Obs
+	if reg == nil {
+		return
+	}
+	events := reg.Counter(obs.ClusterEvents)
+	stageHist := map[string]*obs.Histogram{
+		EventRecoveryDone:   reg.Histogram(obs.FailoverRecoveryUS),
+		EventMigrationDone:  reg.Histogram(obs.FailoverMigrationUS),
+		EventReintegrated:   reg.Histogram(obs.FailoverReintegrationUS),
+		EventNodeRestarted:  reg.Histogram(obs.FailoverRestartUS),
+		EventSpareActivated: reg.Histogram(obs.FailoverSpareUS),
+	}
+	c.tl.OnEvent(func(ev Event) {
+		events.Add(1)
+		if h := stageHist[ev.Kind]; h != nil && ev.Duration > 0 {
+			h.Observe(ev.Duration.Microseconds())
+		}
+	})
+	// Gauge callbacks run at snapshot time with no registry lock held, so
+	// taking c.mu here is safe and keeps the disk list race-free.
+	reg.GaugeFunc(obs.CacheHits, func() float64 {
+		h, _, _ := c.cacheTotals()
+		return float64(h)
+	})
+	reg.GaugeFunc(obs.CacheMisses, func() float64 {
+		_, m, _ := c.cacheTotals()
+		return float64(m)
+	})
+	reg.GaugeFunc(obs.CacheFsyncs, func() float64 {
+		_, _, f := c.cacheTotals()
+		return float64(f)
+	})
+	reg.GaugeFunc(obs.CacheHitRatio, func() float64 {
+		h, m, _ := c.cacheTotals()
+		if h+m == 0 {
+			return 1
+		}
+		return float64(h) / float64(h+m)
+	})
 }
 
-func (c *Cluster) emit(ev Event) {
-	ev.Time = time.Now()
-	c.evMu.Lock()
-	c.events = append(c.events, ev)
-	hook := c.evHook
-	c.evMu.Unlock()
-	if hook != nil {
-		hook(ev)
+// cacheTotals sums buffer-cache stats over every node disk.
+func (c *Cluster) cacheTotals() (hits, misses, fsyncs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.disks {
+		st := d.Stats()
+		hits += st.Hits.Load()
+		misses += st.Misses.Load()
+		fsyncs += st.Fsyncs.Load()
 	}
+	return hits, misses, fsyncs
 }
 
 // Close stops background loops and checkpoint threads.

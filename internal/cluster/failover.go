@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"time"
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
@@ -47,7 +46,7 @@ func (c *Cluster) handleFailure(id string) {
 // back to the last version the scheduler acknowledged, elect a new master
 // from the slaves, and backfill read capacity from a spare.
 func (c *Cluster) masterFailover(failed string, classID int) {
-	start := time.Now()
+	rec := c.tl.Start(EventRecoveryDone, failed)
 
 	// Stage 1 — Recovery: discard partially propagated pre-commits beyond
 	// the last version the scheduler has seen, then elect a new master.
@@ -65,11 +64,12 @@ func (c *Cluster) masterFailover(failed string, classID int) {
 
 	newMaster := c.electMaster(failed)
 	if newMaster == nil {
-		c.emit(Event{Kind: EventRecoveryDone, Node: failed, Detail: "no candidate master", Duration: time.Since(start)})
+		rec.End("no candidate master")
 		return
 	}
 	if err := newMaster.Promote(c.Scheduler().ClassTables(classID)); err != nil {
-		c.emit(Event{Kind: EventRecoveryDone, Node: newMaster.ID(), Detail: "promote failed: " + err.Error(), Duration: time.Since(start)})
+		rec.SetNode(newMaster.ID())
+		rec.End("promote failed: " + err.Error())
 		return
 	}
 	c.mu.Lock()
@@ -83,9 +83,8 @@ func (c *Cluster) masterFailover(failed string, classID int) {
 		s.SetMaster(classID, newMaster)
 	})
 	c.rewireSubscribers()
-	recoveryDur := time.Since(start)
-	c.emit(Event{Kind: EventMasterElected, Node: newMaster.ID(), Duration: recoveryDur})
-	c.emit(Event{Kind: EventRecoveryDone, Node: failed, Duration: recoveryDur})
+	c.emit(Event{Kind: EventMasterElected, Node: newMaster.ID(), Duration: rec.Elapsed()})
+	rec.End("")
 
 	// Stage 2 — Data migration: activate a spare to replace the promoted
 	// slave's read capacity.
@@ -94,10 +93,10 @@ func (c *Cluster) masterFailover(failed string, classID int) {
 
 // slaveFailover removes the failed slave and activates a spare in its place.
 func (c *Cluster) slaveFailover(failed string) {
-	start := time.Now()
+	rec := c.tl.Start(EventRecoveryDone, failed)
 	c.eachSched(func(s *scheduler.Scheduler) { s.Remove(failed) })
 	c.rewireSubscribers()
-	c.emit(Event{Kind: EventRecoveryDone, Node: failed, Duration: time.Since(start)})
+	rec.End("")
 	c.activateSpare()
 }
 
@@ -142,10 +141,11 @@ func (c *Cluster) activateSpare() {
 		return
 	}
 
-	migStart := time.Now()
+	act := c.tl.Start(EventSpareActivated, spare.ID())
+	mig := c.tl.Start(EventMigrationDone, spare.ID())
 	if c.cfg.SpareMode == SpareStale {
 		if err := c.reintegrate(spare); err != nil {
-			c.emit(Event{Kind: EventMigrationDone, Node: spare.ID(), Detail: "failed: " + err.Error(), Duration: time.Since(migStart)})
+			mig.End("failed: " + err.Error())
 			return
 		}
 	}
@@ -153,7 +153,7 @@ func (c *Cluster) activateSpare() {
 	// stream); buffered modifications materialize lazily as readers arrive,
 	// so activation is immediate — eagerly materializing here would fault
 	// the spare's whole cold cache in before it serves a single read.
-	migDur := time.Since(migStart)
+	migDur := mig.Elapsed()
 	_ = spare.Demote(replica.RoleSlave)
 
 	c.mu.Lock()
@@ -168,13 +168,14 @@ func (c *Cluster) activateSpare() {
 	})
 	c.rewireSubscribers()
 	c.emit(Event{Kind: EventMigrationDone, Node: spare.ID(), Duration: migDur})
-	c.emit(Event{Kind: EventSpareActivated, Node: spare.ID(), Duration: time.Since(migStart)})
+	act.End("")
 }
 
 // reintegrate runs the data-migration protocol of Section 4.4 on a stale or
 // recovered node: subscribe (buffering), fetch the page delta from a support
 // slave, install it, then drain the buffer.
 func (c *Cluster) reintegrate(n *replica.Node) error {
+	join := c.tl.Start(EventReintegrated, n.ID())
 	if err := n.StartJoin(); err != nil {
 		return err
 	}
@@ -210,7 +211,7 @@ func (c *Cluster) reintegrate(n *replica.Node) error {
 	if err := n.FinishJoin(); err != nil {
 		return fmt.Errorf("reintegrate %s: %w", n.ID(), err)
 	}
-	c.emit(Event{Kind: EventReintegrated, Node: n.ID(), Detail: fmt.Sprintf("%d pages", len(delta))})
+	join.End(fmt.Sprintf("%d pages", len(delta)))
 	return nil
 }
 
@@ -230,10 +231,13 @@ func (c *Cluster) Restart(id string) error {
 	}
 	cpBlob := old.node.LastCheckpoint()
 
-	start := time.Now()
+	restart := c.tl.Start(EventNodeRestarted, id)
 	var opts heap.Options
 	if c.cfg.EngineOptions != nil {
 		opts = c.cfg.EngineOptions(id)
+	}
+	if opts.Obs == nil {
+		opts.Obs = c.cfg.Obs
 	}
 	eng := heap.NewEngine(opts)
 	for _, ddl := range c.cfg.SchemaDDL {
@@ -267,6 +271,7 @@ func (c *Cluster) Restart(id string) error {
 		ServiceWidth:         c.cfg.ServiceWidth,
 		UpdateServicePerStmt: c.cfg.UpdateStatementService,
 		CheckpointDir:        c.cfg.CheckpointDir,
+		Obs:                  c.cfg.Obs,
 	})
 	c.mu.Lock()
 	c.nodes[id] = &nodeState{node: n, classID: -1}
@@ -281,7 +286,7 @@ func (c *Cluster) Restart(id string) error {
 	}
 	c.eachSched(func(s *scheduler.Scheduler) { s.AddSlave(n) })
 	c.rewireSubscribers()
-	c.emit(Event{Kind: EventNodeRestarted, Node: id, Duration: time.Since(start)})
+	restart.End("")
 	return nil
 }
 

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dmv/internal/obs"
+)
+
+// TestObsMetricsEnabled drives a metrics-enabled cluster through commits,
+// tagged reads, and a master fail-over, then checks that every
+// paper-relevant quantity surfaced on the shared registry: committed
+// transactions and write-set traffic, lazy page application, the abort
+// cause catalogue, fail-over stage durations, and the transaction trace
+// ring. scripts/check.sh runs this test under -race as its "obs" leg.
+func TestObsMetricsEnabled(t *testing.T) {
+	reg := obs.New()
+	c := newTestCluster(t, Config{Slaves: 2, MaxRetries: 30, Obs: reg})
+	for i := 1; i <= 10; i++ {
+		if err := deposit(t, c, 4, 1, int64(i)); err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+		if bal := readBalance(t, c, 4); bal != int64(1000+i) {
+			t.Fatalf("balance = %d, want %d", bal, 1000+i)
+		}
+	}
+
+	oldMaster := c.MasterID(0)
+	if err := c.Kill(oldMaster); err != nil {
+		t.Fatalf("kill master: %v", err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		id := c.MasterID(0)
+		return id != "" && id != oldMaster
+	}, "master election")
+	waitFor(t, 2*time.Second, func() bool {
+		return deposit(t, c, 4, 1, 11) == nil
+	}, "update after election")
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		obs.SchedReadTxns,
+		obs.SchedUpdateTxns,
+		obs.NodeReadTxns,
+		obs.NodeUpdateTxns,
+		obs.NodeWriteSetsIn,
+		obs.NodeWriteSetBytes,
+		obs.HeapCommits,
+		obs.HeapWriteSetRecords,
+		obs.HeapModsEnqueued,
+		obs.HeapPagesLazy,
+		obs.HeapModsLazy,
+		obs.ClusterEvents,
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if h := snap.Histograms[obs.SchedTxnUS]; h.Count < 1 {
+		t.Errorf("%s count = %d, want >= 1", obs.SchedTxnUS, h.Count)
+	}
+	if h := snap.Histograms[obs.FailoverRecoveryUS]; h.Count < 1 {
+		t.Errorf("%s count = %d, want >= 1 after master fail-over", obs.FailoverRecoveryUS, h.Count)
+	}
+	if got := reg.Tracer().Total(); got == 0 {
+		t.Errorf("trace ring recorded no spans")
+	}
+
+	// The text exposition — what a running daemon serves on /metrics —
+	// must name the abort-cause and lazy-apply series even at zero.
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	for _, name := range []string{
+		obs.SchedAbortVersion,
+		obs.SchedAbortLockTimeout,
+		obs.SchedAbortNodeDown,
+		obs.HeapPagesLazy,
+		obs.HeapModsLazy,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("text exposition missing %s", name)
+		}
+	}
+}

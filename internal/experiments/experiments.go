@@ -17,6 +17,7 @@ import (
 	"dmv/internal/harness"
 	"dmv/internal/heap"
 	"dmv/internal/innodb"
+	"dmv/internal/obs"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
 	"dmv/internal/tpcw"
@@ -93,6 +94,9 @@ type Fig3Row struct {
 	WIPS     float64
 	AbortPct float64 // read-only aborts due to version inconsistency
 	Speedup  float64 // vs. the innodb row of the same mix
+	// Aborts breaks committed-transaction failures down by cause, read
+	// from the run's obs registry (nil for the innodb baseline rows).
+	Aborts map[string]int64
 }
 
 // Fig3Opts parameterize the scaling experiment.
@@ -154,6 +158,7 @@ func Figure3(opts Fig3Opts) ([]Fig3Row, error) {
 		rows = append(rows, Fig3Row{Mix: mix.Name, Config: "innodb", WIPS: base.WIPS, Speedup: 1})
 
 		for _, n := range opts.SlaveCounts {
+			reg := obs.New()
 			c, err := cluster.New(cluster.Config{
 				Slaves:                 n,
 				SchemaDDL:              tpcw.SchemaDDL(),
@@ -162,6 +167,7 @@ func Figure3(opts Fig3Opts) ([]Fig3Row, error) {
 				StatementService:       serviceTime,
 				ServiceWidth:           serviceWidth,
 				UpdateStatementService: updateServiceTime,
+				Obs:                    reg,
 				EngineOptions: func(string) heap.Options {
 					return heap.Options{PageCap: benchPageCap, LockTimeout: lockTimeout}
 				},
@@ -201,6 +207,12 @@ func Figure3(opts Fig3Opts) ([]Fig3Row, error) {
 				WIPS:     res.WIPS,
 				AbortPct: abortPct,
 				Speedup:  harness.Speedup(res.WIPS, base.WIPS),
+				Aborts: map[string]int64{
+					"version-conflict":  reg.Counter(obs.SchedAbortVersion).Load(),
+					"lock-timeout":      reg.Counter(obs.SchedAbortLockTimeout).Load(),
+					"node-down":         reg.Counter(obs.SchedAbortNodeDown).Load(),
+					"retries-exhausted": reg.Counter(obs.SchedRetriesExhausted).Load(),
+				},
 			})
 			c.Close()
 		}
@@ -258,6 +270,29 @@ func Median(runs []*FailoverResult) *FailoverResult {
 	return &out
 }
 
+// StageBreakdown folds a cluster's obs event timeline into the paper's
+// fail-over stage durations (Figure 6 naming). Stage-completion events carry
+// the duration measured by the cluster's fail-over pipeline; repeated stages
+// (e.g. two reintegrations) accumulate. This is the single place the event
+// kinds are mapped to stage labels — the bench binaries report from it
+// instead of timing stages themselves.
+func StageBreakdown(events []cluster.Event) map[string]time.Duration {
+	label := map[cluster.EventKind]string{
+		cluster.EventRecoveryDone:   "Recovery",
+		cluster.EventMigrationDone:  "DB Update",
+		cluster.EventReintegrated:   "Reintegration",
+		cluster.EventNodeRestarted:  "Restart",
+		cluster.EventSpareActivated: "Spare Activation",
+	}
+	stages := map[string]time.Duration{}
+	for _, ev := range events {
+		if name, ok := label[ev.Kind]; ok && ev.Duration > 0 {
+			stages[name] += ev.Duration
+		}
+	}
+	return stages
+}
+
 func analyze(name string, res *harness.RunResult, window, faultAt time.Duration, events []cluster.Event) *FailoverResult {
 	series := res.Timeline.Series()
 	// The final bucket is partial (measurement stops mid-bucket) and reads
@@ -288,6 +323,7 @@ func analyze(name string, res *harness.RunResult, window, faultAt time.Duration,
 		PostMean: harness.Mean(series, window, faultAt, faultAt+time.Second),
 		Recovery: harness.RecoveryTime(series, window, faultAt, baseline, 0.75),
 		Events:   events,
+		Stages:   StageBreakdown(events),
 		Errors:   res.Errors,
 	}
 }
@@ -496,15 +532,8 @@ func Figure6(scale tpcw.Scale, d Durations) ([]Fig6Row, *FailoverResult, *Failov
 		return nil, nil, nil, err
 	}
 	var rows []Fig6Row
-	var recovery, migration time.Duration
-	for _, ev := range dmv.Events {
-		switch ev.Kind {
-		case cluster.EventRecoveryDone:
-			recovery = ev.Duration
-		case cluster.EventMigrationDone:
-			migration = ev.Duration
-		}
-	}
+	recovery := dmv.Stages["Recovery"]
+	migration := dmv.Stages["DB Update"]
 	warmup := dmv.Recovery - recovery - migration
 	if warmup < 0 {
 		warmup = 0

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -108,6 +109,20 @@ type Options struct {
 	// commit while locks are held (models the WAL fsync of the on-disk
 	// baseline).
 	CommitDelay func()
+	// Obs, if non-nil, receives the engine's metrics (lock waits, commits,
+	// lazy/eager page application). Nil disables them at zero cost.
+	Obs *obs.Registry
+}
+
+// heapMetrics holds the engine's registry handles; all nil when Options.Obs
+// is nil (every obs method no-ops on nil handles).
+type heapMetrics struct {
+	lockWaitUS    *obs.Histogram
+	lockTimeouts  *obs.Counter
+	commits       *obs.Counter
+	wsRecords     *obs.Counter
+	modsEnqueued  *obs.Counter
+	modsDiscarded *obs.Counter
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +141,11 @@ func (o Options) withDefaults() Options {
 // mmaps the same initial database.
 type Engine struct {
 	opts Options
+	met  heapMetrics
+	// applyHook observes every lazy/eager application of buffered page
+	// modifications; nil when metrics are disabled. Installed on every page
+	// at allocation (before the page is shared).
+	applyHook func(mods int, eager bool)
 
 	mu      sync.RWMutex
 	tables  []*Table       // guarded by mu
@@ -137,11 +157,35 @@ type Engine struct {
 
 // NewEngine returns an empty engine.
 func NewEngine(opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		opts:   opts.withDefaults(),
 		byName: make(map[string]int),
 		clock:  vclock.NewClock(0),
 	}
+	if reg := e.opts.Obs; reg != nil {
+		e.met = heapMetrics{
+			lockWaitUS:    reg.Histogram(obs.HeapLockWaitUS),
+			lockTimeouts:  reg.Counter(obs.HeapLockTimeouts),
+			commits:       reg.Counter(obs.HeapCommits),
+			wsRecords:     reg.Counter(obs.HeapWriteSetRecords),
+			modsEnqueued:  reg.Counter(obs.HeapModsEnqueued),
+			modsDiscarded: reg.Counter(obs.HeapModsDiscarded),
+		}
+		pagesLazy := reg.Counter(obs.HeapPagesLazy)
+		modsLazy := reg.Counter(obs.HeapModsLazy)
+		pagesEager := reg.Counter(obs.HeapPagesEager)
+		modsEager := reg.Counter(obs.HeapModsEager)
+		e.applyHook = func(mods int, eager bool) {
+			if eager {
+				pagesEager.Inc()
+				modsEager.Add(int64(mods))
+			} else {
+				pagesLazy.Inc()
+				modsLazy.Add(int64(mods))
+			}
+		}
+	}
+	return e
 }
 
 // CreateTable registers a table and returns its id.
@@ -152,7 +196,7 @@ func (e *Engine) CreateTable(def TableDef) (int, error) {
 		return 0, fmt.Errorf("heap: table %q already exists", def.Name)
 	}
 	id := len(e.tables)
-	t := newTable(id, def, e.opts.PageCap)
+	t := newTable(id, def, e.opts.PageCap, e.applyHook)
 	e.tables = append(e.tables, t)
 	e.byName[def.Name] = id
 	e.clock = vclock.NewClockAt(e.clock.Current().Merge(vclock.New(id + 1)))

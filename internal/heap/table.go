@@ -40,14 +40,19 @@ type Table struct {
 
 	idxMu   sync.RWMutex
 	indexes []*Index // guarded by idxMu
+
+	// onApply is installed on every page at allocation (metrics; nil when
+	// disabled). Immutable after newTable.
+	onApply func(mods int, eager bool)
 }
 
-func newTable(id int, def TableDef, pageCap int) *Table {
+func newTable(id int, def TableDef, pageCap int, onApply func(mods int, eager bool)) *Table {
 	return &Table{
 		id:      id,
 		def:     def,
 		pageCap: pageCap,
 		rowLoc:  make(map[page.RowID]*page.Page, 1024),
+		onApply: onApply,
 	}
 }
 
@@ -112,7 +117,7 @@ func (t *Table) ensurePage(id page.ID, createVer uint64) *page.Page {
 	t.dirMu.Lock()
 	defer t.dirMu.Unlock()
 	for int(id) >= len(t.pages) {
-		t.pages = append(t.pages, page.New(t.id, page.ID(len(t.pages)), createVer))
+		t.pages = append(t.pages, t.newPageLocked(createVer))
 	}
 	return t.pages[id]
 }
@@ -121,8 +126,18 @@ func (t *Table) ensurePage(id page.ID, createVer uint64) *page.Page {
 func (t *Table) appendPage(createVer uint64) *page.Page {
 	t.dirMu.Lock()
 	defer t.dirMu.Unlock()
-	p := page.New(t.id, page.ID(len(t.pages)), createVer)
+	p := t.newPageLocked(createVer)
 	t.pages = append(t.pages, p)
+	return p
+}
+
+// newPageLocked builds a page with the apply hook installed before the page
+// becomes reachable. Caller holds dirMu.
+func (t *Table) newPageLocked(createVer uint64) *page.Page {
+	p := page.New(t.id, page.ID(len(t.pages)), createVer)
+	if t.onApply != nil {
+		p.SetApplyHook(t.onApply)
+	}
 	return p
 }
 

@@ -221,16 +221,20 @@ func (tx *UpdateTx) lockPage(pg *page.Page) error {
 		return nil
 	}
 	if !pg.TryLockX() {
-		deadline := time.Now().Add(tx.e.opts.LockTimeout)
+		start := time.Now()
+		deadline := start.Add(tx.e.opts.LockTimeout)
 		for {
 			time.Sleep(20 * time.Microsecond)
 			if pg.TryLockX() {
 				break
 			}
 			if time.Now().After(deadline) {
+				tx.e.met.lockTimeouts.Inc()
+				tx.e.met.lockWaitUS.ObserveSince(start)
 				return fmt.Errorf("%w (tx %d, %s)", ErrLockTimeout, tx.id, pg)
 			}
 		}
+		tx.e.met.lockWaitUS.ObserveSince(start)
 	}
 	tx.locked[pg] = struct{}{}
 	tx.order = append(tx.order, pg)
@@ -608,6 +612,8 @@ func (tx *UpdateTx) Commit(broadcast func(*WriteSet) error) (vclock.Vector, erro
 	}
 	tx.done = true
 	tx.unlockAll()
+	tx.e.met.commits.Inc()
+	tx.e.met.wsRecords.Add(int64(len(ws.Records)))
 	if bErr != nil {
 		return ver, fmt.Errorf("broadcast write-set: %w", bErr)
 	}

@@ -29,6 +29,29 @@ type WriteSet struct {
 	Records []Record
 }
 
+// Size estimates the write-set's serialized footprint in bytes — the
+// replication-traffic quantity the paper reports. Fixed per-message and
+// per-record overheads plus the row images (9 bytes per datum header plus
+// string payload), matching what a compact binary encoding would ship.
+func (ws *WriteSet) Size() int {
+	if ws == nil {
+		return 0
+	}
+	n := 16 + 8*len(ws.Version) + 4*len(ws.Tables)
+	for _, rec := range ws.Records {
+		n += 16 + rowBytes(rec.Op.Data) + rowBytes(rec.Old)
+	}
+	return n
+}
+
+func rowBytes(r value.Row) int {
+	n := 0
+	for _, v := range r {
+		n += 9 + len(v.S)
+	}
+	return n
+}
+
 // ApplyWriteSet processes a write-set received from a master: it eagerly
 // publishes row locations and versioned index entries, and enqueues the page
 // modifications for lazy application (the paper's hybrid eager-propagation /
@@ -94,6 +117,7 @@ func (e *Engine) ApplyWriteSet(ws *WriteSet) error {
 			}
 		}
 		pg.Enqueue(page.Mod{Version: ver, Ops: ops})
+		e.met.modsEnqueued.Add(int64(len(ops)))
 		t.bumpVer(ver)
 	}
 	e.clock.Advance(ws.Version)
@@ -106,16 +130,18 @@ func (e *Engine) ApplyWriteSet(ws *WriteSet) error {
 // completed at a subset of the replicas but were never acknowledged by the
 // failed master.
 func (e *Engine) DiscardAbove(v vclock.Vector) {
+	dropped := 0
 	for _, t := range e.allTables() {
 		limit := v.Get(t.id)
 		for _, pg := range t.pagesSnapshot() {
-			pg.DiscardAbove(limit)
+			dropped += pg.DiscardAbove(limit)
 		}
 		for _, ix := range t.allIndexes() {
 			ix.discardAbove(limit)
 		}
 		t.lowerVer(limit)
 	}
+	e.met.modsDiscarded.Add(int64(dropped))
 	e.clock.ResetTo(v)
 }
 
@@ -220,7 +246,7 @@ func (e *Engine) MaterializeAll(v vclock.Vector) error {
 			if pg.CreateVersion() > target {
 				continue
 			}
-			err := pg.View(target, func(map[page.RowID]value.Row) error { return nil })
+			err := pg.Materialize(target)
 			if err != nil && err != page.ErrVersionConflict {
 				return err
 			}

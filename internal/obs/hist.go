@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i - 1]; bucket 0 holds v <= 0.
+// 64 buckets cover the whole positive int64 range, so the histogram needs
+// no configuration and recording is a shift-free array index.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log2-scale histogram. Recording is lock-free
+// (three atomic adds); a nil Histogram no-ops. Units are chosen by the
+// caller — every duration histogram in names.go records microseconds.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in microseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Microseconds())
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (0 for bucket
+// 0, 2^i - 1 otherwise).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<i - 1
+}
+
+// HistBucket is one non-empty bucket in a histogram snapshot.
+type HistBucket struct {
+	// Bound is the inclusive upper bound of the bucket.
+	Bound int64
+	Count int64
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets []HistBucket // non-empty buckets, ascending by bound
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies the histogram state. Counts are loaded bucket-by-bucket
+// without a lock, so a snapshot taken during concurrent recording is
+// internally consistent per bucket but may straddle an observation.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Bound: BucketBound(i), Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// WriteText renders the registry in expvar/Prometheus-style text: one
+// `name value` line per counter and gauge, and `_count`/`_sum`/
+// `_bucket{le="..."}` lines per histogram (cumulative bucket counts,
+// inclusive upper bounds).
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(w, "%s %g\n", name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Bound, cum)
+		}
+	}
+}
+
+// Handler serves the observability endpoints:
+//
+//	/metrics  — text exposition of every counter, gauge, and histogram
+//	/trace    — JSON dump of the span ring buffer (oldest first)
+//	/timeline — JSON dump of the cluster event timeline
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Tracer().Dump())
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		evs := r.Timeline().Events()
+		if evs == nil {
+			evs = []Event{}
+		}
+		writeJSON(w, evs)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve exposes the registry's endpoints on addr in a background
+// goroutine. The returned listener stops the server when closed. Used by
+// the -metrics-addr flag of cmd/dmv-node and cmd/dmv-scheduler.
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// Serve returns when the listener is closed; the error carries no
+		// information the daemon can act on at that point.
+		_ = http.Serve(ln, r.Handler())
+	}()
+	return ln, nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured cluster lifecycle event (node failure, election,
+// fail-over stage completion, reintegration, checkpoint, spare warm-up...).
+// internal/cluster aliases this type, so the scattered []cluster.Event
+// consumers keep compiling while the storage lives here.
+type Event struct {
+	Time     time.Time
+	Kind     string
+	Node     string
+	Detail   string
+	Duration time.Duration
+}
+
+// Timeline is an append-only log of cluster lifecycle events with
+// subscription hooks. A nil Timeline no-ops. Hooks are invoked after the
+// timeline lock is released (obs locks are the innermost band of the lock
+// hierarchy, so a hook that takes other locks must not run under mu);
+// under heavy concurrency a hook may therefore observe events slightly out
+// of append order.
+type Timeline struct {
+	mu     sync.Mutex
+	events []Event       // guarded by mu
+	hooks  []func(Event) // guarded by mu
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{}
+}
+
+// Record appends an event, stamping Time if unset, and invokes hooks.
+func (t *Timeline) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	hooks := t.hooks
+	t.mu.Unlock()
+	for _, fn := range hooks {
+		fn(ev)
+	}
+}
+
+// Events returns a copy of the recorded events in append order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// OnEvent registers a hook called for every subsequently recorded event.
+func (t *Timeline) OnEvent(fn func(Event)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hooks = append(t.hooks, fn)
+}
+
+// Stage is an in-progress timed stage; End records the completion event
+// with its duration. Replaces the ad-hoc `start := time.Now()` timers that
+// used to live in the fail-over pipeline.
+type Stage struct {
+	tl    *Timeline
+	kind  string
+	node  string
+	start time.Time
+}
+
+// Start begins a timed stage that will be recorded under kind/node.
+// Returns nil (allocating nothing) on a nil timeline.
+func (t *Timeline) Start(kind, node string) *Stage {
+	if t == nil {
+		return nil
+	}
+	return &Stage{tl: t, kind: kind, node: node, start: time.Now()}
+}
+
+// SetNode reassigns the node the stage will be recorded under (e.g. once
+// the elected master is known).
+func (s *Stage) SetNode(node string) {
+	if s == nil {
+		return
+	}
+	s.node = node
+}
+
+// End records the stage-completion event and returns its duration.
+func (s *Stage) End(detail string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.tl.Record(Event{Kind: s.kind, Node: s.node, Detail: detail, Duration: d})
+	return d
+}
+
+// Elapsed returns the time since the stage started without recording.
+func (s *Stage) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanStage is one lifecycle stage inside a span, as an offset from the
+// span's start (version tagging, replica selection, execution, commit...).
+type SpanStage struct {
+	Name   string
+	Offset time.Duration
+}
+
+// Span records one transaction attempt through the DMV lifecycle. A span
+// is built by a single goroutine (the one running the transaction) and
+// published to the tracer's ring buffer by Finish; until then it is not
+// shared and its methods take no locks. All methods no-op on a nil span,
+// so tracing can stay inline and cost one branch when disabled.
+type Span struct {
+	ID      uint64 // assigned by the tracer at Finish
+	Kind    string // "read" or "update"
+	Start   time.Time
+	Replica string        // executing replica, once selected
+	Version string        // version vector the transaction was tagged with
+	Outcome string        // "commit", "abort", or "error"
+	Cause   string        // abort cause ("version-conflict", "lock-timeout", "node-down", ...)
+	Total   time.Duration // set at Finish
+	Stages  []SpanStage
+
+	tracer *Tracer
+}
+
+// Mark appends a named stage at the current offset.
+func (sp *Span) Mark(stage string) {
+	if sp == nil {
+		return
+	}
+	sp.Stages = append(sp.Stages, SpanStage{Name: stage, Offset: time.Since(sp.Start)})
+}
+
+// SetReplica records the replica chosen to execute the transaction.
+func (sp *Span) SetReplica(id string) {
+	if sp == nil {
+		return
+	}
+	sp.Replica = id
+}
+
+// SetVersion records the version vector the transaction was tagged with.
+func (sp *Span) SetVersion(v string) {
+	if sp == nil {
+		return
+	}
+	sp.Version = v
+}
+
+// Finish stamps the outcome and publishes the span to the ring buffer.
+func (sp *Span) Finish(outcome, cause string) {
+	if sp == nil {
+		return
+	}
+	sp.Outcome, sp.Cause = outcome, cause
+	sp.Total = time.Since(sp.Start)
+	sp.tracer.record(*sp)
+}
+
+// Tracer keeps the most recent spans in a bounded ring buffer.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span // guarded by mu
+	next int    // guarded by mu
+	seq  uint64 // guarded by mu
+}
+
+// NewTracer returns a tracer retaining the last capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Begin starts a span for one transaction attempt. Returns nil (and
+// allocates nothing) on a nil tracer.
+func (t *Tracer) Begin(kind string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{Kind: kind, Start: time.Now(), tracer: t}
+}
+
+func (t *Tracer) record(sp Span) {
+	sp.tracer = nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp.ID = t.seq
+	t.seq++
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Total returns the number of spans ever recorded (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Dump copies the retained spans, oldest first.
+func (t *Tracer) Dump() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		sp := t.ring[(t.next+i)%len(t.ring)]
+		if sp.Start.IsZero() {
+			continue // slot never filled
+		}
+		out = append(out, sp)
+	}
+	return out
+}

@@ -78,6 +78,14 @@ type Page struct {
 	// it invisible to scans at any version. Atomic: read by scans without
 	// the latch, written under the exclusive latch.
 	createVer atomic.Uint64
+
+	// onApply, if set, observes every application of pending modifications:
+	// mods applied in one batch, and whether the batch was demand-driven
+	// (lazy, a reader or master materializing) or forced (eager, a
+	// materialize-all sweep). Runs under the page latch, so it must not
+	// block or take locks (atomic metric counters only). Set once before
+	// the page is shared.
+	onApply func(mods int, eager bool)
 }
 
 // New returns an empty page for the given table, allocated at table version
@@ -152,14 +160,21 @@ func (p *Page) Enqueue(m Mod) {
 	p.pending[i] = m
 }
 
-// DiscardAbove drops buffered modifications with version > v. Used during
-// master fail-over to clean up partially propagated pre-commits that the
-// failed master never acknowledged.
-func (p *Page) DiscardAbove(v uint64) {
+// SetApplyHook installs the modification-application observer. Must be
+// called before the page is shared (the table directory sets it at
+// allocation, under its directory lock).
+func (p *Page) SetApplyHook(fn func(mods int, eager bool)) { p.onApply = fn }
+
+// DiscardAbove drops buffered modifications with version > v, returning how
+// many were dropped. Used during master fail-over to clean up partially
+// propagated pre-commits that the failed master never acknowledged.
+func (p *Page) DiscardAbove(v uint64) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	i := sort.Search(len(p.pending), func(i int) bool { return p.pending[i].Version > v })
+	dropped := len(p.pending) - i
 	p.pending = p.pending[:i]
+	return dropped
 }
 
 func (p *Page) applyLocked(m Mod) {
@@ -178,17 +193,22 @@ func (p *Page) applyLocked(m Mod) {
 
 // ensureLocked applies pending mods with version <= v. Caller holds p.mu.
 // Returns ErrVersionConflict if the page has been upgraded past v.
-func (p *Page) ensureLocked(v uint64) error {
+func (p *Page) ensureLocked(v uint64, eager bool) error {
 	if p.applied > v {
 		return ErrVersionConflict
 	}
 	n := 0
+	mods := 0
 	for n < len(p.pending) && p.pending[n].Version <= v {
+		mods += len(p.pending[n].Ops)
 		p.applyLocked(p.pending[n])
 		n++
 	}
 	if n > 0 {
 		p.pending = append([]Mod(nil), p.pending[n:]...)
+		if p.onApply != nil {
+			p.onApply(mods, eager)
+		}
 	}
 	return nil
 }
@@ -206,7 +226,7 @@ func (p *Page) View(v uint64, fn func(rows map[RowID]value.Row) error) error {
 		if len(p.pending) > 0 && p.pending[0].Version <= v {
 			p.mu.RUnlock()
 			p.mu.Lock()
-			err := p.ensureLocked(v)
+			err := p.ensureLocked(v, false)
 			p.mu.Unlock()
 			if err != nil {
 				return err
@@ -272,7 +292,16 @@ func (p *Page) XApplied() uint64 { return p.applied }
 // XEnsure applies pending modifications up to v. Caller must hold the
 // exclusive latch. Used by update transactions on a freshly promoted master
 // that still has buffered mods.
-func (p *Page) XEnsure(v uint64) error { return p.ensureLocked(v) }
+func (p *Page) XEnsure(v uint64) error { return p.ensureLocked(v, false) }
+
+// Materialize eagerly applies pending modifications up to v (a
+// materialize-all sweep during migration or promotion, as opposed to the
+// lazy demand-driven application readers trigger through View).
+func (p *Page) Materialize(v uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ensureLocked(v, true)
+}
 
 // --- checkpoint & migration ------------------------------------------------
 

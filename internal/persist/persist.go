@@ -13,6 +13,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
 )
@@ -48,6 +49,11 @@ type Tier struct {
 	backs   []*Backend
 	done    chan struct{}
 	onError func(error)
+
+	logged   *obs.Counter // committed transactions appended to the query log
+	applied  *obs.Counter // transactions executed on a backend by the applier
+	replayed *obs.Counter // transactions replayed during backend recovery
+	errs     *obs.Counter // apply errors (counted and dropped)
 }
 
 // Options configure a tier.
@@ -57,6 +63,9 @@ type Options struct {
 	// OnError, if non-nil, receives apply errors (they are otherwise
 	// counted and dropped: the log retains everything for replay).
 	OnError func(error)
+	// Obs, if non-nil, receives the tier's counters plus a backlog gauge
+	// (log entries not yet applied by the slowest backend).
+	Obs *obs.Registry
 }
 
 // NewTier starts the tier's applier.
@@ -67,9 +76,30 @@ func NewTier(opts Options) *Tier {
 		done:    make(chan struct{}),
 		onError: opts.OnError,
 	}
+	if reg := opts.Obs; reg != nil {
+		t.logged = reg.Counter(obs.PersistLogged)
+		t.applied = reg.Counter(obs.PersistApplied)
+		t.replayed = reg.Counter(obs.PersistReplayed)
+		t.errs = reg.Counter(obs.PersistErrors)
+		reg.GaugeFunc(obs.PersistBacklog, t.backlog)
+	}
 	t.cond = sync.NewCond(&t.mu)
 	go t.applier()
 	return t
+}
+
+// backlog reports how far the slowest backend trails the query log.
+func (t *Tier) backlog() float64 {
+	t.mu.Lock()
+	logLen := len(t.log)
+	t.mu.Unlock()
+	max := 0
+	for _, b := range t.backs {
+		if lag := logLen - b.Applied(); lag > max {
+			max = lag
+		}
+	}
+	return float64(max)
 }
 
 // OnCommit is the scheduler hook: append to the query log and return. The
@@ -82,6 +112,7 @@ func (t *Tier) OnCommit(rec scheduler.CommitRecord) {
 		return
 	}
 	t.log = append(t.log, rec)
+	t.logged.Inc()
 	t.cond.Broadcast()
 }
 
@@ -151,10 +182,12 @@ func (t *Tier) applier() {
 				rec := t.log[idx]
 				t.mu.Unlock()
 				if err := t.applyOne(b, rec); err != nil {
+					t.errs.Inc()
 					if t.onError != nil {
 						t.onError(fmt.Errorf("persist: backend %s txn %d: %w", b.ID, idx, err))
 					}
 				}
+				t.applied.Inc()
 				b.mu.Lock()
 				b.applied++
 				b.mu.Unlock()
@@ -225,12 +258,14 @@ func (t *Tier) Recover(b *Backend) (int, error) {
 		rec := t.log[i]
 		t.mu.Unlock()
 		if err := t.applyOne(b, rec); err != nil {
+			t.errs.Inc()
 			return replayed, err
 		}
 		b.mu.Lock()
 		b.applied++
 		b.mu.Unlock()
 		replayed++
+		t.replayed.Inc()
 	}
 	return replayed, nil
 }

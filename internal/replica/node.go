@@ -20,6 +20,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
@@ -137,6 +138,10 @@ type Options struct {
 	// checkpoint on disk. When empty, checkpoints are kept in memory on the
 	// node object, which models the same thing for in-process experiments.
 	CheckpointDir string
+	// Obs, if non-nil, receives cluster-wide node metrics (transactions,
+	// aborts, write-set traffic, broadcast latency). The per-node Stats
+	// counters are kept regardless; the registry aggregates across nodes.
+	Obs *obs.Registry
 }
 
 // Node is one DMV database replica.
@@ -178,6 +183,7 @@ type Node struct {
 	svcSem    chan struct{}
 
 	stats Stats
+	met   nodeMetrics
 }
 
 // Stats are cumulative node counters.
@@ -186,6 +192,21 @@ type Stats struct {
 	UpdateTxns  atomic.Int64
 	Aborts      atomic.Int64
 	WriteSetsIn atomic.Int64
+}
+
+// nodeMetrics holds the registry handles shared by every node wired to the
+// same registry (the cluster-wide aggregates the paper reports); disabled
+// (all nil, enabled=false) without a registry.
+type nodeMetrics struct {
+	enabled     bool
+	readTxns    *obs.Counter
+	updateTxns  *obs.Counter
+	aborts      *obs.Counter
+	writeSetsIn *obs.Counter
+	wsBytes     *obs.Counter
+	acks        *obs.Counter
+	bcastFail   *obs.Counter
+	bcastUS     *obs.Histogram
 }
 
 // session is one transaction's server-side state. mu serializes the owning
@@ -222,6 +243,19 @@ func NewNode(opts Options) *Node {
 			n.svcPerUpd = opts.ServicePerStmt
 		}
 		n.svcSem = make(chan struct{}, width)
+	}
+	if reg := opts.Obs; reg != nil {
+		n.met = nodeMetrics{
+			enabled:     true,
+			readTxns:    reg.Counter(obs.NodeReadTxns),
+			updateTxns:  reg.Counter(obs.NodeUpdateTxns),
+			aborts:      reg.Counter(obs.NodeAborts),
+			writeSetsIn: reg.Counter(obs.NodeWriteSetsIn),
+			wsBytes:     reg.Counter(obs.NodeWriteSetBytes),
+			acks:        reg.Counter(obs.NodeBroadcastAcks),
+			bcastFail:   reg.Counter(obs.NodeBroadcastFailures),
+			bcastUS:     reg.Histogram(obs.NodeBroadcastUS),
+		}
 	}
 	n.cpDir = opts.CheckpointDir
 	n.alive.Store(true)
@@ -329,6 +363,10 @@ func (n *Node) ReceiveWriteSet(ws *heap.WriteSet) error {
 		return err
 	}
 	n.stats.WriteSetsIn.Add(1)
+	if n.met.enabled {
+		n.met.writeSetsIn.Inc()
+		n.met.wsBytes.Add(int64(ws.Size()))
+	}
 	n.joinMu.Lock()
 	if n.joining {
 		n.joinBuf = append(n.joinBuf, ws)
@@ -349,10 +387,13 @@ func (n *Node) broadcast(ws *heap.WriteSet) error {
 	if len(subs) == 0 {
 		return nil
 	}
+	var start time.Time
+	if n.met.enabled {
+		start = time.Now()
+		defer func() { n.met.bcastUS.ObserveSince(start) }()
+	}
 	if len(subs) == 1 {
-		if err := subs[0].ReceiveWriteSet(ws); err != nil && n.onPeerFailure != nil {
-			n.onPeerFailure(subs[0].ID())
-		}
+		n.shipTo(subs[0], ws)
 		return nil
 	}
 	var wg sync.WaitGroup
@@ -360,13 +401,23 @@ func (n *Node) broadcast(ws *heap.WriteSet) error {
 		wg.Add(1)
 		go func(p Peer) {
 			defer wg.Done()
-			if err := p.ReceiveWriteSet(ws); err != nil && n.onPeerFailure != nil {
-				n.onPeerFailure(p.ID())
-			}
+			n.shipTo(p, ws)
 		}(p)
 	}
 	wg.Wait()
 	return nil
+}
+
+// shipTo sends one write-set to one subscriber and accounts the ack.
+func (n *Node) shipTo(p Peer, ws *heap.WriteSet) {
+	if err := p.ReceiveWriteSet(ws); err != nil {
+		n.met.bcastFail.Inc()
+		if n.onPeerFailure != nil {
+			n.onPeerFailure(p.ID())
+		}
+		return
+	}
+	n.met.acks.Inc()
 }
 
 // --- transaction sessions ---------------------------------------------------
@@ -380,6 +431,7 @@ func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
 	if readOnly {
 		s.readTx = n.eng.BeginRead(version)
 		n.stats.ReadTxns.Add(1)
+		n.met.readTxns.Inc()
 	} else {
 		n.roleMu.RLock()
 		isMaster := n.role == RoleMaster
@@ -389,6 +441,7 @@ func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
 		}
 		s.upTx = n.eng.BeginUpdate()
 		n.stats.UpdateTxns.Add(1)
+		n.met.updateTxns.Inc()
 	}
 	n.sessMu.Lock()
 	n.sessSeq++
@@ -474,6 +527,7 @@ func (n *Node) TxExec(txID uint64, stmt string, params []value.Value) (*exec.Res
 	res, err := p.Exec(tx, params)
 	if err != nil && errors.Is(err, page.ErrVersionConflict) {
 		n.stats.Aborts.Add(1)
+		n.met.aborts.Inc()
 	}
 	return res, err
 }

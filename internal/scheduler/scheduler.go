@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmv/internal/obs"
 	"dmv/internal/replica"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -71,15 +72,23 @@ type Options struct {
 	OnPeerFailure func(peerID string)
 	// Seed seeds the spare-routing RNG (0 = fixed default).
 	Seed int64
+	// Obs receives the scheduler's metrics and per-transaction trace
+	// spans. Nil falls back to a private registry (counters keep working,
+	// exposition and tracing are off). Peer schedulers sharing one registry
+	// share one set of counters — the cluster-wide view.
+	Obs *obs.Registry
 }
 
-// Stats are cumulative scheduler counters.
+// Stats are cumulative scheduler counters, backed by the metrics registry
+// (the fields are registry counters, so benches and the HTTP exposition
+// read the same numbers). The Load-based API matches the atomic.Int64
+// fields these used to be.
 type Stats struct {
-	ReadTxns      atomic.Int64
-	UpdateTxns    atomic.Int64
-	VersionAborts atomic.Int64
-	LockRetries   atomic.Int64
-	Failovers     atomic.Int64
+	ReadTxns      *obs.Counter
+	UpdateTxns    *obs.Counter
+	VersionAborts *obs.Counter
+	LockRetries   *obs.Counter
+	Failovers     *obs.Counter
 }
 
 type replicaState struct {
@@ -144,7 +153,17 @@ type Scheduler struct {
 
 	rrSeq atomic.Int64 // rotates tie-breaking across equally-loaded replicas
 
-	stats Stats
+	stats  *Stats
+	met    schedMetrics
+	tracer *obs.Tracer // nil unless Options.Obs was set
+}
+
+// schedMetrics holds the registry handles beyond the public Stats set.
+type schedMetrics struct {
+	abortNodeDown    *obs.Counter
+	retriesExhausted *obs.Counter
+	pickWaitUS       *obs.Histogram
+	txnUS            *obs.Histogram
 }
 
 // New builds a scheduler over the given schema tables. numTables sizes the
@@ -158,12 +177,30 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 	if seed == 0 {
 		seed = 42
 	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.New() // private registry: Stats keep working, no exposition
+	}
 	s := &Scheduler{
 		opts:      opts,
 		merged:    vclock.NewMerged(numTables),
 		classOf:   make(map[string]int, 16),
 		rng:       rand.New(rand.NewSource(seed)),
 		stmtIsUpd: make(map[string]bool, 64),
+		stats: &Stats{
+			ReadTxns:      reg.Counter(obs.SchedReadTxns),
+			UpdateTxns:    reg.Counter(obs.SchedUpdateTxns),
+			VersionAborts: reg.Counter(obs.SchedAbortVersion),
+			LockRetries:   reg.Counter(obs.SchedAbortLockTimeout),
+			Failovers:     reg.Counter(obs.SchedFailovers),
+		},
+		met: schedMetrics{
+			abortNodeDown:    reg.Counter(obs.SchedAbortNodeDown),
+			retriesExhausted: reg.Counter(obs.SchedRetriesExhausted),
+			pickWaitUS:       reg.Histogram(obs.SchedPickWaitUS),
+			txnUS:            reg.Histogram(obs.SchedTxnUS),
+		},
+		tracer: opts.Obs.Tracer(), // nil when Obs is nil: spans cost nothing
 	}
 	if len(opts.Classes) == 0 {
 		opts.Classes = []ConflictClass{{Name: "all"}}
@@ -188,7 +225,7 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 }
 
 // Stats exposes the counters.
-func (s *Scheduler) Stats() *Stats { return &s.stats }
+func (s *Scheduler) Stats() *Stats { return s.stats }
 
 // Latest returns the newest merged version vector (what the next reader
 // would be tagged with).
@@ -405,7 +442,9 @@ func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
 	// Wait up to a few read-transaction lifetimes for a safe replica to
 	// drain before risking aborts ("read-only transactions may need to
 	// wait for other read-only transactions using a previous version").
-	deadline := time.Now().Add(60 * time.Millisecond)
+	start := time.Now()
+	defer s.met.pickWaitUS.ObserveSince(start)
+	deadline := start.Add(60 * time.Millisecond)
 	for {
 		s.mu.Lock()
 		if len(s.slaves) == 0 {

@@ -3,9 +3,11 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/replica"
 	"dmv/internal/value"
@@ -96,6 +98,22 @@ func retryable(err error) bool {
 		errors.Is(err, heap.ErrLockTimeout)
 }
 
+// causeOf names an abort cause for trace spans ("" for success).
+func causeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, page.ErrVersionConflict):
+		return "version-conflict"
+	case errors.Is(err, heap.ErrLockTimeout):
+		return "lock-timeout"
+	case errors.Is(err, replica.ErrNodeDown):
+		return "node-down"
+	default:
+		return "other"
+	}
+}
+
 // Run executes fn as one transaction. Read-only transactions are tagged with
 // the latest merged version vector and routed by version affinity; update
 // transactions go to their conflict-class master. Aborted transactions
@@ -119,13 +137,28 @@ func (s *Scheduler) Run(spec TxnSpec, fn func(tx *Txn) error) error {
 		if errors.Is(err, heap.ErrLockTimeout) {
 			s.stats.LockRetries.Add(1)
 		}
+		if errors.Is(err, replica.ErrNodeDown) {
+			s.met.abortNodeDown.Add(1)
+		}
 	}
+	s.met.retriesExhausted.Add(1)
 	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
 }
 
 func (s *Scheduler) runOnce(spec TxnSpec, fn func(tx *Txn) error) error {
-	tx, err := s.Begin(spec)
+	var sp *obs.Span
+	if s.tracer != nil {
+		kind := "update"
+		if spec.ReadOnly {
+			kind = "read"
+		}
+		sp = s.tracer.Begin(kind)
+	}
+	start := time.Now()
+	defer s.met.txnUS.ObserveSince(start)
+	tx, err := s.begin(spec, sp)
 	if err != nil {
+		sp.Finish("abort", causeOf(err))
 		return err
 	}
 	if err := fn(tx); err != nil {
@@ -133,9 +166,18 @@ func (s *Scheduler) runOnce(spec TxnSpec, fn func(tx *Txn) error) error {
 		if errors.Is(err, replica.ErrNodeDown) {
 			s.reportFailure(tx.peer.ID())
 		}
+		sp.Mark("exec")
+		sp.Finish("abort", causeOf(err))
 		return err
 	}
-	return tx.Commit()
+	sp.Mark("exec")
+	if err := tx.Commit(); err != nil {
+		sp.Finish("abort", causeOf(err))
+		return err
+	}
+	sp.Mark("commit")
+	sp.Finish("commit", "")
+	return nil
 }
 
 // Begin opens one transaction session: read-only transactions are tagged
@@ -143,13 +185,23 @@ func (s *Scheduler) runOnce(spec TxnSpec, fn func(tx *Txn) error) error {
 // updates go to their conflict-class master. The caller must finish the
 // session with Commit or Rollback. Begin does not retry — Run adds retry
 // semantics on top.
-func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) {
+func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) { return s.begin(spec, nil) }
+
+// begin implements Begin, annotating the optional trace span with the
+// lifecycle stages (version tagging, replica selection, session begin).
+func (s *Scheduler) begin(spec TxnSpec, sp *obs.Span) (*Txn, error) {
 	if spec.ReadOnly {
 		v := s.merged.Latest()
+		if sp != nil {
+			sp.SetVersion(v.String())
+			sp.Mark("tag")
+		}
 		rep := s.pickReader(v)
+		sp.Mark("pick")
 		if rep == nil {
 			return nil, ErrNoReplicas
 		}
+		sp.SetReplica(rep.peer.ID())
 		id, err := rep.peer.TxBegin(true, v)
 		if err != nil {
 			rep.outstanding.Add(-1) // pickReader incremented under its lock
@@ -158,6 +210,7 @@ func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) {
 			}
 			return nil, err
 		}
+		sp.Mark("begin")
 		return &Txn{sched: s, peer: rep.peer, rep: rep, id: id, readOnly: true, version: v}, nil
 	}
 	ci := s.classFor(spec.Tables)
@@ -165,6 +218,7 @@ func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) {
 	if master == nil {
 		return nil, ErrNoReplicas
 	}
+	sp.SetReplica(master.ID())
 	id, err := master.TxBegin(false, nil)
 	if err != nil {
 		if errors.Is(err, replica.ErrNodeDown) || errors.Is(err, replica.ErrNotMaster) {
@@ -173,6 +227,7 @@ func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) {
 		}
 		return nil, err
 	}
+	sp.Mark("begin")
 	return &Txn{sched: s, peer: master, id: id}, nil
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/replica"
 	"dmv/internal/simdisk"
@@ -326,6 +327,15 @@ type Server struct {
 
 // ServeNode starts serving a node's Peer interface on addr.
 func ServeNode(n *replica.Node, addr string) (*Server, error) {
+	return ServeNodeObs(n, addr, nil)
+}
+
+// ServeNodeObs is ServeNode with wire metrics: accepted connections are
+// counted and every byte read or written on them accumulates in the
+// registry (the replication-traffic quantity of the paper's Figure 7,
+// measured at the receiver's socket). A nil registry serves unwrapped
+// connections with no overhead.
+func ServeNodeObs(n *replica.Node, addr string, reg *obs.Registry) (*Server, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Node", &NodeService{node: n}); err != nil {
 		return nil, err
@@ -333,6 +343,12 @@ func ServeNode(n *replica.Node, addr string) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	var connsC, bytesIn, bytesOut *obs.Counter
+	if reg != nil {
+		connsC = reg.Counter(obs.TransportConns)
+		bytesIn = reg.Counter(obs.TransportBytesIn)
+		bytesOut = reg.Counter(obs.TransportBytesOut)
 	}
 	s := &Server{lis: lis, done: make(chan struct{}), conns: make(map[net.Conn]struct{}, 8)}
 	go func() {
@@ -342,11 +358,16 @@ func ServeNode(n *replica.Node, addr string) (*Server, error) {
 			if err != nil {
 				return // listener closed
 			}
+			connsC.Inc()
 			s.connMu.Lock()
 			s.conns[conn] = struct{}{}
 			s.connMu.Unlock()
 			go func() {
-				srv.ServeConn(conn)
+				if reg != nil {
+					srv.ServeConn(&countingConn{Conn: conn, in: bytesIn, out: bytesOut})
+				} else {
+					srv.ServeConn(conn)
+				}
 				s.connMu.Lock()
 				delete(s.conns, conn)
 				s.connMu.Unlock()
@@ -354,6 +375,24 @@ func ServeNode(n *replica.Node, addr string) (*Server, error) {
 		}
 	}()
 	return s, nil
+}
+
+// countingConn accumulates wire bytes into registry counters.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // Addr returns the bound address.

@@ -16,6 +16,18 @@ go vet ./...
 echo "==> dmv-vet (lock hierarchy, guarded fields, vector immutability, write-set copies)"
 go run ./cmd/dmv-vet ./...
 
+echo "==> obs lint (metric-name literals live only in internal/obs/names.go)"
+# Every "dmv_..." metric name must come from the obs name catalogue; a
+# string literal elsewhere means a layer is registering an undeclared metric.
+if grep -rn --include='*.go' '"dmv_' . | grep -v '^\./internal/obs/names\.go:'; then
+	echo "obs lint: metric-name literal outside internal/obs/names.go (use the obs.* constants)" >&2
+	exit 1
+fi
+
+echo "==> obs race leg (obs unit suite + metrics-enabled cluster)"
+go test -race -count=1 ./internal/obs/
+go test -race -count=1 -run 'TestObsMetricsEnabled' ./internal/cluster/
+
 echo "==> go test -race"
 go test -race -count=1 ./...
 
