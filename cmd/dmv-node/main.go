@@ -58,7 +58,7 @@ func run() error {
 		reg = obs.New()
 	}
 	var disk *simdisk.Disk
-	opts := heap.Options{PageCap: *pageCap, Obs: reg}
+	opts := heap.Options{PageCap: *pageCap, Obs: reg, NodeID: *id}
 	if *cachePages > 0 {
 		disk = simdisk.New(simdisk.InMemory(*pageFault), *cachePages)
 		opts.Observer = disk
@@ -83,6 +83,14 @@ func run() error {
 	}
 
 	node := replica.NewNode(replica.Options{ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir, Obs: reg})
+	if reg != nil {
+		// The scheduler derives per-table version lag from the ObsSnapshot
+		// RPC; the local backlog gauge gives this node's /metrics the same
+		// staleness signal without a scheduler round trip.
+		reg.GaugeFunc(obs.Labeled(obs.ReplicaApplyBacklog, "node", *id), func() float64 {
+			return float64(eng.PendingMods())
+		})
+	}
 	if *checkpoint > 0 {
 		cp := node.StartCheckpointer(*checkpoint)
 		defer cp.Stop()

@@ -62,7 +62,8 @@ func run() error {
 		clients    = flag.Int("clients", 8, "emulated browsers when driving")
 		items      = flag.Int("items", 1000, "TPC-W items (must match the nodes)")
 		customers  = flag.Int("customers", 500, "TPC-W customers (must match the nodes)")
-		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /timeline on this address (empty = off)")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /stitch, /timeline, /cluster on this address (empty = off)")
+		scrape     = flag.Duration("scrape", 500*time.Millisecond, "node ObsSnapshot scrape period for /cluster")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
@@ -72,14 +73,16 @@ func run() error {
 	}
 
 	var reg *obs.Registry
+	agg := &obs.Aggregator{}
 	if *metrics != "" {
 		reg = obs.New()
-		mln, err := obs.Serve(*metrics, reg)
+		obs.RegisterIdentity(reg, "scheduler", time.Now())
+		mln, err := obs.ServeCluster(*metrics, reg, agg.Current)
 		if err != nil {
 			return err
 		}
 		defer mln.Close()
-		log.Printf("metrics on http://%s/metrics (also /trace, /timeline)", mln.Addr())
+		log.Printf("metrics on http://%s/metrics (also /trace, /stitch, /timeline, /cluster)", mln.Addr())
 	}
 
 	// Dial every node.
@@ -184,6 +187,35 @@ func run() error {
 	}()
 	defer close(stopMon)
 
+	// Aggregation plane: scrape every node's registry over the ObsSnapshot
+	// RPC and merge into one labeled cluster snapshot served at /cluster.
+	// The scheduler's merged version vector floors the commit frontier, so
+	// a freshly acknowledged commit shows as lag even before any node
+	// reports the new version back.
+	if reg != nil {
+		go func() {
+			all := append([]*transport.RemoteNode{master}, slaves...)
+			ticker := time.NewTicker(*scrape)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopMon:
+					return
+				case <-ticker.C:
+					var nss []obs.NodeSnapshot
+					for _, n := range all {
+						ns, err := n.ObsSnapshot()
+						if err != nil {
+							continue // dead or unreachable; the snapshot just omits it
+						}
+						nss = append(nss, ns)
+					}
+					agg.Update(obs.MergeSnapshots(nss, sched.Latest()))
+				}
+			}
+		}()
+	}
+
 	if *drive == "" {
 		log.Printf("idle; press Ctrl-C to exit")
 		select {}
@@ -214,6 +246,9 @@ func run() error {
 			reg.Counter(obs.SchedAbortLockTimeout).Load(),
 			reg.Counter(obs.SchedAbortNodeDown).Load(),
 			reg.Counter(obs.SchedRetriesExhausted).Load())
+		txn := reg.Histogram(obs.SchedTxnUS).Snapshot().Summary()
+		fmt.Printf("txn latency (us): p50=%d p95=%d p99=%d over %d attempts\n",
+			txn.P50, txn.P95, txn.P99, txn.Count)
 	}
 	fmt.Println(harness.AsciiChart("throughput", res.Timeline.Series(), 10))
 	ixNames := make([]string, 0, len(res.ByInteraction))

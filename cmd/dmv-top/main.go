@@ -1,0 +1,129 @@
+// Command dmv-top is a refreshing text dashboard over the scheduler's
+// /cluster aggregation endpoint: per-node role, version lag against the
+// commit frontier, buffered-mod backlog, and the key cluster-wide rates
+// and latency quantiles, in the spirit of top(1).
+//
+// Usage:
+//
+//	dmv-scheduler ... -metrics-addr :9100 &
+//	dmv-top -addr 127.0.0.1:9100 [-interval 1s] [-once]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dmv/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmv-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9100", "scheduler metrics address serving /cluster")
+		interval = flag.Duration("interval", time.Second, "refresh period")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	url := "http://" + *addr + "/cluster"
+	for {
+		cs, err := fetch(client, url)
+		if err != nil {
+			if *once {
+				return err
+			}
+			fmt.Printf("dmv-top: %v (retrying)\n", err)
+		} else {
+			frame := render(cs)
+			if *once {
+				fmt.Print(frame)
+				return nil
+			}
+			// Clear and home, like top: the frame fully repaints.
+			fmt.Print("\x1b[2J\x1b[H" + frame)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(c *http.Client, url string) (obs.ClusterSnapshot, error) {
+	var cs obs.ClusterSnapshot
+	resp, err := c.Get(url)
+	if err != nil {
+		return cs, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cs, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return cs, json.NewDecoder(resp.Body).Decode(&cs)
+}
+
+func render(cs obs.ClusterSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dmv cluster  @%s  frontier=%v\n\n",
+		time.Unix(cs.TakenUnix, 0).Format("15:04:05"), cs.Frontier)
+	fmt.Fprintf(&b, "%-10s %-8s %10s %10s %10s\n", "NODE", "ROLE", "LAG", "BACKLOG", "UPTIME")
+	for _, n := range cs.Nodes {
+		var lag uint64
+		for _, l := range n.Lag {
+			lag += l
+		}
+		up := "-"
+		if n.StartUnix > 0 {
+			up = time.Since(time.Unix(n.StartUnix, 0)).Round(time.Second).String()
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %10d %10d %10s\n", n.Node, n.Role, lag, n.PendingMods, up)
+	}
+
+	b.WriteString("\ncounters:\n")
+	for _, name := range pick(cs.Merged.Counters, obs.SchedPrefix, obs.NodePrefix) {
+		fmt.Fprintf(&b, "  %-40s %d\n", name, cs.Merged.Counters[name])
+	}
+	b.WriteString("\nlatency (us):\n")
+	hnames := make([]string, 0, len(cs.Merged.Histograms))
+	for name := range cs.Merged.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		s := cs.Merged.Histograms[name].Summary()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-40s p50=%-8d p95=%-8d p99=%-8d n=%d\n",
+			name, s.P50, s.P95, s.P99, s.Count)
+	}
+	fmt.Fprintf(&b, "\n%d spans in trace ring (GET /stitch for the latest stitched trace)\n", len(cs.Spans))
+	return b.String()
+}
+
+// pick returns the sorted names with any of the prefixes (the scheduler and
+// node rate counters people actually watch; gauges and internals stay on
+// /metrics).
+func pick(m map[string]int64, prefixes ...string) []string {
+	var out []string
+	for name := range m {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -106,6 +106,16 @@ func run() error {
 			r.Aborts["node-down"], r.Aborts["retries-exhausted"])
 	}
 	fmt.Println()
+	fmt.Println("Transaction latency per DMV configuration (us, per attempt):")
+	fmt.Printf("%-10s %-8s %10s %10s %10s %10s\n", "mix", "config", "p50", "p95", "p99", "attempts")
+	for _, r := range rows {
+		if r.TxnLatency.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-10s %-8s %10d %10d %10d %10d\n", r.Mix, r.Config,
+			r.TxnLatency.P50, r.TxnLatency.P95, r.TxnLatency.P99, r.TxnLatency.Count)
+	}
+	fmt.Println()
 	fmt.Println("Paper reference (9-node tier vs stand-alone InnoDB): browsing 14.6x, shopping 17.6x, ordering 6.5x;")
 	fmt.Println("read-only aborts below 2.5% in all experiments.")
 

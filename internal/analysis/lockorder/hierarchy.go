@@ -66,8 +66,9 @@ var DefaultConfig = &Config{
 		"dmv/internal/replica.Node.cpMu":     levelReplica + 4,
 
 		// transport
-		"dmv/internal/transport.Server.connMu": levelTransport,
-		"dmv/internal/transport.RemoteNode.mu": levelTransport,
+		"dmv/internal/transport.Server.connMu":   levelTransport,
+		"dmv/internal/transport.RemoteNode.mu":   levelTransport,
+		"dmv/internal/transport.RemoteNode.trMu": levelTransport,
 
 		// heap storage engine
 		"dmv/internal/heap.Engine.mu":      levelEngine,
@@ -86,9 +87,10 @@ var DefaultConfig = &Config{
 		"dmv/internal/vclock.Merged.mu": levelClock,
 
 		// observability (innermost; see levelObs)
-		"dmv/internal/obs.Registry.mu": levelObs,
-		"dmv/internal/obs.Tracer.mu":   levelObs,
-		"dmv/internal/obs.Timeline.mu": levelObs,
+		"dmv/internal/obs.Registry.mu":   levelObs,
+		"dmv/internal/obs.Tracer.mu":     levelObs,
+		"dmv/internal/obs.Timeline.mu":   levelObs,
+		"dmv/internal/obs.Aggregator.mu": levelObs,
 	},
 	Callees: map[string]int{
 		// Cross-package entry points that acquire locks internally; calling
@@ -102,8 +104,9 @@ var DefaultConfig = &Config{
 		"dmv/internal/vclock.Merged.Report":  levelClock,
 		"dmv/internal/vclock.Merged.Latest":  levelClock,
 		"dmv/internal/vclock.Merged.Reset":   levelClock,
-		"dmv/internal/heap.Engine.table":     levelEngine,
-		"dmv/internal/heap.Engine.allTables": levelEngine,
+		"dmv/internal/heap.Engine.table":           levelEngine,
+		"dmv/internal/heap.Engine.allTables":       levelEngine,
+		"dmv/internal/heap.Engine.AppliedVersions": levelEngine,
 
 		// obs entry points: metric registration and hot-path recording take
 		// only obs locks, so they are safe under anything. Snapshot is the
@@ -115,8 +118,11 @@ var DefaultConfig = &Config{
 		"dmv/internal/obs.Registry.GaugeFunc": levelObs,
 		"dmv/internal/obs.Registry.Snapshot":  levelCluster,
 		"dmv/internal/obs.Tracer.Begin":       levelObs,
+		"dmv/internal/obs.Tracer.BeginChild":  levelObs,
 		"dmv/internal/obs.Tracer.Total":       levelObs,
 		"dmv/internal/obs.Tracer.Dump":        levelObs,
+		"dmv/internal/obs.Aggregator.Update":  levelObs,
+		"dmv/internal/obs.Aggregator.Current": levelObs,
 		"dmv/internal/obs.Span.Finish":        levelObs,
 		"dmv/internal/obs.Timeline.Record":    levelObs,
 		"dmv/internal/obs.Timeline.Events":    levelObs,

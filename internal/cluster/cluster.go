@@ -329,6 +329,9 @@ func (c *Cluster) buildNode(id string) (*replica.Node, error) {
 	if opts.Obs == nil {
 		opts.Obs = c.cfg.Obs
 	}
+	if opts.NodeID == "" {
+		opts.NodeID = id
+	}
 	eng := heap.NewEngine(opts)
 	for _, ddl := range c.cfg.SchemaDDL {
 		if err := exec.ExecDDL(eng, ddl); err != nil {
@@ -361,7 +364,85 @@ func (c *Cluster) buildNode(id string) (*replica.Node, error) {
 		c.disks = append(c.disks, disk)
 	}
 	c.mu.Unlock()
+	c.registerLagGauges(id, eng)
 	return n, nil
+}
+
+// registerLagGauges exports the node's DMV staleness against the cluster
+// commit frontier: one version-lag gauge per table (frontier minus the
+// version the table's pages have actually applied) and one backlog gauge
+// counting buffered, not-yet-applied modifications. Both read live engine
+// state at snapshot time, so a scrape after reads forced lazy application
+// reports zero without any bookkeeping in the apply path.
+func (c *Cluster) registerLagGauges(id string, eng *heap.Engine) {
+	reg := c.cfg.Obs
+	if reg == nil {
+		return
+	}
+	for ti, name := range eng.TableNames() {
+		ti := ti
+		reg.GaugeFunc(obs.Labeled(obs.ReplicaVersionLag, "node", id, "table", name), func() float64 {
+			frontier := c.frontier()
+			applied := eng.AppliedVersions()
+			if ti >= len(frontier) || ti >= len(applied) || frontier[ti] <= applied[ti] {
+				return 0
+			}
+			return float64(frontier[ti] - applied[ti])
+		})
+	}
+	reg.GaugeFunc(obs.Labeled(obs.ReplicaApplyBacklog, "node", id), func() float64 {
+		return float64(eng.PendingMods())
+	})
+}
+
+// frontier is the cluster commit frontier: the primary scheduler's merged
+// version vector, which covers every acknowledged commit. Nil before the
+// schedulers exist (gauge callbacks cannot fire that early, but snapshots
+// taken from tests might).
+func (c *Cluster) frontier() vclock.Vector {
+	if len(c.scheds) == 0 {
+		return nil
+	}
+	return c.Scheduler().Latest()
+}
+
+// ClusterSnapshot builds the aggregation-plane view of the in-process
+// cluster: the commit frontier, every node's per-table version lag and
+// apply backlog, and the metric/trace state. In-process nodes share one
+// registry, so the merged snapshot is taken once — summing per-node
+// snapshots (the multiprocess path in obs.MergeSnapshots) would multiply
+// every counter by the node count.
+func (c *Cluster) ClusterSnapshot() obs.ClusterSnapshot {
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	nodes := make([]*replica.Node, 0, len(ids))
+	for _, id := range ids {
+		nodes = append(nodes, c.nodes[id].node)
+	}
+	c.mu.Unlock()
+
+	frontier := c.frontier()
+	cs := obs.ClusterSnapshot{TakenUnix: time.Now().Unix(), Frontier: frontier}
+	for i, n := range nodes {
+		nl := obs.NodeLag{Node: ids[i], Role: "down", StartUnix: n.StartTime().Unix()}
+		if r, err := n.Role(); err == nil {
+			nl.Role = r.String()
+			applied := n.Engine().AppliedVersions()
+			nl.Lag = make([]uint64, len(frontier))
+			for t := range nl.Lag {
+				if t < len(applied) && frontier[t] > applied[t] {
+					nl.Lag[t] = frontier[t] - applied[t]
+				}
+			}
+			nl.PendingMods = n.Engine().PendingMods()
+		}
+		cs.Nodes = append(cs.Nodes, nl)
+	}
+	if reg := c.cfg.Obs; reg != nil {
+		cs.Merged = reg.Snapshot()
+		cs.Spans = reg.Tracer().Dump()
+	}
+	return cs
 }
 
 // rewireSubscribers points every master's replication stream at every other

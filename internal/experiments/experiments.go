@@ -97,6 +97,9 @@ type Fig3Row struct {
 	// Aborts breaks committed-transaction failures down by cause, read
 	// from the run's obs registry (nil for the innodb baseline rows).
 	Aborts map[string]int64
+	// TxnLatency summarizes per-attempt transaction latency (us) from the
+	// scheduler's obs histogram (zero for the innodb baseline rows).
+	TxnLatency obs.HistSummary
 }
 
 // Fig3Opts parameterize the scaling experiment.
@@ -213,6 +216,7 @@ func Figure3(opts Fig3Opts) ([]Fig3Row, error) {
 					"node-down":         reg.Counter(obs.SchedAbortNodeDown).Load(),
 					"retries-exhausted": reg.Counter(obs.SchedRetriesExhausted).Load(),
 				},
+				TxnLatency: reg.Histogram(obs.SchedTxnUS).Snapshot().Summary(),
 			})
 			c.Close()
 		}
@@ -235,12 +239,20 @@ type FailoverResult struct {
 	Events   []cluster.Event
 	Stages   map[string]time.Duration // fig 6 breakdown
 	Errors   int64
+	// TxnLatency summarizes per-attempt transaction latency (us) over the
+	// whole run, fault window included.
+	TxnLatency obs.HistSummary
 }
 
 // Summary renders a one-line report.
 func (r *FailoverResult) Summary() string {
-	return fmt.Sprintf("%s: baseline %.1f WIPS, dip to %.1f, post-fault mean %.1f, recovery %s",
+	s := fmt.Sprintf("%s: baseline %.1f WIPS, dip to %.1f, post-fault mean %.1f, recovery %s",
 		r.Name, r.Baseline, r.DipMin, r.PostMean, harness.FmtDur(r.Recovery))
+	if r.TxnLatency.Count > 0 {
+		s += fmt.Sprintf(", txn us p50=%d p95=%d p99=%d",
+			r.TxnLatency.P50, r.TxnLatency.P95, r.TxnLatency.P99)
+	}
+	return s
 }
 
 // Median aggregates repeated runs of one fail-over experiment into a single
@@ -376,6 +388,7 @@ func buildDMV(scale tpcw.Scale, fc dmvFailoverConfig) (*cluster.Cluster, map[str
 		SchemaDDL:              tpcw.SchemaDDL(),
 		Load:                   scale.Load,
 		MaxRetries:             50,
+		Obs:                    obs.New(),
 		WarmupShare:            fc.warmShare,
 		PageIDTransfer:         fc.pageIDs,
 		CheckpointPeriod:       fc.checkpt,
@@ -416,7 +429,9 @@ func runDMVFailover(name string, scale tpcw.Scale, fc dmvFailoverConfig, d Durat
 		Window:   d.Window,
 	})
 	<-done
-	return analyze(name, res, d.Window, d.FaultAt, c.Events()), nil
+	r := analyze(name, res, d.Window, d.FaultAt, c.Events())
+	r.TxnLatency = c.Obs().Histogram(obs.SchedTxnUS).Snapshot().Summary()
+	return r, nil
 }
 
 // --- Figure 4: node reintegration --------------------------------------------

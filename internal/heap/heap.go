@@ -112,6 +112,9 @@ type Options struct {
 	// Obs, if non-nil, receives the engine's metrics (lock waits, commits,
 	// lazy/eager page application). Nil disables them at zero cost.
 	Obs *obs.Registry
+	// NodeID labels the trace spans the engine records (lazy/eager apply)
+	// with the owning node; empty for stand-alone engines.
+	NodeID string
 }
 
 // heapMetrics holds the engine's registry handles; all nil when Options.Obs
@@ -123,6 +126,7 @@ type heapMetrics struct {
 	wsRecords     *obs.Counter
 	modsEnqueued  *obs.Counter
 	modsDiscarded *obs.Counter
+	modChainLen   *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -145,7 +149,7 @@ type Engine struct {
 	// applyHook observes every lazy/eager application of buffered page
 	// modifications; nil when metrics are disabled. Installed on every page
 	// at allocation (before the page is shared).
-	applyHook func(mods int, eager bool)
+	applyHook func(mods []page.Mod, eager bool)
 
 	mu      sync.RWMutex
 	tables  []*Table       // guarded by mu
@@ -170,18 +174,40 @@ func NewEngine(opts Options) *Engine {
 			wsRecords:     reg.Counter(obs.HeapWriteSetRecords),
 			modsEnqueued:  reg.Counter(obs.HeapModsEnqueued),
 			modsDiscarded: reg.Counter(obs.HeapModsDiscarded),
+			modChainLen:   reg.Histogram(obs.HeapModChainLen),
 		}
 		pagesLazy := reg.Counter(obs.HeapPagesLazy)
 		modsLazy := reg.Counter(obs.HeapModsLazy)
 		pagesEager := reg.Counter(obs.HeapPagesEager)
 		modsEager := reg.Counter(obs.HeapModsEager)
-		e.applyHook = func(mods int, eager bool) {
+		lazyDist := reg.Histogram(obs.HeapLazyApplyDist)
+		tracer := reg.Tracer()
+		nodeID := e.opts.NodeID
+		// Runs under the page latch: metric atomics and the obs trace ring
+		// only (level 70, inside the page band).
+		e.applyHook = func(mods []page.Mod, eager bool) {
+			ops := 0
+			for _, m := range mods {
+				ops += len(m.Ops)
+			}
+			kind := "lazy-apply"
 			if eager {
+				kind = "eager-apply"
 				pagesEager.Inc()
-				modsEager.Add(int64(mods))
+				modsEager.Add(int64(ops))
 			} else {
 				pagesLazy.Inc()
-				modsLazy.Add(int64(mods))
+				modsLazy.Add(int64(ops))
+				lazyDist.Observe(int64(len(mods)))
+			}
+			for _, m := range mods {
+				if !m.Trace.Valid() {
+					continue
+				}
+				sp := tracer.BeginChild(kind, m.Trace)
+				sp.SetNode(nodeID)
+				sp.SetVersion(fmt.Sprintf("%d", m.Version))
+				sp.Finish("commit", "")
 			}
 		}
 	}
@@ -290,6 +316,28 @@ func (e *Engine) MaxVersions() vclock.Vector {
 	v := vclock.New(len(e.tables))
 	for i, t := range e.tables {
 		v[i] = t.maxVer.Load()
+	}
+	return v
+}
+
+// AppliedVersions returns, per table, the highest version fully
+// materialized into the page slots: the table's max version, lowered to
+// just below the earliest buffered-but-unapplied modification on any of
+// its pages. The gap between the cluster commit frontier and this vector
+// is the replica's staleness (dmv_replica_version_lag); eager write-set
+// propagation keeps MaxVersions at the frontier, so lag must be measured
+// against applied state, not received state.
+func (e *Engine) AppliedVersions() vclock.Vector {
+	tables := e.allTables()
+	v := vclock.New(len(tables))
+	for i, t := range tables {
+		applied := t.maxVer.Load()
+		for _, pg := range t.pagesSnapshot() {
+			if fp, ok := pg.FirstPending(); ok && fp-1 < applied {
+				applied = fp - 1
+			}
+		}
+		v[i] = applied
 	}
 	return v
 }

@@ -41,12 +41,12 @@ type Table struct {
 	idxMu   sync.RWMutex
 	indexes []*Index // guarded by idxMu
 
-	// onApply is installed on every page at allocation (metrics; nil when
-	// disabled). Immutable after newTable.
-	onApply func(mods int, eager bool)
+	// onApply is installed on every page at allocation (metrics and apply
+	// spans; nil when disabled). Immutable after newTable.
+	onApply func(mods []page.Mod, eager bool)
 }
 
-func newTable(id int, def TableDef, pageCap int, onApply func(mods int, eager bool)) *Table {
+func newTable(id int, def TableDef, pageCap int, onApply func(mods []page.Mod, eager bool)) *Table {
 	return &Table{
 		id:      id,
 		def:     def,

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -192,6 +193,17 @@ type UpdateTx struct {
 	tables map[int]struct{}
 	ovl    []idxOp
 	done   bool
+	trace  obs.TraceContext
+}
+
+// SetTrace attaches the transaction's trace context; Commit stamps it into
+// the broadcast write-set so replicas record their apply work as child
+// spans. Call before Commit, from the transaction's own goroutine.
+func (tx *UpdateTx) SetTrace(tc obs.TraceContext) {
+	if tx == nil {
+		return
+	}
+	tx.trace = tc
 }
 
 // BeginUpdate starts an update transaction.
@@ -601,7 +613,7 @@ func (tx *UpdateTx) Commit(broadcast func(*WriteSet) error) (vclock.Vector, erro
 			op.ix.del(op.key, op.rid, v)
 		}
 	}
-	ws := &WriteSet{TxID: tx.id, Version: ver, Tables: tables, Records: tx.recs}
+	ws := &WriteSet{TxID: tx.id, Version: ver, Tables: tables, Records: tx.recs, Trace: tx.trace}
 	debugSealWriteSet(ws)
 	var bErr error
 	if broadcast != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -27,6 +28,10 @@ type WriteSet struct {
 	Version vclock.Vector
 	Tables  []int
 	Records []Record
+	// Trace is the committing transaction's trace context; it rides the
+	// write-set to every replica so buffered-modification application can be
+	// recorded as child spans of the originating commit.
+	Trace obs.TraceContext
 }
 
 // Size estimates the write-set's serialized footprint in bytes — the
@@ -116,8 +121,9 @@ func (e *Engine) ApplyWriteSet(ws *WriteSet) error {
 				}
 			}
 		}
-		pg.Enqueue(page.Mod{Version: ver, Ops: ops})
+		pg.Enqueue(page.Mod{Version: ver, Ops: ops, Trace: ws.Trace})
 		e.met.modsEnqueued.Add(int64(len(ops)))
+		e.met.modChainLen.Observe(int64(pg.PendingLen()))
 		t.bumpVer(ver)
 	}
 	e.clock.Advance(ws.Version)

@@ -77,6 +77,81 @@ func (s HistSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile returns the inclusive upper bound of the bucket containing the
+// q-quantile observation (q in [0,1]), i.e. an upper estimate with log2
+// resolution. Returns 0 when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Bound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Bound
+}
+
+// HistSummary carries the standard latency quantiles derived from the
+// bucket layout, for exposition and dashboards.
+type HistSummary struct {
+	Count int64
+	Mean  float64
+	P50   int64
+	P95   int64
+	P99   int64
+}
+
+// Summary computes count, mean, and p50/p95/p99 in one pass over the
+// snapshot.
+func (s HistSnapshot) Summary() HistSummary {
+	return HistSummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// Merge accumulates another snapshot into this one (bucket counts summed by
+// bound), used when aggregating per-node registries into a cluster view.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	byBound := make(map[int64]int64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		byBound[b.Bound] += b.Count
+	}
+	for _, b := range o.Buckets {
+		byBound[b.Bound] += b.Count
+	}
+	for bound, n := range byBound {
+		out.Buckets = append(out.Buckets, HistBucket{Bound: bound, Count: n})
+	}
+	sortBuckets(out.Buckets)
+	return out
+}
+
+func sortBuckets(bs []HistBucket) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Bound < bs[j-1].Bound; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
 // Snapshot copies the histogram state. Counts are loaded bucket-by-bucket
 // without a lock, so a snapshot taken during concurrent recording is
 // internally consistent per bucket but may straddle an observation.

@@ -6,14 +6,19 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 )
 
 // WriteText renders the registry in expvar/Prometheus-style text: one
 // `name value` line per counter and gauge, and `_count`/`_sum`/
-// `_bucket{le="..."}` lines per histogram (cumulative bucket counts,
-// inclusive upper bounds).
+// `_bucket{le="..."}`/`{quantile="..."}` lines per histogram (cumulative
+// bucket counts, inclusive upper bounds; quantiles are bucket upper
+// bounds, so dashboards and dmv-top never re-derive them).
 func (r *Registry) WriteText(w io.Writer) {
-	snap := r.Snapshot()
+	writeSnapshotText(w, r.Snapshot())
+}
+
+func writeSnapshotText(w io.Writer, snap Snapshot) {
 	for _, name := range sortedKeys(snap.Counters) {
 		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
 	}
@@ -29,15 +34,34 @@ func (r *Registry) WriteText(w io.Writer) {
 			cum += b.Count
 			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Bound, cum)
 		}
+		sum := h.Summary()
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %d\n", name, sum.P50)
+		fmt.Fprintf(w, "%s{quantile=\"0.95\"} %d\n", name, sum.P95)
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %d\n", name, sum.P99)
 	}
 }
 
 // Handler serves the observability endpoints:
 //
 //	/metrics  — text exposition of every counter, gauge, and histogram
+//	          (with per-histogram p50/p95/p99 quantile lines)
 //	/trace    — JSON dump of the span ring buffer (oldest first)
+//	/stitch   — one trace's spans in causal order (?trace=<id>, default:
+//	          the most recent root span's trace)
 //	/timeline — JSON dump of the cluster event timeline
 func (r *Registry) Handler() http.Handler {
+	return r.handler(nil)
+}
+
+// HandlerWithCluster is Handler plus a /cluster endpoint serving the
+// aggregated snapshot from fetch (JSON by default, the text exposition of
+// the merged metrics with ?format=text). /stitch additionally searches the
+// aggregated spans, so a trace spanning several processes stitches whole.
+func (r *Registry) HandlerWithCluster(fetch func() ClusterSnapshot) http.Handler {
+	return r.handler(fetch)
+}
+
+func (r *Registry) handler(fetch func() ClusterSnapshot) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -46,6 +70,30 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, r.Tracer().Dump())
 	})
+	mux.HandleFunc("/stitch", func(w http.ResponseWriter, req *http.Request) {
+		spans := r.Tracer().Dump()
+		if fetch != nil {
+			spans = append(spans, fetch().Spans...)
+		}
+		id := r.Tracer().LatestTraceID()
+		if s := req.URL.Query().Get("trace"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			id = v
+		} else if id == 0 && fetch != nil {
+			// No local spans (multiprocess scheduler): fall back to the
+			// newest root among the aggregated spans.
+			id = latestRootTrace(spans)
+		}
+		stitched := Stitch(spans, id)
+		if stitched == nil {
+			stitched = []Span{}
+		}
+		writeJSON(w, stitched)
+	})
 	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
 		evs := r.Timeline().Events()
 		if evs == nil {
@@ -53,7 +101,28 @@ func (r *Registry) Handler() http.Handler {
 		}
 		writeJSON(w, evs)
 	})
+	if fetch != nil {
+		mux.HandleFunc("/cluster", func(w http.ResponseWriter, req *http.Request) {
+			cs := fetch()
+			if req.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				writeSnapshotText(w, cs.Merged)
+				return
+			}
+			writeJSON(w, cs)
+		})
+	}
 	return mux
+}
+
+func latestRootTrace(spans []Span) uint64 {
+	var best Span
+	for _, sp := range spans {
+		if sp.ParentID == 0 && sp.TraceID != 0 && sp.Start.After(best.Start) {
+			best = sp
+		}
+	}
+	return best.TraceID
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -69,6 +138,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 // goroutine. The returned listener stops the server when closed. Used by
 // the -metrics-addr flag of cmd/dmv-node and cmd/dmv-scheduler.
 func Serve(addr string, r *Registry) (net.Listener, error) {
+	return serve(addr, r.Handler())
+}
+
+// ServeCluster is Serve with the /cluster aggregation endpoint (the
+// scheduler's scrape loop supplies fetch, usually Aggregator.Current).
+func ServeCluster(addr string, r *Registry, fetch func() ClusterSnapshot) (net.Listener, error) {
+	return serve(addr, r.HandlerWithCluster(fetch))
+}
+
+func serve(addr string, h http.Handler) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -76,7 +155,7 @@ func Serve(addr string, r *Registry) (net.Listener, error) {
 	go func() {
 		// Serve returns when the listener is closed; the error carries no
 		// information the daemon can act on at that point.
-		_ = http.Serve(ln, r.Handler())
+		_ = http.Serve(ln, h)
 	}()
 	return ln, nil
 }

@@ -10,41 +10,55 @@ package obs
 // histograms, bare names for gauges. The DESIGN.md "Observability" section
 // mirrors this catalogue with prose.
 const (
+	// --- name-family prefixes (dashboards filter on these) ------------------
+
+	SchedPrefix = "dmv_sched_" // scheduler metric family
+	NodePrefix  = "dmv_node_"  // replica metric family
+
 	// --- scheduler (version-aware transaction router) -----------------------
 
-	SchedReadTxns         = "dmv_sched_read_txns_total"          // committed read-only transactions
-	SchedUpdateTxns       = "dmv_sched_update_txns_total"        // committed update transactions
-	SchedAbortVersion     = "dmv_sched_aborts_version_total"     // aborts: required page version overwritten
+	SchedReadTxns         = "dmv_sched_read_txns_total"           // committed read-only transactions
+	SchedUpdateTxns       = "dmv_sched_update_txns_total"         // committed update transactions
+	SchedAbortVersion     = "dmv_sched_aborts_version_total"      // aborts: required page version overwritten
 	SchedAbortLockTimeout = "dmv_sched_aborts_lock_timeout_total" // aborts: page lock wait exceeded LockTimeout
-	SchedAbortNodeDown    = "dmv_sched_aborts_node_down_total"   // aborts: executing replica failed mid-txn
-	SchedRetriesExhausted = "dmv_sched_retries_exhausted_total"  // transactions given up after MaxRetries
-	SchedFailovers        = "dmv_sched_failovers_total"          // node failures reported to the cluster
-	SchedPickWaitUS       = "dmv_sched_reader_pick_wait_us"      // wait for a slave to reach the tagged version
-	SchedTxnUS            = "dmv_sched_txn_us"                   // whole-transaction latency per attempt
+	SchedAbortNodeDown    = "dmv_sched_aborts_node_down_total"    // aborts: executing replica failed mid-txn
+	SchedRetriesExhausted = "dmv_sched_retries_exhausted_total"   // transactions given up after MaxRetries
+	SchedFailovers        = "dmv_sched_failovers_total"           // node failures reported to the cluster
+	SchedPickWaitUS       = "dmv_sched_reader_pick_wait_us"       // wait for a slave to reach the tagged version
+	SchedTxnUS            = "dmv_sched_txn_us"                    // whole-transaction latency per attempt
+	SchedVersionWaitUS    = "dmv_sched_version_wait_us"           // reader stalls waiting for any replica to reach its version
+	SchedTakeovers        = "dmv_sched_takeovers_total"           // master take-overs executed by this scheduler
 
 	// --- replica (one DMV node) ---------------------------------------------
 
-	NodeReadTxns          = "dmv_node_read_txns_total"           // read transactions executed across nodes
-	NodeUpdateTxns        = "dmv_node_update_txns_total"         // update transactions executed across nodes
-	NodeAborts            = "dmv_node_aborts_total"              // node-side aborts (version conflicts)
-	NodeWriteSetsIn       = "dmv_node_writesets_in_total"        // write-sets received from a master
-	NodeWriteSetBytes     = "dmv_node_writeset_bytes_total"      // estimated bytes of write-sets received
-	NodeBroadcastUS       = "dmv_node_broadcast_us"              // master pre-commit broadcast until all acks
-	NodeBroadcastAcks     = "dmv_node_broadcast_acks_total"      // successful per-subscriber acks
-	NodeBroadcastFailures = "dmv_node_broadcast_failures_total"  // per-subscriber broadcast failures
+	NodeReadTxns          = "dmv_node_read_txns_total"          // read transactions executed across nodes
+	NodeUpdateTxns        = "dmv_node_update_txns_total"        // update transactions executed across nodes
+	NodeAborts            = "dmv_node_aborts_total"             // node-side aborts (version conflicts)
+	NodeWriteSetsIn       = "dmv_node_writesets_in_total"       // write-sets received from a master
+	NodeWriteSetBytes     = "dmv_node_writeset_bytes_total"     // estimated bytes of write-sets received
+	NodeBroadcastUS       = "dmv_node_broadcast_us"             // master pre-commit broadcast until all acks
+	NodeBroadcastAcks     = "dmv_node_broadcast_acks_total"     // successful per-subscriber acks
+	NodeBroadcastFailures = "dmv_node_broadcast_failures_total" // per-subscriber broadcast failures
+	NodeRole              = "dmv_node_role"                     // labeled gauge: 0 slave, 1 master, 2 joining, 3 spare
+	NodeStartTime         = "dmv_node_start_time_seconds"       // labeled gauge: unix start time of the node process
+	BuildInfo             = "dmv_build_info"                    // labeled info gauge (go runtime version), value always 1
+	ReplicaVersionLag     = "dmv_replica_version_lag"           // labeled gauge: commit frontier minus applied version, per node x table
+	ReplicaApplyBacklog   = "dmv_replica_apply_backlog"         // labeled gauge: buffered (unapplied) row mods per node
 
 	// --- heap (page-based storage engine) -----------------------------------
 
-	HeapLockWaitUS       = "dmv_heap_lock_wait_us"               // contended page-latch waits (uncontended not recorded)
-	HeapLockTimeouts     = "dmv_heap_lock_timeouts_total"        // page-latch waits that hit LockTimeout
-	HeapCommits          = "dmv_heap_commits_total"              // master-side update commits
-	HeapWriteSetRecords  = "dmv_heap_writeset_records_total"     // row ops captured into broadcast write-sets
-	HeapModsEnqueued     = "dmv_heap_mods_enqueued_total"        // row ops buffered into page pending queues
-	HeapPagesLazy        = "dmv_heap_pages_lazy_applied_total"   // pages materialized on reader demand
-	HeapModsLazy         = "dmv_heap_mods_lazy_applied_total"    // buffered mods applied on reader demand
-	HeapPagesEager       = "dmv_heap_pages_eager_applied_total"  // pages materialized eagerly (promotion/migration)
-	HeapModsEager        = "dmv_heap_mods_eager_applied_total"   // buffered mods applied eagerly
-	HeapModsDiscarded    = "dmv_heap_mods_discarded_total"       // buffered mods dropped by fail-over discard
+	HeapLockWaitUS      = "dmv_heap_lock_wait_us"              // contended page-latch waits (uncontended not recorded)
+	HeapLockTimeouts    = "dmv_heap_lock_timeouts_total"       // page-latch waits that hit LockTimeout
+	HeapCommits         = "dmv_heap_commits_total"             // master-side update commits
+	HeapWriteSetRecords = "dmv_heap_writeset_records_total"    // row ops captured into broadcast write-sets
+	HeapModsEnqueued    = "dmv_heap_mods_enqueued_total"       // row ops buffered into page pending queues
+	HeapPagesLazy       = "dmv_heap_pages_lazy_applied_total"  // pages materialized on reader demand
+	HeapModsLazy        = "dmv_heap_mods_lazy_applied_total"   // buffered mods applied on reader demand
+	HeapPagesEager      = "dmv_heap_pages_eager_applied_total" // pages materialized eagerly (promotion/migration)
+	HeapModsEager       = "dmv_heap_mods_eager_applied_total"  // buffered mods applied eagerly
+	HeapModsDiscarded   = "dmv_heap_mods_discarded_total"      // buffered mods dropped by fail-over discard
+	HeapModChainLen     = "dmv_heap_mod_chain_len"             // pending-mod chain length per page after enqueue
+	HeapLazyApplyDist   = "dmv_heap_lazy_apply_dist"           // buffered mods drained per page on first read
 
 	// --- buffer cache (simdisk cost model) ----------------------------------
 
@@ -55,11 +69,11 @@ const (
 
 	// --- cluster fail-over timeline -----------------------------------------
 
-	ClusterEvents           = "dmv_cluster_events_total"       // lifecycle events recorded on the timeline
-	FailoverRecoveryUS      = "dmv_failover_recovery_us"       // failure detection -> commits unblocked
-	FailoverMigrationUS     = "dmv_failover_migration_us"      // spare data migration (page delta install)
-	FailoverReintegrationUS = "dmv_failover_reintegration_us"  // stale-node page-delta reintegration
-	FailoverRestartUS       = "dmv_failover_restart_us"        // checkpoint restore + rejoin of a dead node
+	ClusterEvents           = "dmv_cluster_events_total"         // lifecycle events recorded on the timeline
+	FailoverRecoveryUS      = "dmv_failover_recovery_us"         // failure detection -> commits unblocked
+	FailoverMigrationUS     = "dmv_failover_migration_us"        // spare data migration (page delta install)
+	FailoverReintegrationUS = "dmv_failover_reintegration_us"    // stale-node page-delta reintegration
+	FailoverRestartUS       = "dmv_failover_restart_us"          // checkpoint restore + rejoin of a dead node
 	FailoverSpareUS         = "dmv_failover_spare_activation_us" // whole spare activation (incl. migration)
 
 	// --- persistence tier ----------------------------------------------------
@@ -78,7 +92,7 @@ const (
 
 	// --- innodb-like on-disk baseline ---------------------------------------
 
-	InnoCommits         = "dmv_inno_commits_total"          // tier update commits (write-all)
-	InnoReplayedStmts   = "dmv_inno_replayed_stmts_total"   // binlog statements replayed onto spares
-	InnoFailoverReplayUS = "dmv_inno_failover_replay_us"    // binlog replay stage during tier fail-over
+	InnoCommits          = "dmv_inno_commits_total"        // tier update commits (write-all)
+	InnoReplayedStmts    = "dmv_inno_replayed_stmts_total" // binlog statements replayed onto spares
+	InnoFailoverReplayUS = "dmv_inno_failover_replay_us"   // binlog replay stage during tier fail-over
 )

@@ -89,9 +89,9 @@ func (g *Gauge) Load() int64 {
 // atomics only.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter        // guarded by mu
-	gauges   map[string]*Gauge          // guarded by mu
-	hists    map[string]*Histogram      // guarded by mu
+	counters map[string]*Counter         // guarded by mu
+	gauges   map[string]*Gauge           // guarded by mu
+	hists    map[string]*Histogram       // guarded by mu
 	funcs    map[string][]func() float64 // guarded by mu
 
 	tracer   *Tracer

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,17 +20,69 @@ type SpanStage struct {
 // shared and its methods take no locks. All methods no-op on a nil span,
 // so tracing can stay inline and cost one branch when disabled.
 type Span struct {
-	ID      uint64 // assigned by the tracer at Finish
-	Kind    string // "read" or "update"
-	Start   time.Time
-	Replica string        // executing replica, once selected
-	Version string        // version vector the transaction was tagged with
-	Outcome string        // "commit", "abort", or "error"
-	Cause   string        // abort cause ("version-conflict", "lock-timeout", "node-down", ...)
-	Total   time.Duration // set at Finish
-	Stages  []SpanStage
+	ID       uint64 // assigned by the tracer at Finish (ring sequence)
+	TraceID  uint64 // cluster-unique trace identifier, shared by every span of one transaction
+	SpanID   uint64 // cluster-unique identifier of this span
+	ParentID uint64 // SpanID of the parent span (0 for a root)
+	Kind     string // "read", "update", "replica-read", "master-commit", "ws-ship", "ws-recv", "lazy-apply", ...
+	Node     string // node the span was recorded on (or targets, for ws-ship)
+	Start    time.Time
+	Replica  string        // executing replica, once selected
+	Version  string        // version vector the transaction was tagged with
+	Outcome  string        // "commit", "abort", or "error"
+	Cause    string        // abort cause ("version-conflict", "lock-timeout", "node-down", ...)
+	Total    time.Duration // set at Finish
+	Stages   []SpanStage
 
 	tracer *Tracer
+}
+
+// TraceContext is the portable identity of a span, small enough to ride in
+// every RPC argument and write-set. The zero value means "no trace".
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a real trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Span IDs must be unique across every process in the cluster without
+// coordination, so each process mixes a start-time salt with a local
+// sequence through a splitmix64 finalizer.
+var (
+	idSalt = uint64(time.Now().UnixNano())
+	idSeq  atomic.Uint64
+)
+
+func newSpanID() uint64 {
+	x := idSalt + idSeq.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // 0 is reserved for "no trace"
+	}
+	return x
+}
+
+// Context returns the span's identity for propagation to child spans on
+// this or another node. Zero on a nil span.
+func (sp *Span) Context() TraceContext {
+	if sp == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: sp.TraceID, SpanID: sp.SpanID}
+}
+
+// SetNode records the node the span executes on.
+func (sp *Span) SetNode(id string) {
+	if sp == nil {
+		return
+	}
+	sp.Node = id
 }
 
 // Mark appends a named stage at the current offset.
@@ -81,13 +135,35 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]Span, capacity)}
 }
 
-// Begin starts a span for one transaction attempt. Returns nil (and
-// allocates nothing) on a nil tracer.
+// Begin starts a root span for one transaction attempt: a fresh TraceID
+// with the root's SpanID equal to it. Returns nil (and allocates nothing)
+// on a nil tracer.
 func (t *Tracer) Begin(kind string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{Kind: kind, Start: time.Now(), tracer: t}
+	id := newSpanID()
+	return &Span{Kind: kind, TraceID: id, SpanID: id, Start: time.Now(), tracer: t}
+}
+
+// BeginChild starts a span under the given trace context, as received from
+// an RPC argument or a shipped write-set. An invalid context starts a fresh
+// root trace instead, so locally-initiated work still traces.
+func (t *Tracer) BeginChild(kind string, tc TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if !tc.Valid() {
+		return t.Begin(kind)
+	}
+	return &Span{
+		Kind:     kind,
+		TraceID:  tc.TraceID,
+		SpanID:   newSpanID(),
+		ParentID: tc.SpanID,
+		Start:    time.Now(),
+		tracer:   t,
+	}
 }
 
 func (t *Tracer) record(sp Span) {
@@ -124,6 +200,72 @@ func (t *Tracer) Dump() []Span {
 			continue // slot never filled
 		}
 		out = append(out, sp)
+	}
+	return out
+}
+
+// LatestTraceID returns the TraceID of the most recently recorded root
+// span, falling back to the newest span of any kind (0 when the ring is
+// empty). Used as the default trace for the /stitch endpoint.
+func (t *Tracer) LatestTraceID() uint64 {
+	spans := t.Dump()
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].ParentID == 0 && spans[i].TraceID != 0 {
+			return spans[i].TraceID
+		}
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].TraceID != 0 {
+			return spans[i].TraceID
+		}
+	}
+	return 0
+}
+
+// Stitch reassembles the causal path of one trace from an unordered span
+// set (typically the concatenation of several nodes' ring dumps): spans of
+// the given trace, parents before children, siblings ordered by start
+// time. Spans whose parent was evicted from its ring surface as roots so
+// partial traces still render.
+func Stitch(spans []Span, traceID uint64) []Span {
+	if traceID == 0 {
+		return nil
+	}
+	var in []Span
+	for _, sp := range spans {
+		if sp.TraceID == traceID {
+			in = append(in, sp)
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Start.Before(in[j].Start) })
+	present := make(map[uint64]bool, len(in))
+	children := make(map[uint64][]Span, len(in))
+	for _, sp := range in {
+		present[sp.SpanID] = true
+	}
+	var roots []Span
+	for _, sp := range in {
+		if sp.ParentID != 0 && present[sp.ParentID] && sp.ParentID != sp.SpanID {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	out := make([]Span, 0, len(in))
+	visited := make(map[uint64]bool, len(in))
+	var walk func(sp Span)
+	walk = func(sp Span) {
+		if visited[sp.SpanID] {
+			return
+		}
+		visited[sp.SpanID] = true
+		out = append(out, sp)
+		for _, c := range children[sp.SpanID] {
+			walk(c)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp)
 	}
 	return out
 }

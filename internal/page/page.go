@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dmv/internal/obs"
 	"dmv/internal/value"
 )
 
@@ -55,10 +56,13 @@ type RowOp struct {
 }
 
 // Mod is the portion of one committed transaction's write-set that touches
-// one page, stamped with the table version the commit produced.
+// one page, stamped with the table version the commit produced and the
+// trace context of the committing transaction (so the eventual lazy
+// application can be recorded as a child span of the originating commit).
 type Mod struct {
 	Version uint64
 	Ops     []RowOp
+	Trace   obs.TraceContext
 }
 
 // Page is one versioned memory page. All exported methods are safe for
@@ -80,12 +84,13 @@ type Page struct {
 	createVer atomic.Uint64
 
 	// onApply, if set, observes every application of pending modifications:
-	// mods applied in one batch, and whether the batch was demand-driven
+	// the batch of mods applied, and whether the batch was demand-driven
 	// (lazy, a reader or master materializing) or forced (eager, a
 	// materialize-all sweep). Runs under the page latch, so it must not
-	// block or take locks (atomic metric counters only). Set once before
-	// the page is shared.
-	onApply func(mods int, eager bool)
+	// block and may only take obs-band locks (metric atomics, the trace
+	// ring; level 70 sits inside the page latch in the declared hierarchy).
+	// Set once before the page is shared.
+	onApply func(mods []Mod, eager bool)
 }
 
 // New returns an empty page for the given table, allocated at table version
@@ -163,7 +168,19 @@ func (p *Page) Enqueue(m Mod) {
 // SetApplyHook installs the modification-application observer. Must be
 // called before the page is shared (the table directory sets it at
 // allocation, under its directory lock).
-func (p *Page) SetApplyHook(fn func(mods int, eager bool)) { p.onApply = fn }
+func (p *Page) SetApplyHook(fn func(mods []Mod, eager bool)) { p.onApply = fn }
+
+// FirstPending returns the lowest buffered-but-unapplied modification
+// version, if any. The engine uses it to compute the per-table applied
+// frontier that the staleness gauges report.
+func (p *Page) FirstPending() (uint64, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.pending) == 0 {
+		return 0, false
+	}
+	return p.pending[0].Version, true
+}
 
 // DiscardAbove drops buffered modifications with version > v, returning how
 // many were dropped. Used during master fail-over to clean up partially
@@ -198,16 +215,17 @@ func (p *Page) ensureLocked(v uint64, eager bool) error {
 		return ErrVersionConflict
 	}
 	n := 0
-	mods := 0
 	for n < len(p.pending) && p.pending[n].Version <= v {
-		mods += len(p.pending[n].Ops)
 		p.applyLocked(p.pending[n])
 		n++
 	}
 	if n > 0 {
+		batch := p.pending[:n]
 		p.pending = append([]Mod(nil), p.pending[n:]...)
 		if p.onApply != nil {
-			p.onApply(mods, eager)
+			// batch aliases the abandoned backing array, so the hook may
+			// read it without copying.
+			p.onApply(batch, eager)
 		}
 	}
 	return nil

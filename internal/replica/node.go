@@ -78,8 +78,10 @@ type Peer interface {
 	// acknowledgment the master waits for before confirming the commit.
 	ReceiveWriteSet(ws *heap.WriteSet) error
 
-	// Transaction sessions.
-	TxBegin(readOnly bool, version vclock.Vector) (uint64, error)
+	// Transaction sessions. tc is the scheduler-side trace context; the
+	// node records its server-side work as child spans under it (zero
+	// context = untraced).
+	TxBegin(readOnly bool, version vclock.Vector, tc obs.TraceContext) (uint64, error)
 	TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error)
 	TxCommit(txID uint64) (vclock.Vector, error)
 	TxRollback(txID uint64) error
@@ -182,6 +184,13 @@ type Node struct {
 	svcPerUpd time.Duration
 	svcSem    chan struct{}
 
+	started time.Time
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	// roleGauge is the node's labeled dmv_node_role gauge (nil without a
+	// registry); updated on every role transition.
+	roleGauge *obs.Gauge
+
 	stats Stats
 	met   nodeMetrics
 }
@@ -219,6 +228,7 @@ type session struct {
 	upTx   *heap.UpdateTx // guarded by mu
 	stmts  int            // guarded by mu; update-transaction statements, charged at commit
 	done   bool           // guarded by mu
+	sp     *obs.Span      // guarded by mu; server-side child span (nil when untraced)
 }
 
 // NewNode returns a live node in the slave role.
@@ -244,7 +254,10 @@ func NewNode(opts Options) *Node {
 		}
 		n.svcSem = make(chan struct{}, width)
 	}
+	n.started = time.Now()
 	if reg := opts.Obs; reg != nil {
+		n.reg = reg
+		n.tracer = reg.Tracer()
 		n.met = nodeMetrics{
 			enabled:     true,
 			readTxns:    reg.Counter(obs.NodeReadTxns),
@@ -256,6 +269,9 @@ func NewNode(opts Options) *Node {
 			bcastFail:   reg.Counter(obs.NodeBroadcastFailures),
 			bcastUS:     reg.Histogram(obs.NodeBroadcastUS),
 		}
+		n.roleGauge = reg.Gauge(obs.Labeled(obs.NodeRole, "node", opts.ID))
+		n.roleGauge.Set(obs.RoleValue(RoleSlave.String()))
+		obs.RegisterIdentity(reg, opts.ID, n.started)
 	}
 	n.cpDir = opts.CheckpointDir
 	n.alive.Store(true)
@@ -273,6 +289,9 @@ func (n *Node) Disk() *simdisk.Disk { return n.disk }
 
 // Stats exposes the node counters.
 func (n *Node) Stats() *Stats { return &n.stats }
+
+// StartTime reports when the node was constructed (identity metrics).
+func (n *Node) StartTime() time.Time { return n.started }
 
 // Alive reports liveness (tests).
 func (n *Node) Alive() bool { return n.alive.Load() }
@@ -311,6 +330,12 @@ func (n *Node) SetRole(r Role) {
 	n.roleMu.Lock()
 	n.role = r
 	n.roleMu.Unlock()
+	n.noteRole(r)
+}
+
+// noteRole publishes the role transition on the labeled role gauge.
+func (n *Node) noteRole(r Role) {
+	n.roleGauge.Set(obs.RoleValue(r.String()))
 }
 
 // SetSubscribers replaces the replication subscriber set (masters broadcast
@@ -367,14 +392,29 @@ func (n *Node) ReceiveWriteSet(ws *heap.WriteSet) error {
 		n.met.writeSetsIn.Inc()
 		n.met.wsBytes.Add(int64(ws.Size()))
 	}
+	var sp *obs.Span
+	if n.tracer != nil && ws.Trace.Valid() {
+		sp = n.tracer.BeginChild("ws-recv", ws.Trace)
+		sp.SetNode(n.id)
+		sp.SetVersion(ws.Version.String())
+	}
 	n.joinMu.Lock()
 	if n.joining {
 		n.joinBuf = append(n.joinBuf, ws)
 		n.joinMu.Unlock()
+		sp.Mark("buffered")
+		sp.Finish("commit", "")
 		return nil
 	}
 	n.joinMu.Unlock()
-	return n.eng.ApplyWriteSet(ws)
+	err := n.eng.ApplyWriteSet(ws)
+	if err != nil {
+		sp.Finish("error", err.Error())
+		return err
+	}
+	sp.Mark("applied")
+	sp.Finish("commit", "")
+	return nil
 }
 
 // broadcast ships a write-set to every subscriber concurrently and waits
@@ -408,22 +448,37 @@ func (n *Node) broadcast(ws *heap.WriteSet) error {
 	return nil
 }
 
-// shipTo sends one write-set to one subscriber and accounts the ack.
+// shipTo sends one write-set to one subscriber and accounts the ack. The
+// per-subscriber ship is recorded as a child span of the committing
+// transaction: its Total is the ship-to-ack round trip.
 func (n *Node) shipTo(p Peer, ws *heap.WriteSet) {
+	var sp *obs.Span
+	if n.tracer != nil && ws.Trace.Valid() {
+		sp = n.tracer.BeginChild("ws-ship", ws.Trace)
+		sp.SetNode(p.ID())
+		sp.SetReplica(n.id)
+		sp.SetVersion(ws.Version.String())
+	}
 	if err := p.ReceiveWriteSet(ws); err != nil {
 		n.met.bcastFail.Inc()
+		sp.Finish("abort", "node-down")
 		if n.onPeerFailure != nil {
 			n.onPeerFailure(p.ID())
 		}
 		return
 	}
 	n.met.acks.Inc()
+	sp.Mark("ack")
+	sp.Finish("commit", "")
 }
 
 // --- transaction sessions ---------------------------------------------------
 
-// TxBegin implements Peer.
-func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
+// TxBegin implements Peer. A valid trace context starts a server-side
+// child span ("replica-read" on a slave, "master-commit" on a master) that
+// lives until commit/rollback; the update transaction additionally carries
+// the child's context into its write-set so ship/apply work chains onto it.
+func (n *Node) TxBegin(readOnly bool, version vclock.Vector, tc obs.TraceContext) (uint64, error) {
 	if err := n.check(); err != nil {
 		return 0, err
 	}
@@ -432,6 +487,11 @@ func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
 		s.readTx = n.eng.BeginRead(version)
 		n.stats.ReadTxns.Add(1)
 		n.met.readTxns.Inc()
+		if n.tracer != nil && tc.Valid() {
+			s.sp = n.tracer.BeginChild("replica-read", tc)
+			s.sp.SetNode(n.id)
+			s.sp.SetVersion(version.String())
+		}
 	} else {
 		n.roleMu.RLock()
 		isMaster := n.role == RoleMaster
@@ -442,6 +502,11 @@ func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
 		s.upTx = n.eng.BeginUpdate()
 		n.stats.UpdateTxns.Add(1)
 		n.met.updateTxns.Inc()
+		if n.tracer != nil && tc.Valid() {
+			s.sp = n.tracer.BeginChild("master-commit", tc)
+			s.sp.SetNode(n.id)
+			s.upTx.SetTrace(s.sp.Context())
+		}
 	}
 	n.sessMu.Lock()
 	n.sessSeq++
@@ -449,6 +514,33 @@ func (n *Node) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
 	n.sessions[id] = s
 	n.sessMu.Unlock()
 	return id, nil
+}
+
+// AdoptTrace attaches a trace context to an open session that was begun
+// untraced (ExecArgs repeat the context on every statement for exactly this
+// case). No-op when the session already carries a span or is unknown.
+func (n *Node) AdoptTrace(txID uint64, tc obs.TraceContext) {
+	if n.tracer == nil || !tc.Valid() {
+		return
+	}
+	s, err := n.session(txID)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sp != nil || s.done {
+		return
+	}
+	kind := "replica-read"
+	if s.upTx != nil {
+		kind = "master-commit"
+	}
+	s.sp = n.tracer.BeginChild(kind, tc)
+	s.sp.SetNode(n.id)
+	if s.upTx != nil {
+		s.upTx.SetTrace(s.sp.Context())
+	}
 }
 
 func (n *Node) session(id uint64) (*session, error) {
@@ -552,19 +644,28 @@ func (n *Node) TxCommit(txID uint64) (vclock.Vector, error) {
 	}
 	s.done = true
 	if s.readTx != nil {
+		s.sp.Finish("commit", "")
 		return nil, nil
 	}
+	s.sp.Mark("exec-done")
 	n.commitMu.Lock()
 	if err := n.check(); err != nil {
 		// The node died while the transaction executed; its effects are
 		// internal to the failed master and are discarded (fail-stop).
 		n.commitMu.Unlock()
+		s.sp.Finish("error", "node-down")
 		return nil, err
 	}
 	ver, err := s.upTx.Commit(n.broadcast)
 	n.commitMu.Unlock()
 	if err != nil {
+		s.sp.Finish("abort", err.Error())
 		return nil, err
+	}
+	if s.sp != nil {
+		s.sp.Mark("broadcast-acked")
+		s.sp.SetVersion(ver.String())
+		s.sp.Finish("commit", "")
 	}
 	// The transaction's CPU demand is charged after commit, outside the
 	// replication mutex: locks are already released and the ordered
@@ -590,6 +691,7 @@ func (n *Node) TxRollback(txID uint64) error {
 		return nil
 	}
 	s.done = true
+	s.sp.Finish("abort", "rollback")
 	if s.upTx != nil {
 		return s.upTx.Rollback()
 	}
@@ -617,6 +719,9 @@ func (n *Node) AbortActiveSessions() (int, error) {
 	aborted := 0
 	for _, s := range sessions {
 		s.mu.Lock()
+		if !s.done {
+			s.sp.Finish("abort", "admin-abort")
+		}
 		if !s.done && s.upTx != nil {
 			_ = s.upTx.Rollback()
 			aborted++
@@ -644,6 +749,7 @@ func (n *Node) Promote(classTables []int) error {
 	n.role = RoleMaster
 	n.classTables = append([]int(nil), classTables...)
 	n.roleMu.Unlock()
+	n.noteRole(RoleMaster)
 	return nil
 }
 
@@ -657,6 +763,7 @@ func (n *Node) Demote(to Role) error {
 	n.role = to
 	n.classTables = nil
 	n.roleMu.Unlock()
+	n.noteRole(to)
 	return nil
 }
 
@@ -693,6 +800,7 @@ func (n *Node) StartJoin() error {
 	n.roleMu.Lock()
 	n.role = RoleJoining
 	n.roleMu.Unlock()
+	n.noteRole(RoleJoining)
 	return nil
 }
 
@@ -746,7 +854,33 @@ func (n *Node) FinishJoin() error {
 	n.roleMu.Lock()
 	n.role = RoleSlave
 	n.roleMu.Unlock()
+	n.noteRole(RoleSlave)
 	return nil
+}
+
+// --- observability ----------------------------------------------------------
+
+// ObsSnapshot builds the node's contribution to the cluster aggregation
+// plane: identity, DMV version state (applied vs. received frontiers,
+// buffered-mod backlog), the full metric snapshot, and the trace ring for
+// cluster-wide stitching. Served over transport as the ObsSnapshot RPC.
+func (n *Node) ObsSnapshot() (obs.NodeSnapshot, error) {
+	if err := n.check(); err != nil {
+		return obs.NodeSnapshot{}, err
+	}
+	n.roleMu.RLock()
+	role := n.role
+	n.roleMu.RUnlock()
+	return obs.NodeSnapshot{
+		Node:        n.id,
+		Role:        role.String(),
+		StartUnix:   n.started.Unix(),
+		Applied:     n.eng.AppliedVersions(),
+		MaxVer:      n.eng.MaxVersions(),
+		PendingMods: n.eng.PendingMods(),
+		Snap:        n.reg.Snapshot(),
+		Spans:       n.reg.Tracer().Dump(),
+	}, nil
 }
 
 // --- buffer-cache warm-up ---------------------------------------------------

@@ -164,6 +164,8 @@ type schedMetrics struct {
 	retriesExhausted *obs.Counter
 	pickWaitUS       *obs.Histogram
 	txnUS            *obs.Histogram
+	versionWaitUS    *obs.Histogram
+	takeovers        *obs.Counter
 }
 
 // New builds a scheduler over the given schema tables. numTables sizes the
@@ -199,6 +201,8 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 			retriesExhausted: reg.Counter(obs.SchedRetriesExhausted),
 			pickWaitUS:       reg.Histogram(obs.SchedPickWaitUS),
 			txnUS:            reg.Histogram(obs.SchedTxnUS),
+			versionWaitUS:    reg.Histogram(obs.SchedVersionWaitUS),
+			takeovers:        reg.Counter(obs.SchedTakeovers),
 		},
 		tracer: opts.Obs.Tracer(), // nil when Obs is nil: spans cost nothing
 	}
@@ -443,7 +447,16 @@ func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
 	// drain before risking aborts ("read-only transactions may need to
 	// wait for other read-only transactions using a previous version").
 	start := time.Now()
-	defer s.met.pickWaitUS.ObserveSince(start)
+	slept := false
+	defer func() {
+		s.met.pickWaitUS.ObserveSince(start)
+		if slept {
+			// Genuine version stall: no replica could take version v on the
+			// first pass (the paper's reader wait, as opposed to the
+			// near-zero fast-path pick).
+			s.met.versionWaitUS.ObserveSince(start)
+		}
+	}()
 	deadline := start.Add(60 * time.Millisecond)
 	for {
 		s.mu.Lock()
@@ -491,6 +504,7 @@ func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
 			return least
 		}
 		s.mu.Unlock()
+		slept = true
 		time.Sleep(100 * time.Microsecond)
 	}
 }
@@ -561,6 +575,7 @@ func (s *Scheduler) TakeOver() error {
 	// scheduler, and a blind reset would drop it below an acknowledged
 	// version — the rollback point of a later master fail-over.
 	s.merged.Report(merged)
+	s.met.takeovers.Inc()
 	return nil
 }
 

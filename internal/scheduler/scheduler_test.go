@@ -9,6 +9,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/replica"
 	"dmv/internal/simdisk"
@@ -42,7 +43,7 @@ func (f *fakePeer) ResidentPages(int) ([]simdisk.PageKey, error) { return nil, n
 func (f *fakePeer) DeltaSince(heap.PageVersionMap, vclock.Vector) ([]page.Image, error) {
 	return nil, nil
 }
-func (f *fakePeer) TxBegin(readOnly bool, _ vclock.Vector) (uint64, error) {
+func (f *fakePeer) TxBegin(readOnly bool, _ vclock.Vector, _ obs.TraceContext) (uint64, error) {
 	if f.failTx != nil {
 		return 0, f.failTx
 	}

@@ -5,6 +5,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/replica"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -50,7 +51,7 @@ func TestSchedulerTakeOver(t *testing.T) {
 			t.Fatalf("commit %d: %v", i, err)
 		}
 	}
-	openID, err := master.TxBegin(false, nil)
+	openID, err := master.TxBegin(false, nil, obs.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -202,7 +202,7 @@ func (s *Scheduler) begin(spec TxnSpec, sp *obs.Span) (*Txn, error) {
 			return nil, ErrNoReplicas
 		}
 		sp.SetReplica(rep.peer.ID())
-		id, err := rep.peer.TxBegin(true, v)
+		id, err := rep.peer.TxBegin(true, v, sp.Context())
 		if err != nil {
 			rep.outstanding.Add(-1) // pickReader incremented under its lock
 			if errors.Is(err, replica.ErrNodeDown) {
@@ -219,7 +219,7 @@ func (s *Scheduler) begin(spec TxnSpec, sp *obs.Span) (*Txn, error) {
 		return nil, ErrNoReplicas
 	}
 	sp.SetReplica(master.ID())
-	id, err := master.TxBegin(false, nil)
+	id, err := master.TxBegin(false, nil, sp.Context())
 	if err != nil {
 		if errors.Is(err, replica.ErrNodeDown) || errors.Is(err, replica.ErrNotMaster) {
 			s.reportFailure(master.ID())

@@ -88,10 +88,12 @@ func (s *Status) set(err error) { s.Code, s.Msg = encodeErr(err) }
 // Err converts the status back into a sentinel-matching error.
 func (s Status) Err() error { return decodeErr(s.Code, s.Msg) }
 
-// BeginArgs opens a transaction session.
+// BeginArgs opens a transaction session. Trace is the scheduler-side span
+// context; the node records its work as child spans under it.
 type BeginArgs struct {
 	ReadOnly bool
 	Version  vclock.Vector
+	Trace    obs.TraceContext
 }
 
 // BeginReply returns the session id.
@@ -100,11 +102,14 @@ type BeginReply struct {
 	Status
 }
 
-// ExecArgs executes one statement in a session.
+// ExecArgs executes one statement in a session. Trace repeats the session's
+// trace context on every statement so a session opened untraced (or by an
+// older client) can still adopt the trace mid-flight.
 type ExecArgs struct {
 	TxID   uint64
 	Stmt   string
 	Params []value.Value
+	Trace  obs.TraceContext
 }
 
 // ExecReply returns the statement result.
@@ -175,7 +180,7 @@ func (s *NodeService) ReceiveWriteSet(ws *heap.WriteSet, reply *Status) error {
 
 // TxBegin opens a session.
 func (s *NodeService) TxBegin(args BeginArgs, reply *BeginReply) error {
-	id, err := s.node.TxBegin(args.ReadOnly, args.Version)
+	id, err := s.node.TxBegin(args.ReadOnly, args.Version, args.Trace)
 	reply.ID = id
 	reply.set(err)
 	return nil
@@ -183,6 +188,9 @@ func (s *NodeService) TxBegin(args BeginArgs, reply *BeginReply) error {
 
 // TxExec runs one statement.
 func (s *NodeService) TxExec(args ExecArgs, reply *ExecReply) error {
+	if args.Trace.Valid() {
+		s.node.AdoptTrace(args.TxID, args.Trace)
+	}
 	res, err := s.node.TxExec(args.TxID, args.Stmt, args.Params)
 	reply.Result = res
 	reply.set(err)
@@ -295,6 +303,23 @@ func (s *NodeService) WarmPages(keys []simdisk.PageKey, reply *Status) error {
 func (s *NodeService) ResidentPages(limit int, reply *PagesReply) error {
 	keys, err := s.node.ResidentPages(limit)
 	reply.Keys = keys
+	reply.set(err)
+	return nil
+}
+
+// ObsSnapshotReply carries the node's observability snapshot (identity,
+// version state, metrics, trace ring) for the scheduler's aggregation
+// plane.
+type ObsSnapshotReply struct {
+	NS obs.NodeSnapshot
+	Status
+}
+
+// ObsSnapshot serves the node's registry snapshot to the scraping
+// scheduler.
+func (s *NodeService) ObsSnapshot(_ struct{}, reply *ObsSnapshotReply) error {
+	ns, err := s.node.ObsSnapshot()
+	reply.NS = ns
 	reply.set(err)
 	return nil
 }
@@ -419,13 +444,19 @@ type RemoteNode struct {
 
 	mu     sync.Mutex
 	client *rpc.Client // guarded by mu
+
+	// traces remembers each open session's trace context so TxExec can
+	// repeat it on every statement (see ExecArgs.Trace); entries are cleared
+	// at commit/rollback.
+	trMu   sync.Mutex
+	traces map[uint64]obs.TraceContext // guarded by trMu
 }
 
 var _ replica.Peer = (*RemoteNode)(nil)
 
 // DialNode connects to a node served by ServeNode.
 func DialNode(id, addr string) (*RemoteNode, error) {
-	n := &RemoteNode{id: id, addr: addr}
+	n := &RemoteNode{id: id, addr: addr, traces: make(map[uint64]obs.TraceContext, 8)}
 	if _, err := n.conn(); err != nil {
 		return nil, err
 	}
@@ -506,18 +537,39 @@ func (n *RemoteNode) ReceiveWriteSet(ws *heap.WriteSet) error {
 }
 
 // TxBegin implements replica.Peer.
-func (n *RemoteNode) TxBegin(readOnly bool, version vclock.Vector) (uint64, error) {
+func (n *RemoteNode) TxBegin(readOnly bool, version vclock.Vector, tc obs.TraceContext) (uint64, error) {
 	var reply BeginReply
-	if err := n.call("Node.TxBegin", BeginArgs{ReadOnly: readOnly, Version: version}, &reply); err != nil {
+	if err := n.call("Node.TxBegin", BeginArgs{ReadOnly: readOnly, Version: version, Trace: tc}, &reply); err != nil {
 		return 0, err
 	}
-	return reply.ID, reply.Err()
+	if err := reply.Err(); err != nil {
+		return reply.ID, err
+	}
+	if tc.Valid() {
+		n.trMu.Lock()
+		n.traces[reply.ID] = tc
+		n.trMu.Unlock()
+	}
+	return reply.ID, nil
+}
+
+func (n *RemoteNode) traceOf(txID uint64) obs.TraceContext {
+	n.trMu.Lock()
+	defer n.trMu.Unlock()
+	return n.traces[txID]
+}
+
+func (n *RemoteNode) clearTrace(txID uint64) {
+	n.trMu.Lock()
+	delete(n.traces, txID)
+	n.trMu.Unlock()
 }
 
 // TxExec implements replica.Peer.
 func (n *RemoteNode) TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error) {
 	var reply ExecReply
-	if err := n.call("Node.TxExec", ExecArgs{TxID: txID, Stmt: stmt, Params: params}, &reply); err != nil {
+	args := ExecArgs{TxID: txID, Stmt: stmt, Params: params, Trace: n.traceOf(txID)}
+	if err := n.call("Node.TxExec", args, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Result, reply.Err()
@@ -525,6 +577,7 @@ func (n *RemoteNode) TxExec(txID uint64, stmt string, params []value.Value) (*ex
 
 // TxCommit implements replica.Peer.
 func (n *RemoteNode) TxCommit(txID uint64) (vclock.Vector, error) {
+	defer n.clearTrace(txID)
 	var reply CommitReply
 	if err := n.call("Node.TxCommit", txID, &reply); err != nil {
 		return nil, err
@@ -534,6 +587,7 @@ func (n *RemoteNode) TxCommit(txID uint64) (vclock.Vector, error) {
 
 // TxRollback implements replica.Peer.
 func (n *RemoteNode) TxRollback(txID uint64) error {
+	defer n.clearTrace(txID)
 	var st Status
 	if err := n.call("Node.TxRollback", txID, &st); err != nil {
 		return err
@@ -656,6 +710,16 @@ func (n *RemoteNode) ResidentPages(limit int) ([]simdisk.PageKey, error) {
 		return nil, err
 	}
 	return reply.Keys, reply.Err()
+}
+
+// ObsSnapshot fetches the remote node's observability snapshot (not part
+// of replica.Peer; the scheduler's aggregation loop type-asserts for it).
+func (n *RemoteNode) ObsSnapshot() (obs.NodeSnapshot, error) {
+	var reply ObsSnapshotReply
+	if err := n.call("Node.ObsSnapshot", struct{}{}, &reply); err != nil {
+		return obs.NodeSnapshot{}, err
+	}
+	return reply.NS, reply.Err()
 }
 
 // SetSubscribers re-points the remote node's replication stream.

@@ -7,6 +7,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/replica"
 	"dmv/internal/value"
@@ -70,7 +71,7 @@ func TestRPCRoundTrip(t *testing.T) {
 	}
 
 	// Update through the remote master.
-	txID, err := mPeer.TxBegin(false, nil)
+	txID, err := mPeer.TxBegin(false, nil, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin: %v", err)
 	}
@@ -87,7 +88,7 @@ func TestRPCRoundTrip(t *testing.T) {
 	}
 
 	// Versioned read on the remote slave observes the replicated write.
-	rID, err := sPeer.TxBegin(true, ver)
+	rID, err := sPeer.TxBegin(true, ver, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("read begin: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestRPCErrorIdentity(t *testing.T) {
 	}
 
 	// Update on a non-master must map to ErrNotMaster.
-	if _, err := peer.TxBegin(false, nil); !errors.Is(err, replica.ErrNotMaster) {
+	if _, err := peer.TxBegin(false, nil, obs.TraceContext{}); !errors.Is(err, replica.ErrNotMaster) {
 		t.Fatalf("err = %v, want ErrNotMaster", err)
 	}
 
@@ -169,7 +170,7 @@ func TestRPCVersionConflict(t *testing.T) {
 	}
 
 	commit := func(val string) []value.Value {
-		txID, err := master.TxBegin(false, nil)
+		txID, err := master.TxBegin(false, nil, obs.TraceContext{})
 		if err != nil {
 			t.Fatalf("begin: %v", err)
 		}
@@ -188,14 +189,14 @@ func TestRPCVersionConflict(t *testing.T) {
 	v2, _ := master.MaxVersions()
 
 	// Materialize v2 on the slave, then ask for v1: version conflict.
-	r2, err := peer.TxBegin(true, v2)
+	r2, err := peer.TxBegin(true, v2, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin v2: %v", err)
 	}
 	if _, err := peer.TxExec(r2, `SELECT v FROM kv WHERE k = 1`, nil); err != nil {
 		t.Fatalf("read v2: %v", err)
 	}
-	r1, err := peer.TxBegin(true, v1)
+	r1, err := peer.TxBegin(true, v1, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin v1: %v", err)
 	}

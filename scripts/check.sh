@@ -24,9 +24,10 @@ if grep -rn --include='*.go' '"dmv_' . | grep -v '^\./internal/obs/names\.go:'; 
 	exit 1
 fi
 
-echo "==> obs race leg (obs unit suite + metrics-enabled cluster)"
+echo "==> obs race leg (obs unit suite + trace propagation + cluster aggregation)"
 go test -race -count=1 ./internal/obs/
-go test -race -count=1 -run 'TestObsMetricsEnabled' ./internal/cluster/
+go test -race -count=1 -run 'TestTracePropagation' ./internal/transport/
+go test -race -count=1 -run 'TestObsMetricsEnabled|TestStitchedTraceAcrossCluster|TestClusterLagGauges|TestLagConvergesAfterFailover' ./internal/cluster/
 
 echo "==> go test -race"
 go test -race -count=1 ./...
