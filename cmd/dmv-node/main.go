@@ -10,7 +10,7 @@
 //
 //	dmv-node -id slave0 -addr :7101 [-items 1000] [-customers 500]
 //	         [-checkpoint 30s] [-cache-pages 0] [-page-fault 5ms]
-//	         [-metrics-addr :9101]
+//	         [-metrics-addr :9101] [-ack-timeout 150ms]
 package main
 
 import (
@@ -50,6 +50,7 @@ func run() error {
 		pageFault  = flag.Duration("page-fault", 5*time.Millisecond, "cache-miss penalty")
 		pageCap    = flag.Int("page-cap", 64, "rows per page")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /timeline on this address (empty = off)")
+		ackTimeout = flag.Duration("ack-timeout", 0, "bound on each subscriber's write-set ack during broadcast (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -82,7 +83,10 @@ func run() error {
 		return err
 	}
 
-	node := replica.NewNode(replica.Options{ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir, Obs: reg})
+	node := replica.NewNode(replica.Options{
+		ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir, Obs: reg,
+		AckTimeout: *ackTimeout,
+	})
 	if reg != nil {
 		// The scheduler derives per-table version lag from the ObsSnapshot
 		// RPC; the local backlog gauge gives this node's /metrics the same

@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dmv/internal/harness"
@@ -64,12 +65,21 @@ func run() error {
 		customers  = flag.Int("customers", 500, "TPC-W customers (must match the nodes)")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /stitch, /timeline, /cluster on this address (empty = off)")
 		scrape     = flag.Duration("scrape", 500*time.Millisecond, "node ObsSnapshot scrape period for /cluster")
+		rpcTimeout = flag.Duration("rpc-timeout", transport.DefaultCallTimeout, "per-RPC deadline for peer calls")
+		pingTO     = flag.Duration("ping-timeout", transport.DefaultPingTimeout, "heartbeat probe deadline")
+		rpcRetries = flag.Int("rpc-retries", 0, "extra attempts for idempotent peer calls (0 = transport default, <0 = off)")
+		suspectAt  = flag.Int("suspect-misses", 2, "consecutive probe misses before a node is quarantined as suspect")
+		deadAt     = flag.Int("dead-misses", 4, "consecutive probe misses before a suspect is declared dead")
+		seed       = flag.Int64("seed", 1, "seed for retry jitter and scheduler randomness")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
 
 	if *masterSpec == "" || len(slaveSpecs) == 0 {
 		return errors.New("need -master and at least one -slave")
+	}
+	if *deadAt <= *suspectAt {
+		*deadAt = *suspectAt + 2
 	}
 
 	var reg *obs.Registry
@@ -85,13 +95,22 @@ func run() error {
 		log.Printf("metrics on http://%s/metrics (also /trace, /stitch, /timeline, /cluster)", mln.Addr())
 	}
 
-	// Dial every node.
+	// Dial every node with per-RPC deadlines: a gray node (reachable but
+	// unresponsive) can then never wedge the scheduler, only slow it by one
+	// deadline per call.
+	cOpts := transport.ClientOptions{
+		CallTimeout:   *rpcTimeout,
+		PingTimeout:   *pingTO,
+		RetryAttempts: *rpcRetries,
+		Seed:          *seed,
+		Obs:           reg,
+	}
 	addrs := map[string]string{}
 	mID, mAddr, err := parseNode(*masterSpec)
 	if err != nil {
 		return err
 	}
-	master, err := transport.DialNode(mID, mAddr)
+	master, err := transport.DialNodeOpts(mID, mAddr, cOpts)
 	if err != nil {
 		return fmt.Errorf("master %s: %w", mID, err)
 	}
@@ -102,7 +121,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		s, err := transport.DialNode(id, addr)
+		s, err := transport.DialNodeOpts(id, addr, cOpts)
 		if err != nil {
 			return fmt.Errorf("slave %s: %w", id, err)
 		}
@@ -124,6 +143,7 @@ func run() error {
 	sched, err := scheduler.New(scheduler.Options{
 		VersionAffinity: true,
 		MaxRetries:      30,
+		Seed:            *seed,
 		Obs:             reg,
 	}, len(names), tableID)
 	if err != nil {
@@ -153,9 +173,12 @@ func run() error {
 	}
 	log.Printf("tier up: master=%s slaves=%v", mID, sched.Slaves())
 
-	// Heartbeat monitor with remote fail-over: slave failures drop the
-	// replica; master failure elects the first live slave, discards
-	// partially propagated updates, and re-wires the stream.
+	// Suspicion-based heartbeat monitor: every probe carries a deadline, a
+	// missed deadline walks the node down the healthy -> suspect -> dead
+	// ladder (hard "node down" answers kill immediately), suspects are
+	// quarantined out of read placement, recovered suspects rejoin, and a
+	// dead master triggers the commit-fenced fail-over.
+	ht := newHealthTracker(reg, *suspectAt, *deadAt)
 	stopMon := make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(*heartbeat)
@@ -166,20 +189,31 @@ func run() error {
 			case <-stopMon:
 				return
 			case <-ticker.C:
-				if err := curMaster.Ping(); err != nil {
-					log.Printf("master %s failed: %v; electing new master", curMaster.ID(), err)
-					newMaster := electAndPromote(sched, slaves, curMaster.ID(), addrs, classTables)
-					if newMaster != nil {
-						curMaster = newMaster
+				switch ht.probe(curMaster) {
+				case transitionSuspect:
+					log.Printf("master %s suspect (probe deadline); holding fail-over", curMaster.ID())
+				case transitionDead:
+					log.Printf("master %s declared dead; electing new master", curMaster.ID())
+					if nm := failoverMaster(sched, slaves, ht, curMaster.ID(), addrs, classTables); nm != nil {
+						curMaster = nm
 					}
+				case transitionClear:
+					log.Printf("master %s recovered (false suspicion)", curMaster.ID())
 				}
 				for _, s := range slaves {
-					if s.ID() == curMaster.ID() {
+					if s.ID() == curMaster.ID() || ht.dead(s.ID()) {
 						continue
 					}
-					alive := s.Ping() == nil
-					if !alive {
+					switch ht.probe(s) {
+					case transitionSuspect:
+						log.Printf("slave %s suspect; quarantined from read placement", s.ID())
+						sched.SetQuarantined(s.ID(), true)
+					case transitionDead:
+						log.Printf("slave %s declared dead; removed", s.ID())
 						sched.Remove(s.ID())
+					case transitionClear:
+						log.Printf("slave %s recovered; quarantine lifted", s.ID())
+						sched.SetQuarantined(s.ID(), false)
 					}
 				}
 			}
@@ -210,7 +244,11 @@ func run() error {
 						}
 						nss = append(nss, ns)
 					}
-					agg.Update(obs.MergeSnapshots(nss, sched.Latest()))
+					cs := obs.MergeSnapshots(nss, sched.Latest())
+					for i := range cs.Nodes {
+						cs.Nodes[i].Health = ht.healthOf(cs.Nodes[i].Node)
+					}
+					agg.Update(cs)
 				}
 			}
 		}()
@@ -241,11 +279,16 @@ func run() error {
 	fmt.Printf("reads: %d  updates: %d  version aborts: %d  failovers: %d\n",
 		st.ReadTxns.Load(), st.UpdateTxns.Load(), st.VersionAborts.Load(), st.Failovers.Load())
 	if reg != nil {
-		fmt.Printf("aborts by cause: version=%d lock-timeout=%d node-down=%d retries-exhausted=%d\n",
+		fmt.Printf("aborts by cause: version=%d lock-timeout=%d node-down=%d peer-timeout=%d retries-exhausted=%d\n",
 			reg.Counter(obs.SchedAbortVersion).Load(),
 			reg.Counter(obs.SchedAbortLockTimeout).Load(),
 			reg.Counter(obs.SchedAbortNodeDown).Load(),
+			reg.Counter(obs.SchedAbortPeerTimeout).Load(),
 			reg.Counter(obs.SchedRetriesExhausted).Load())
+		fmt.Printf("transport: rpc-timeouts=%d retries=%d redials=%d\n",
+			reg.Counter(obs.TransportRPCTimeouts).Load(),
+			reg.Counter(obs.TransportRPCRetries).Load(),
+			reg.Counter(obs.TransportRedials).Load())
 		txn := reg.Histogram(obs.SchedTxnUS).Snapshot().Summary()
 		fmt.Printf("txn latency (us): p50=%d p95=%d p99=%d over %d attempts\n",
 			txn.P50, txn.P95, txn.P99, txn.Count)
@@ -264,44 +307,128 @@ func run() error {
 	return nil
 }
 
-// electAndPromote performs remote master fail-over (Section 4.2) against
-// the Peer interface only.
-func electAndPromote(sched *scheduler.Scheduler, slaves []*transport.RemoteNode, failedID string, addrs map[string]string, classTables []int) *transport.RemoteNode {
-	lastSeen := sched.Latest()
-	var candidate *transport.RemoteNode
+// failoverMaster runs the commit-fenced remote master fail-over (Section
+// 4.2) through scheduler.FailoverMaster: the rollback point is read under
+// the commit fence, every reachable survivor discards above it, and the
+// survivor with the highest versions is promoted. The old path here read
+// Latest() without fencing, so a commit acknowledged between the read and
+// the discard could be rolled back.
+func failoverMaster(sched *scheduler.Scheduler, slaves []*transport.RemoteNode, ht *healthTracker, failedID string, addrs map[string]string, classTables []int) *transport.RemoteNode {
+	_ = classTables // the scheduler derives the class tables itself
+	var survivors []replica.Peer
 	for _, s := range slaves {
-		if s.ID() == failedID || s.Ping() != nil {
-			continue
-		}
-		if err := s.DiscardAbove(lastSeen); err != nil {
-			log.Printf("discard on %s: %v (continuing fail-over)", s.ID(), err)
-		}
-		if candidate == nil {
-			candidate = s
+		if s.ID() != failedID && !ht.dead(s.ID()) {
+			survivors = append(survivors, s)
 		}
 	}
-	sched.ResetVersion(lastSeen)
-	if candidate == nil {
-		log.Printf("no live slave to promote")
+	nm, err := sched.FailoverMaster(0, survivors)
+	if err != nil {
+		log.Printf("fail-over: %v", err)
 		return nil
 	}
-	if err := candidate.Promote(classTables); err != nil {
-		log.Printf("promote %s: %v", candidate.ID(), err)
-		return nil
-	}
+	candidate := nm.(*transport.RemoteNode)
 	subs := map[string]string{}
 	for _, s := range slaves {
-		if s.ID() != candidate.ID() && s.ID() != failedID && s.Ping() == nil {
+		if s.ID() != candidate.ID() && s.ID() != failedID && !ht.dead(s.ID()) {
 			subs[s.ID()] = addrs[s.ID()]
 		}
 	}
 	if err := candidate.SetSubscribers(subs); err != nil {
 		log.Printf("rewire %s: %v", candidate.ID(), err)
 	}
-	sched.Remove(candidate.ID())
-	sched.SetMaster(0, candidate)
+	sched.Remove(candidate.ID()) // masters do not serve scheduled reads
 	log.Printf("new master: %s; slaves: %v", candidate.ID(), sched.Slaves())
 	return candidate
+}
+
+// Detector transitions returned by healthTracker.probe.
+type transition int
+
+const (
+	transitionNone transition = iota
+	transitionSuspect
+	transitionClear
+	transitionDead
+)
+
+// healthTracker is the scheduler-side suspicion ladder: consecutive probe
+// deadline misses raise suspicion, a hard "node down" answer skips the
+// ladder, and each state change is exported on the node-health gauge.
+type healthTracker struct {
+	reg          *obs.Registry
+	suspectAfter int
+	deadAfter    int
+
+	mu     sync.Mutex
+	misses map[string]int    // guarded by mu
+	state  map[string]string // guarded by mu; "" healthy, "suspect", "dead"
+}
+
+func newHealthTracker(reg *obs.Registry, suspectAfter, deadAfter int) *healthTracker {
+	return &healthTracker{
+		reg:          reg,
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		misses:       make(map[string]int, 8),
+		state:        make(map[string]string, 8),
+	}
+}
+
+func (h *healthTracker) probe(p replica.Peer) transition {
+	err := p.Ping()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := p.ID()
+	if h.state[id] == "dead" {
+		return transitionNone
+	}
+	switch {
+	case err == nil:
+		h.misses[id] = 0
+		if h.state[id] == "suspect" {
+			h.state[id] = ""
+			h.setGauge(id, "")
+			return transitionClear
+		}
+		return transitionNone
+	case errors.Is(err, replica.ErrPeerTimeout):
+		h.misses[id]++
+		if h.misses[id] >= h.deadAfter {
+			h.state[id] = "dead"
+			h.setGauge(id, "dead")
+			return transitionDead
+		}
+		if h.misses[id] >= h.suspectAfter && h.state[id] == "" {
+			h.state[id] = "suspect"
+			h.setGauge(id, "suspect")
+			return transitionSuspect
+		}
+		return transitionNone
+	default:
+		// The node itself answered that it is down: fail-stop, no ladder.
+		h.state[id] = "dead"
+		h.setGauge(id, "dead")
+		return transitionDead
+	}
+}
+
+func (h *healthTracker) setGauge(id, state string) {
+	h.reg.Gauge(obs.Labeled(obs.ClusterNodeHealth, "node", id)).Set(obs.HealthValue(state))
+}
+
+func (h *healthTracker) dead(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state[id] == "dead"
+}
+
+func (h *healthTracker) healthOf(id string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.state[id]; s != "" {
+		return s
+	}
+	return "healthy"
 }
 
 // schedStore adapts the scheduler to the TPC-W workload interface.

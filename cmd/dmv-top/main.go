@@ -76,7 +76,7 @@ func render(cs obs.ClusterSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dmv cluster  @%s  frontier=%v\n\n",
 		time.Unix(cs.TakenUnix, 0).Format("15:04:05"), cs.Frontier)
-	fmt.Fprintf(&b, "%-10s %-8s %10s %10s %10s\n", "NODE", "ROLE", "LAG", "BACKLOG", "UPTIME")
+	fmt.Fprintf(&b, "%-10s %-8s %-8s %10s %10s %10s\n", "NODE", "ROLE", "HEALTH", "LAG", "BACKLOG", "UPTIME")
 	for _, n := range cs.Nodes {
 		var lag uint64
 		for _, l := range n.Lag {
@@ -86,7 +86,11 @@ func render(cs obs.ClusterSnapshot) string {
 		if n.StartUnix > 0 {
 			up = time.Since(time.Unix(n.StartUnix, 0)).Round(time.Second).String()
 		}
-		fmt.Fprintf(&b, "%-10s %-8s %10d %10d %10s\n", n.Node, n.Role, lag, n.PendingMods, up)
+		health := n.Health
+		if health == "" {
+			health = "healthy"
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %-8s %10d %10d %10s\n", n.Node, n.Role, health, lag, n.PendingMods, up)
 	}
 
 	b.WriteString("\ncounters:\n")

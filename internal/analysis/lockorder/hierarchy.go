@@ -25,6 +25,7 @@ const (
 	levelScheduler = 20 // scheduler routing state
 	levelReplica   = 30 // per-node replica state (sessions, subscribers)
 	levelTransport = 35 // RPC client/server bookkeeping
+	levelFaultnet  = 36 // fault-injection net wrappers (under transport conns)
 	levelEngine    = 40 // heap engine catalog
 	levelTable     = 44 // per-table directory / row-location / allocator
 	levelIndex     = 48 // versioned secondary indexes
@@ -64,11 +65,19 @@ var DefaultConfig = &Config{
 		"dmv/internal/replica.Node.roleMu":   levelReplica + 4,
 		"dmv/internal/replica.Node.stmtMu":   levelReplica + 4,
 		"dmv/internal/replica.Node.cpMu":     levelReplica + 4,
+		"dmv/internal/replica.Node.stallMu":  levelReplica + 4,
 
 		// transport
-		"dmv/internal/transport.Server.connMu":   levelTransport,
-		"dmv/internal/transport.RemoteNode.mu":   levelTransport,
-		"dmv/internal/transport.RemoteNode.trMu": levelTransport,
+		"dmv/internal/transport.Server.connMu":    levelTransport,
+		"dmv/internal/transport.RemoteNode.mu":    levelTransport,
+		"dmv/internal/transport.RemoteNode.trMu":  levelTransport,
+		"dmv/internal/transport.RemoteNode.rngMu": levelTransport,
+
+		// faultnet: Network.mu is taken outer to Conn.mu (reset sweeps walk
+		// the conn table under the network lock), and transport writes land
+		// in these conns with transport locks already held.
+		"dmv/internal/faultnet.Network.mu": levelFaultnet,
+		"dmv/internal/faultnet.Conn.mu":    levelFaultnet + 1,
 
 		// heap storage engine
 		"dmv/internal/heap.Engine.mu":      levelEngine,
@@ -97,13 +106,13 @@ var DefaultConfig = &Config{
 		// one of these while holding a lock of a *higher* level inverts the
 		// hierarchy even though the acquisition is not visible in the
 		// calling package.
-		"dmv/internal/vclock.Clock.Tick":     levelClock,
-		"dmv/internal/vclock.Clock.Current":  levelClock,
-		"dmv/internal/vclock.Clock.Advance":  levelClock,
-		"dmv/internal/vclock.Clock.ResetTo":  levelClock,
-		"dmv/internal/vclock.Merged.Report":  levelClock,
-		"dmv/internal/vclock.Merged.Latest":  levelClock,
-		"dmv/internal/vclock.Merged.Reset":   levelClock,
+		"dmv/internal/vclock.Clock.Tick":           levelClock,
+		"dmv/internal/vclock.Clock.Current":        levelClock,
+		"dmv/internal/vclock.Clock.Advance":        levelClock,
+		"dmv/internal/vclock.Clock.ResetTo":        levelClock,
+		"dmv/internal/vclock.Merged.Report":        levelClock,
+		"dmv/internal/vclock.Merged.Latest":        levelClock,
+		"dmv/internal/vclock.Merged.Reset":         levelClock,
 		"dmv/internal/heap.Engine.table":           levelEngine,
 		"dmv/internal/heap.Engine.allTables":       levelEngine,
 		"dmv/internal/heap.Engine.AppliedVersions": levelEngine,

@@ -9,6 +9,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,21 @@ type Config struct {
 	// HeartbeatInterval is the failure-detection probe period (default
 	// 10ms; detection latency is about two intervals).
 	HeartbeatInterval time.Duration
+	// PingTimeout bounds each heartbeat probe so a gray-failed node (alive
+	// but unresponsive) cannot stall the monitor. Default 4x the heartbeat
+	// interval.
+	PingTimeout time.Duration
+	// SuspectAfter is the consecutive-miss count at which a node is
+	// suspected and quarantined out of read placement (default 2). A miss
+	// is a probe deadline or an RTT far outside the node's accrual band.
+	SuspectAfter int
+	// DeadAfter is the consecutive-miss count at which a suspect is
+	// declared dead and fail-over starts (default 4, always > SuspectAfter).
+	// Hard probe errors (fail-stop) skip the ladder and kill immediately.
+	DeadAfter int
+	// AckTimeout bounds each master's wait for a subscriber's write-set
+	// acknowledgment (see replica.Options.AckTimeout). Zero waits forever.
+	AckTimeout time.Duration
 	// CheckpointPeriod starts a fuzzy-checkpoint thread per node (0 = off).
 	CheckpointPeriod time.Duration
 	// CheckpointDir persists checkpoints to files under this directory
@@ -141,6 +157,8 @@ const (
 	EventNodeRestarted   EventKind = "node-restarted"
 	EventSchedulerSwitch EventKind = "scheduler-switch"
 	EventOverload        EventKind = "overload"
+	EventNodeSuspect     EventKind = "node-suspect"
+	EventNodeCleared     EventKind = "node-cleared"
 )
 
 // Event is one reconfiguration event with its duration where applicable.
@@ -148,12 +166,35 @@ const (
 // observability subsystem share one storage and one schema.
 type Event = obs.Event
 
+// Node health states tracked by the suspicion detector. The zero value
+// (healthy) is the empty string so fresh nodeStates need no initialization.
+const (
+	healthSuspect = "suspect"
+	healthDead    = "dead"
+)
+
 type nodeState struct {
 	node    *replica.Node
 	cp      *replica.Checkpointer
 	isSpare bool
 	classID int // >= 0 when master of that class
+
+	// Suspicion-detector state; Cluster.mu protects every field below
+	// (the guardedfield annotation cannot name a lock on another struct).
+	health     string  // "" healthy, healthSuspect, healthDead
+	misses     int     // consecutive missed or badly-late probes
+	rttMean    float64 // EWMA of probe RTT, microseconds
+	rttVar     float64 // EWMA of squared RTT deviation
+	rttSamples int     // probes folded into the EWMA
+	// fenced marks a node declared dead while still running (gray
+	// failure): it is excluded from every topology computation even
+	// though Alive() still reports true.
+	fenced bool
 }
+
+// usable reports whether the node may participate in cluster topology:
+// alive and not fenced off as a gray failure.
+func (st *nodeState) usable() bool { return st.node.Alive() && !st.fenced }
 
 // Cluster is a running in-memory tier.
 type Cluster struct {
@@ -171,6 +212,10 @@ type Cluster struct {
 	// registry is configured, a private one otherwise). Never nil.
 	tl *obs.Timeline
 
+	// Suspicion-detector counters (nil-safe when no registry is set).
+	metSuspicions      *obs.Counter
+	metFalseSuspicions *obs.Counter
+
 	stop chan struct{}
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -182,6 +227,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 10 * time.Millisecond
 	}
+	if cfg.PingTimeout <= 0 {
+		cfg.PingTimeout = 4 * cfg.HeartbeatInterval
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter + 2
+	}
 	if cfg.SpareMode == 0 {
 		cfg.SpareMode = SpareHot
 	}
@@ -190,12 +244,14 @@ func New(cfg Config) (*Cluster, error) {
 		tl = obs.NewTimeline()
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		nodes:   make(map[string]*nodeState, 16),
-		handled: make(map[string]bool, 4),
-		tl:      tl,
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:                cfg,
+		nodes:              make(map[string]*nodeState, 16),
+		handled:            make(map[string]bool, 4),
+		tl:                 tl,
+		metSuspicions:      cfg.Obs.Counter(obs.ClusterSuspicions),
+		metFalseSuspicions: cfg.Obs.Counter(obs.ClusterFalseSuspicions),
+		stop:               make(chan struct{}),
+		done:               make(chan struct{}),
 	}
 	c.registerMetrics()
 
@@ -352,6 +408,8 @@ func (c *Cluster) buildNode(id string) (*replica.Node, error) {
 		Engine:               eng,
 		Disk:                 disk,
 		OnPeerFailure:        func(peer string) { go c.handleFailure(peer) },
+		OnPeerSuspect:        func(peer string) { go c.notePeerSuspect(peer) },
+		AckTimeout:           c.cfg.AckTimeout,
 		ServicePerStmt:       c.cfg.StatementService,
 		ServiceWidth:         c.cfg.ServiceWidth,
 		UpdateServicePerStmt: c.cfg.UpdateStatementService,
@@ -416,15 +474,21 @@ func (c *Cluster) ClusterSnapshot() obs.ClusterSnapshot {
 	c.mu.Lock()
 	ids := append([]string(nil), c.order...)
 	nodes := make([]*replica.Node, 0, len(ids))
+	healths := make([]string, 0, len(ids))
 	for _, id := range ids {
 		nodes = append(nodes, c.nodes[id].node)
+		h := c.nodes[id].health
+		if h == "" {
+			h = "healthy"
+		}
+		healths = append(healths, h)
 	}
 	c.mu.Unlock()
 
 	frontier := c.frontier()
 	cs := obs.ClusterSnapshot{TakenUnix: time.Now().Unix(), Frontier: frontier}
 	for i, n := range nodes {
-		nl := obs.NodeLag{Node: ids[i], Role: "down", StartUnix: n.StartTime().Unix()}
+		nl := obs.NodeLag{Node: ids[i], Role: "down", Health: healths[i], StartUnix: n.StartTime().Unix()}
 		if r, err := n.Role(); err == nil {
 			nl.Role = r.String()
 			applied := n.Engine().AppliedVersions()
@@ -454,7 +518,7 @@ func (c *Cluster) rewireSubscribers() {
 	var receivers []replica.Peer
 	for _, id := range c.order {
 		st := c.nodes[id]
-		if st == nil || !st.node.Alive() {
+		if st == nil || !st.usable() {
 			continue
 		}
 		if st.classID >= 0 {
@@ -651,6 +715,20 @@ func (c *Cluster) KillMaster() error { return c.Kill(c.MasterID(0)) }
 
 // --- background loops ---------------------------------------------------------
 
+// monitor is the suspicion-based failure detector. Each tick probes every
+// unhandled node concurrently with a bounded ping, then classifies the
+// results on a consecutive-miss ladder with an RTT-accrual band:
+//
+//	healthy --SuspectAfter misses--> suspect --DeadAfter misses--> dead
+//
+// A miss is a probe that hit its PingTimeout deadline, or one whose RTT
+// fell far outside the node's EWMA band (a gray slowdown). Suspects are
+// quarantined out of the version-aware read placement but stay in the
+// replication topology; a recovered suspect is cleared (a false
+// suspicion), unquarantined, and caught up with an incremental page-delta
+// migration rather than a full state transfer. Hard probe errors
+// (fail-stop: the node answered "down") skip the ladder entirely so
+// crash detection keeps its two-interval latency.
 func (c *Cluster) monitor() {
 	defer c.wg.Done()
 	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
@@ -660,22 +738,198 @@ func (c *Cluster) monitor() {
 		case <-c.stop:
 			return
 		case <-ticker.C:
-			c.mu.Lock()
-			var dead []string
-			for id, st := range c.nodes {
-				if c.handled[id] {
-					continue
-				}
-				if err := st.node.Ping(); err != nil {
-					dead = append(dead, id)
-				}
-			}
-			c.mu.Unlock()
-			for _, id := range dead {
-				c.handleFailure(id)
-			}
+			c.probeAll()
 		}
 	}
+}
+
+// probeAll runs one detector round: probe outside the cluster lock,
+// classify under it, act outside it again.
+func (c *Cluster) probeAll() {
+	type probe struct {
+		id  string
+		n   *replica.Node
+		rtt time.Duration
+		err error
+	}
+	c.mu.Lock()
+	var targets []*probe
+	for _, id := range c.order {
+		st := c.nodes[id]
+		if st == nil || c.handled[id] {
+			continue
+		}
+		targets = append(targets, &probe{id: id, n: st.node})
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, p := range targets {
+		wg.Add(1)
+		go func(p *probe) {
+			defer wg.Done()
+			start := time.Now()
+			p.err = c.pingBounded(p.n, c.cfg.PingTimeout)
+			p.rtt = time.Since(start)
+		}(p)
+	}
+	wg.Wait()
+
+	for _, p := range targets {
+		var act healthAction
+		switch {
+		case p.err == nil:
+			act = c.noteSuccess(p.id, p.rtt)
+		case errors.Is(p.err, replica.ErrPeerTimeout):
+			act = c.noteMiss(p.id)
+		default:
+			// A hard error means the node itself answered that it is down
+			// (fail-stop). No suspicion ladder: reconfigure immediately.
+			act = actDead
+		}
+		c.applyHealth(p.id, act)
+	}
+}
+
+// pingBounded probes a peer with a deadline so a stalled (gray) node
+// cannot wedge the caller. The probe goroutine blocks until the peer
+// unstalls or dies — bounded by the number of outstanding probes and
+// released on heal, the standard cost of bounding an uncancellable call.
+func (c *Cluster) pingBounded(p replica.Peer, d time.Duration) error {
+	if d <= 0 {
+		return p.Ping()
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Ping() }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return fmt.Errorf("%w: ping %s after %v", replica.ErrPeerTimeout, p.ID(), d)
+	}
+}
+
+// healthAction is a detector state transition computed under c.mu and
+// applied outside it.
+type healthAction int
+
+const (
+	actNone healthAction = iota
+	actSuspect
+	actClear
+	actDead
+)
+
+// rttAlpha and rttWarmup parameterize the RTT accrual band: an EWMA of
+// mean and squared deviation, consulted only after enough samples.
+const (
+	rttAlpha      = 0.2
+	rttWarmup     = 8
+	rttFloorUS    = 1000 // 1ms: never suspect inside this absolute slack
+	rttDeviations = 4.0
+)
+
+// noteSuccess folds a successful probe into the node's RTT accrual state.
+// An RTT far outside the band counts as a soft miss (it can raise
+// suspicion but never kills on its own); a normal RTT resets the ladder
+// and clears a standing suspicion.
+func (c *Cluster) noteSuccess(id string, rtt time.Duration) healthAction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.nodes[id]
+	if st == nil || c.handled[id] || st.health == healthDead {
+		return actNone
+	}
+	x := float64(rtt.Microseconds())
+	slow := st.rttSamples >= rttWarmup &&
+		x > st.rttMean+rttDeviations*math.Sqrt(st.rttVar)+rttFloorUS
+	d := x - st.rttMean
+	st.rttMean += rttAlpha * d
+	st.rttVar = (1 - rttAlpha) * (st.rttVar + rttAlpha*d*d)
+	st.rttSamples++
+	if slow {
+		st.misses++
+		if st.misses >= c.cfg.SuspectAfter && st.health == "" {
+			st.health = healthSuspect
+			return actSuspect
+		}
+		return actNone
+	}
+	st.misses = 0
+	if st.health == healthSuspect {
+		st.health = ""
+		return actClear
+	}
+	return actNone
+}
+
+// noteMiss records one missed probe (deadline hit) and walks the ladder.
+func (c *Cluster) noteMiss(id string) healthAction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.nodes[id]
+	if st == nil || c.handled[id] || st.health == healthDead {
+		return actNone
+	}
+	st.misses++
+	if st.misses >= c.cfg.DeadAfter {
+		return actDead
+	}
+	if st.misses >= c.cfg.SuspectAfter && st.health == "" {
+		st.health = healthSuspect
+		return actSuspect
+	}
+	return actNone
+}
+
+// notePeerSuspect is the replica-layer evidence path: a master abandoned
+// a subscriber's write-set ack at its deadline. That is one miss worth of
+// suspicion, never an instant death.
+func (c *Cluster) notePeerSuspect(id string) {
+	act := c.noteMiss(id)
+	if act == actDead {
+		c.confirmDead(id)
+		return
+	}
+	c.applyHealth(id, act)
+}
+
+// applyHealth runs the side effects of a detector transition with no
+// cluster lock held.
+func (c *Cluster) applyHealth(id string, act healthAction) {
+	switch act {
+	case actSuspect:
+		c.metSuspicions.Inc()
+		c.setHealthGauge(id, healthSuspect)
+		c.eachSched(func(s *scheduler.Scheduler) { s.SetQuarantined(id, true) })
+		c.emit(Event{Kind: EventNodeSuspect, Node: id})
+	case actClear:
+		c.metFalseSuspicions.Inc()
+		c.setHealthGauge(id, "")
+		c.eachSched(func(s *scheduler.Scheduler) { s.SetQuarantined(id, false) })
+		c.emit(Event{Kind: EventNodeCleared, Node: id})
+		// While suspect the node may have missed write-sets (a master
+		// abandons acks at the deadline); close the gap with the
+		// incremental page-delta path — no full state transfer.
+		c.mu.Lock()
+		st := c.nodes[id]
+		c.mu.Unlock()
+		if st != nil && st.usable() {
+			go func() { _, _ = c.refreshStale(st.node) }()
+		}
+	case actDead:
+		c.confirmDead(id)
+	}
+}
+
+// setHealthGauge exports the node's suspicion state as a labeled gauge.
+func (c *Cluster) setHealthGauge(id, state string) {
+	if c.cfg.Obs == nil {
+		return
+	}
+	c.cfg.Obs.Gauge(obs.Labeled(obs.ClusterNodeHealth, "node", id)).Set(obs.HealthValue(state))
 }
 
 func (c *Cluster) pageIDWarmupLoop() {
@@ -814,18 +1068,37 @@ func (c *Cluster) refreshStale(n *replica.Node) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
+// pickSupportSlave chooses a migration donor: a healthy, promptly-answering
+// slave, or a master as fallback. Probes are bounded so a gray donor
+// candidate cannot stall the reconfiguration that is trying to route
+// around it, and suspects are skipped — a donor behind on write-sets
+// would ship a stale delta.
 func (c *Cluster) pickSupportSlave(exclude string) replica.Peer {
 	sched := c.Scheduler()
 	for _, p := range sched.SlaveList() {
-		if p.ID() != exclude && p.Ping() == nil {
+		if p.ID() != exclude && c.healthyFor(p.ID()) && c.pingBounded(p, c.cfg.PingTimeout) == nil {
 			return p
 		}
 	}
 	// Fall back to a master (it has the full state too).
 	for ci := 0; ci < sched.NumClasses(); ci++ {
-		if m := sched.Master(ci); m != nil && m.ID() != exclude && m.Ping() == nil {
+		m := sched.Master(ci)
+		if m != nil && m.ID() != exclude && c.healthyFor(m.ID()) && c.pingBounded(m, c.cfg.PingTimeout) == nil {
 			return m
 		}
 	}
 	return nil
+}
+
+// healthyFor reports whether the detector considers the node healthy
+// (unknown nodes pass: remote peers outside c.nodes are vouched for by
+// the bounded ping alone).
+func (c *Cluster) healthyFor(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.nodes[id]
+	if st == nil {
+		return true
+	}
+	return st.health == "" && !st.fenced
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"dmv/internal/exec"
@@ -10,8 +11,11 @@ import (
 	"dmv/internal/vclock"
 )
 
-// handleFailure is the single entry point for reconfiguration after a
-// fail-stop failure. It is idempotent and serialized per cluster.
+// handleFailure is the entry point for failure reports from the
+// scheduler and replica layers. The report is confirmed with a bounded
+// probe: a healthy answer dismisses it, a hard error (fail-stop) kills
+// the node immediately, and a probe deadline is gray evidence that feeds
+// the suspicion ladder rather than triggering an instant fail-over.
 func (c *Cluster) handleFailure(id string) {
 	c.mu.Lock()
 	st, ok := c.nodes[id]
@@ -19,17 +23,56 @@ func (c *Cluster) handleFailure(id string) {
 		c.mu.Unlock()
 		return
 	}
-	// Confirm the failure (a scheduler may report a transient error).
-	if err := st.node.Ping(); err == nil {
+	n := st.node
+	c.mu.Unlock()
+
+	// Confirm outside the lock (a scheduler may report a transient error;
+	// the probe may block up to the deadline).
+	err := c.pingBounded(n, c.cfg.PingTimeout)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, replica.ErrPeerTimeout) {
+		c.applyHealth(id, c.noteMiss(id))
+		return
+	}
+	c.confirmDead(id)
+}
+
+// confirmDead declares a node dead and reconfigures around it. It is
+// idempotent and serialized per node via the handled map. A node that is
+// still running when declared dead (a gray failure) is fenced: excluded
+// from every topology computation and, best-effort, stripped of its
+// subscribers and master role so it cannot keep mutating acknowledged
+// state. A fenced node never rejoins on its own: reintegration requires
+// killing it and running Restart.
+func (c *Cluster) confirmDead(id string) {
+	c.mu.Lock()
+	st, ok := c.nodes[id]
+	if !ok || c.handled[id] {
 		c.mu.Unlock()
 		return
 	}
 	c.handled[id] = true
+	st.health = healthDead
+	gray := st.node.Alive()
+	if gray {
+		st.fenced = true
+	}
 	classID := st.classID
 	isSpare := st.isSpare
 	c.mu.Unlock()
 
+	c.setHealthGauge(id, healthDead)
 	c.emit(Event{Kind: EventNodeFailed, Node: id})
+	if gray {
+		// The fence proper is the fenced flag; the node-side cleanup runs
+		// asynchronously because a stalled node may sit on these calls.
+		go func(n *replica.Node) {
+			n.SetSubscribers(nil)
+			_ = n.Demote(replica.RoleSpare)
+		}(st.node)
+	}
 
 	switch {
 	case classID >= 0:
@@ -109,7 +152,7 @@ func (c *Cluster) electMaster(failed string) *replica.Node {
 	var bestVer vclock.Vector
 	for _, id := range c.order {
 		st := c.nodes[id]
-		if id == failed || st == nil || !st.node.Alive() || st.classID >= 0 || st.isSpare {
+		if id == failed || st == nil || !st.usable() || st.classID >= 0 || st.isSpare {
 			continue
 		}
 		v, err := st.node.MaxVersions()
@@ -131,7 +174,7 @@ func (c *Cluster) activateSpare() {
 	var spare *replica.Node
 	for _, id := range c.order {
 		st := c.nodes[id]
-		if st != nil && st.isSpare && st.node.Alive() {
+		if st != nil && st.isSpare && st.usable() {
 			spare = st.node
 			break
 		}
@@ -183,7 +226,7 @@ func (c *Cluster) reintegrate(n *replica.Node) error {
 	c.mu.Lock()
 	for _, id := range c.order {
 		st := c.nodes[id]
-		if st != nil && st.classID >= 0 && st.node.Alive() {
+		if st != nil && st.classID >= 0 && st.usable() {
 			st.node.AddSubscriber(n)
 		}
 	}
@@ -267,6 +310,8 @@ func (c *Cluster) Restart(id string) error {
 		Engine:               eng,
 		Disk:                 disk,
 		OnPeerFailure:        func(peer string) { go c.handleFailure(peer) },
+		OnPeerSuspect:        func(peer string) { go c.notePeerSuspect(peer) },
+		AckTimeout:           c.cfg.AckTimeout,
 		ServicePerStmt:       c.cfg.StatementService,
 		ServiceWidth:         c.cfg.ServiceWidth,
 		UpdateServicePerStmt: c.cfg.UpdateStatementService,
@@ -280,6 +325,7 @@ func (c *Cluster) Restart(id string) error {
 		c.nodes[id].cp = n.StartCheckpointer(c.cfg.CheckpointPeriod)
 	}
 	c.mu.Unlock()
+	c.setHealthGauge(id, "")
 
 	if err := c.reintegrate(n); err != nil {
 		return err
@@ -297,7 +343,7 @@ func (c *Cluster) livePeers(exclude string) []replica.Peer {
 	var out []replica.Peer
 	for _, id := range c.order {
 		st := c.nodes[id]
-		if id == exclude || st == nil || !st.node.Alive() {
+		if id == exclude || st == nil || !st.usable() {
 			continue
 		}
 		out = append(out, st.node)

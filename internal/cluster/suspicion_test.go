@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dmv/internal/obs"
+	"dmv/internal/scheduler"
+)
+
+// waitForEvent polls the cluster timeline until an event of the given kind
+// for the given node appears (node "" matches any).
+func waitForEvent(t *testing.T, c *Cluster, kind EventKind, node string, timeout time.Duration) Event {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, ev := range c.Events() {
+			if ev.Kind == kind && (node == "" || ev.Node == node) {
+				return ev
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no %s event for %q within %v; events: %+v", kind, node, timeout, c.Events())
+	return Event{}
+}
+
+func quarantinedIDs(s *scheduler.Scheduler) map[string]bool {
+	out := make(map[string]bool)
+	for _, id := range s.Quarantined() {
+		out[id] = true
+	}
+	return out
+}
+
+// TestSuspectQuarantineAndClear drives the gray-slowdown half of the
+// detector: a stalled slave must be suspected and quarantined out of read
+// placement (not killed), and once it recovers it must be cleared as a
+// false suspicion and rejoin without a fail-over — the node is never
+// removed from the topology, so no full state transfer happens.
+func TestSuspectQuarantineAndClear(t *testing.T) {
+	reg := obs.New()
+	c := newTestCluster(t, Config{
+		Slaves:            3,
+		HeartbeatInterval: 5 * time.Millisecond,
+		PingTimeout:       15 * time.Millisecond,
+		SuspectAfter:      2,
+		DeadAfter:         1000, // out of reach: this test must never kill
+		AckTimeout:        20 * time.Millisecond,
+		Obs:               reg,
+	})
+
+	for i := 1; i <= 5; i++ {
+		if err := deposit(t, c, 1, 10, int64(i)); err != nil {
+			t.Fatalf("deposit: %v", err)
+		}
+	}
+
+	victim, ok := c.Node("slave0")
+	if !ok {
+		t.Fatal("no slave0")
+	}
+	victim.SetStalled(true)
+	defer victim.SetStalled(false)
+
+	waitForEvent(t, c, EventNodeSuspect, "slave0", 2*time.Second)
+	if !quarantinedIDs(c.Scheduler())["slave0"] {
+		t.Fatal("suspect slave0 not quarantined in the scheduler")
+	}
+	if got := reg.Snapshot().Gauges[obs.Labeled(obs.ClusterNodeHealth, "node", "slave0")]; got != 1 {
+		t.Fatalf("health gauge for suspect = %v, want 1", got)
+	}
+	// Reads keep flowing around the suspect.
+	if bal := readBalance(t, c, 1); bal != 1050 {
+		t.Fatalf("balance during suspicion = %d, want 1050", bal)
+	}
+
+	// Recovery: the suspicion must clear, the quarantine lift, and the
+	// node keep its identity (no node-failed, no restart).
+	victim.SetStalled(false)
+	waitForEvent(t, c, EventNodeCleared, "slave0", 2*time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for quarantinedIDs(c.Scheduler())["slave0"] {
+		if time.Now().After(deadline) {
+			t.Fatal("quarantine not lifted after clear")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.ClusterSuspicions] < 1 {
+		t.Fatalf("suspicions = %d, want >= 1", snap.Counters[obs.ClusterSuspicions])
+	}
+	if snap.Counters[obs.ClusterFalseSuspicions] < 1 {
+		t.Fatalf("false suspicions = %d, want >= 1", snap.Counters[obs.ClusterFalseSuspicions])
+	}
+	if got := snap.Gauges[obs.Labeled(obs.ClusterNodeHealth, "node", "slave0")]; got != 0 {
+		t.Fatalf("health gauge after clear = %v, want 0", got)
+	}
+	for _, ev := range c.Events() {
+		if ev.Kind == EventNodeFailed {
+			t.Fatalf("false suspicion escalated to node-failed: %+v", ev)
+		}
+	}
+	// The healed node serves committed state again.
+	if bal := readBalance(t, c, 1); bal != 1050 {
+		t.Fatalf("balance after clear = %d, want 1050", bal)
+	}
+}
+
+// TestGrayMasterFailover stalls the master without killing it: the
+// detector must walk it through suspect to dead, fence it out of the
+// topology even though it still reports Alive, and run the commit-fence
+// master fail-over with no acknowledged commit lost.
+func TestGrayMasterFailover(t *testing.T) {
+	reg := obs.New()
+	c := newTestCluster(t, Config{
+		Slaves:            2,
+		Spares:            1,
+		HeartbeatInterval: 5 * time.Millisecond,
+		PingTimeout:       10 * time.Millisecond,
+		SuspectAfter:      2,
+		DeadAfter:         4,
+		AckTimeout:        20 * time.Millisecond,
+		Obs:               reg,
+	})
+
+	for i := 1; i <= 10; i++ {
+		if err := deposit(t, c, 1, 10, int64(i)); err != nil {
+			t.Fatalf("deposit: %v", err)
+		}
+	}
+
+	oldMaster := c.MasterID(0)
+	m, ok := c.Node(oldMaster)
+	if !ok {
+		t.Fatalf("no node %s", oldMaster)
+	}
+	m.SetStalled(true)
+	defer m.SetStalled(false)
+
+	waitForEvent(t, c, EventNodeSuspect, oldMaster, 2*time.Second)
+	waitForEvent(t, c, EventNodeFailed, oldMaster, 2*time.Second)
+	waitForEvent(t, c, EventMasterElected, "", 2*time.Second)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for c.MasterID(0) == oldMaster || c.MasterID(0) == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("master never moved off %s", oldMaster)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Gray, not dead: the fenced ex-master still reports alive, but the
+	// cluster routes around it.
+	if !m.Alive() {
+		t.Fatal("gray master should still be alive (that is the point)")
+	}
+	if got := reg.Snapshot().Gauges[obs.Labeled(obs.ClusterNodeHealth, "node", oldMaster)]; got != 2 {
+		t.Fatalf("health gauge for dead = %v, want 2", got)
+	}
+
+	// Every acknowledged commit survived the fail-over.
+	if bal := readBalance(t, c, 1); bal != 1100 {
+		t.Fatalf("balance after gray fail-over = %d, want 1100", bal)
+	}
+	// And the new master takes writes.
+	for i := 11; i <= 15; i++ {
+		if err := deposit(t, c, 1, 10, int64(i)); err != nil {
+			t.Fatalf("deposit after fail-over: %v", err)
+		}
+	}
+	if bal := readBalance(t, c, 1); bal != 1150 {
+		t.Fatalf("balance after post-fail-over deposits = %d, want 1150", bal)
+	}
+}
+
+// TestFailStopStillFast: a killed node answers its probe with a hard
+// error; that path must skip the suspicion ladder entirely and keep the
+// crash-detection behavior of the plain heartbeat monitor.
+func TestFailStopStillFast(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Slaves:       2,
+		SuspectAfter: 50, // a ladder walk would blow the event wait below
+		DeadAfter:    100,
+	})
+	if err := c.Kill("slave1"); err != nil {
+		t.Fatal(err)
+	}
+	waitForEvent(t, c, EventNodeFailed, "slave1", time.Second)
+	for _, ev := range c.Events() {
+		if ev.Kind == EventNodeSuspect {
+			t.Fatalf("fail-stop took the suspicion ladder: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on the listener and echoes every byte
+// back until the connection closes.
+func echoServer(t *testing.T, lis net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+}
+
+func dialEcho(t *testing.T, nw *Network, from string, addr string) net.Conn {
+	t.Helper()
+	conn, err := nw.Dialer(from)("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// roundTrip writes msg and reads it back, with a deadline enforced by the
+// caller's goroutine. Returns any error.
+func roundTrip(conn net.Conn, msg string) error {
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	_, err := io.ReadFull(conn, buf)
+	return err
+}
+
+func TestHealthyRoundTrip(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	if err := roundTrip(conn, "hello"); err != nil {
+		t.Fatalf("healthy round trip: %v", err)
+	}
+}
+
+func TestPartitionStallsAndHeals(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+
+	nw.Partition("cli", "srv")
+	done := make(chan error, 1)
+	go func() { done <- roundTrip(conn, "stalled?") }()
+	select {
+	case err := <-done:
+		t.Fatalf("round trip completed across a partition (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+		// expected: stalled, no error
+	}
+	nw.Heal("cli", "srv")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("round trip after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("round trip still stalled after heal")
+	}
+}
+
+func TestOneWayPartitionHoldsReplies(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+
+	// Cut only the reply direction: the request goes out, the echo is held.
+	nw.PartitionOneWay("srv", "cli")
+	done := make(chan error, 1)
+	go func() { done <- roundTrip(conn, "oneway") }()
+	select {
+	case err := <-done:
+		t.Fatalf("reply crossed a one-way partition (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	nw.Heal("cli", "srv")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("still stalled after heal")
+	}
+}
+
+func TestDialAcrossPartitionFailsFast(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	nw.Isolate("srv")
+	start := time.Now()
+	_, err = nw.Dialer("cli")("tcp", lis.Addr().String())
+	if err == nil {
+		t.Fatal("dial succeeded into an isolated endpoint")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want timeout-flavored net.Error, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("partitioned dial took %v; want fast failure", d)
+	}
+	nw.Rejoin("srv")
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	if err := roundTrip(conn, "rejoined"); err != nil {
+		t.Fatalf("after rejoin: %v", err)
+	}
+}
+
+func TestResetLinkSurfacesHardError(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	if err := roundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+	nw.ResetLink("cli", "srv")
+	// The stream is torn down mid-flight: the next operation errors rather
+	// than stalling.
+	errc := make(chan error, 1)
+	go func() { errc <- roundTrip(conn, "after-reset") }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("round trip succeeded across a reset link")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reset link stalled instead of erroring")
+	}
+}
+
+func TestDropBlackholesDeterministically(t *testing.T) {
+	// With the same seed, the drop decision lands on the same delivery in
+	// both runs: the count of successful round trips before the stall must
+	// match exactly.
+	run := func(seed int64) int {
+		nw := New(seed)
+		lis, err := nw.Listen("srv", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lis.Close()
+		echoServer(t, lis)
+		conn, err := nw.Dialer("cli")("tcp", lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		nw.SetDrop("cli", "srv", 0.2)
+		ok := 0
+		for i := 0; i < 100; i++ {
+			errc := make(chan error, 1)
+			go func() { errc <- roundTrip(conn, "x") }()
+			select {
+			case err := <-errc:
+				if err != nil {
+					return ok
+				}
+				ok++
+			case <-time.After(200 * time.Millisecond):
+				return ok // blackholed: stream stalled
+			}
+		}
+		return ok
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed, different drop point: %d vs %d", a, b)
+	}
+	if a == 100 {
+		t.Fatalf("drop rule never fired in 100 deliveries at p=0.2")
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	nw.SetDelay("cli", "srv", 30*time.Millisecond, 0)
+	start := time.Now()
+	if err := roundTrip(conn, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("round trip %v; want >= 30ms of injected delay", d)
+	}
+}
+
+func TestCloseWakesStalledWriter(t *testing.T) {
+	nw := New(1)
+	lis, err := nw.Listen("srv", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	echoServer(t, lis)
+	conn := dialEcho(t, nw, "cli", lis.Addr().String())
+	nw.Partition("cli", "srv")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Write([]byte("never"))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("write across partition succeeded after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the stalled writer")
+	}
+}

@@ -29,6 +29,11 @@ type NodeLag struct {
 	StartUnix   int64
 	Lag         []uint64 // per-table: frontier version minus applied version
 	PendingMods int
+	// Health is the failure detector's current verdict for the node
+	// ("healthy", "suspect", or "dead"); empty when no detector runs.
+	// Filled in by the aggregating side, not by MergeSnapshots: suspicion
+	// state lives in the scheduler/cluster monitor, not on the node.
+	Health string
 }
 
 // ClusterSnapshot is the merged view the scheduler serves at /cluster: the
@@ -160,6 +165,19 @@ func RegisterIdentity(r *Registry, node string, start time.Time) {
 	}
 	r.Gauge(Labeled(BuildInfo, "go", runtime.Version(), "node", node)).Set(1)
 	r.Gauge(Labeled(NodeStartTime, "node", node)).Set(start.Unix())
+}
+
+// HealthValue maps a failure-detector state to the dmv_cluster_node_health
+// gauge encoding.
+func HealthValue(state string) int64 {
+	switch state {
+	case "suspect":
+		return 1
+	case "dead":
+		return 2
+	default: // healthy
+		return 0
+	}
 }
 
 // RoleValue maps a role string to the dmv_node_role gauge encoding.

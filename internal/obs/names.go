@@ -22,6 +22,7 @@ const (
 	SchedAbortVersion     = "dmv_sched_aborts_version_total"      // aborts: required page version overwritten
 	SchedAbortLockTimeout = "dmv_sched_aborts_lock_timeout_total" // aborts: page lock wait exceeded LockTimeout
 	SchedAbortNodeDown    = "dmv_sched_aborts_node_down_total"    // aborts: executing replica failed mid-txn
+	SchedAbortPeerTimeout = "dmv_sched_aborts_peer_timeout_total" // aborts: replica call exceeded its RPC deadline
 	SchedRetriesExhausted = "dmv_sched_retries_exhausted_total"   // transactions given up after MaxRetries
 	SchedFailovers        = "dmv_sched_failovers_total"           // node failures reported to the cluster
 	SchedPickWaitUS       = "dmv_sched_reader_pick_wait_us"       // wait for a slave to reach the tagged version
@@ -31,19 +32,20 @@ const (
 
 	// --- replica (one DMV node) ---------------------------------------------
 
-	NodeReadTxns          = "dmv_node_read_txns_total"          // read transactions executed across nodes
-	NodeUpdateTxns        = "dmv_node_update_txns_total"        // update transactions executed across nodes
-	NodeAborts            = "dmv_node_aborts_total"             // node-side aborts (version conflicts)
-	NodeWriteSetsIn       = "dmv_node_writesets_in_total"       // write-sets received from a master
-	NodeWriteSetBytes     = "dmv_node_writeset_bytes_total"     // estimated bytes of write-sets received
-	NodeBroadcastUS       = "dmv_node_broadcast_us"             // master pre-commit broadcast until all acks
-	NodeBroadcastAcks     = "dmv_node_broadcast_acks_total"     // successful per-subscriber acks
-	NodeBroadcastFailures = "dmv_node_broadcast_failures_total" // per-subscriber broadcast failures
-	NodeRole              = "dmv_node_role"                     // labeled gauge: 0 slave, 1 master, 2 joining, 3 spare
-	NodeStartTime         = "dmv_node_start_time_seconds"       // labeled gauge: unix start time of the node process
-	BuildInfo             = "dmv_build_info"                    // labeled info gauge (go runtime version), value always 1
-	ReplicaVersionLag     = "dmv_replica_version_lag"           // labeled gauge: commit frontier minus applied version, per node x table
-	ReplicaApplyBacklog   = "dmv_replica_apply_backlog"         // labeled gauge: buffered (unapplied) row mods per node
+	NodeReadTxns          = "dmv_node_read_txns_total"              // read transactions executed across nodes
+	NodeUpdateTxns        = "dmv_node_update_txns_total"            // update transactions executed across nodes
+	NodeAborts            = "dmv_node_aborts_total"                 // node-side aborts (version conflicts)
+	NodeWriteSetsIn       = "dmv_node_writesets_in_total"           // write-sets received from a master
+	NodeWriteSetBytes     = "dmv_node_writeset_bytes_total"         // estimated bytes of write-sets received
+	NodeBroadcastUS       = "dmv_node_broadcast_us"                 // master pre-commit broadcast until all acks
+	NodeBroadcastAcks     = "dmv_node_broadcast_acks_total"         // successful per-subscriber acks
+	NodeBroadcastFailures = "dmv_node_broadcast_failures_total"     // per-subscriber broadcast failures
+	NodeBroadcastTimeouts = "dmv_node_broadcast_ack_timeouts_total" // subscriber acks abandoned at the AckTimeout deadline
+	NodeRole              = "dmv_node_role"                         // labeled gauge: 0 slave, 1 master, 2 joining, 3 spare
+	NodeStartTime         = "dmv_node_start_time_seconds"           // labeled gauge: unix start time of the node process
+	BuildInfo             = "dmv_build_info"                        // labeled info gauge (go runtime version), value always 1
+	ReplicaVersionLag     = "dmv_replica_version_lag"               // labeled gauge: commit frontier minus applied version, per node x table
+	ReplicaApplyBacklog   = "dmv_replica_apply_backlog"             // labeled gauge: buffered (unapplied) row mods per node
 
 	// --- heap (page-based storage engine) -----------------------------------
 
@@ -69,12 +71,15 @@ const (
 
 	// --- cluster fail-over timeline -----------------------------------------
 
-	ClusterEvents           = "dmv_cluster_events_total"         // lifecycle events recorded on the timeline
-	FailoverRecoveryUS      = "dmv_failover_recovery_us"         // failure detection -> commits unblocked
-	FailoverMigrationUS     = "dmv_failover_migration_us"        // spare data migration (page delta install)
-	FailoverReintegrationUS = "dmv_failover_reintegration_us"    // stale-node page-delta reintegration
-	FailoverRestartUS       = "dmv_failover_restart_us"          // checkpoint restore + rejoin of a dead node
-	FailoverSpareUS         = "dmv_failover_spare_activation_us" // whole spare activation (incl. migration)
+	ClusterEvents           = "dmv_cluster_events_total"           // lifecycle events recorded on the timeline
+	ClusterNodeHealth       = "dmv_cluster_node_health"            // labeled gauge: suspicion state per node (0 healthy, 1 suspect, 2 dead)
+	ClusterSuspicions       = "dmv_cluster_suspicions_total"       // healthy->suspect transitions raised by the detector
+	ClusterFalseSuspicions  = "dmv_cluster_false_suspicions_total" // suspects cleared after probes recovered (false alarms)
+	FailoverRecoveryUS      = "dmv_failover_recovery_us"           // failure detection -> commits unblocked
+	FailoverMigrationUS     = "dmv_failover_migration_us"          // spare data migration (page delta install)
+	FailoverReintegrationUS = "dmv_failover_reintegration_us"      // stale-node page-delta reintegration
+	FailoverRestartUS       = "dmv_failover_restart_us"            // checkpoint restore + rejoin of a dead node
+	FailoverSpareUS         = "dmv_failover_spare_activation_us"   // whole spare activation (incl. migration)
 
 	// --- persistence tier ----------------------------------------------------
 
@@ -89,6 +94,11 @@ const (
 	TransportBytesIn  = "dmv_transport_bytes_in_total"  // bytes read from peer connections
 	TransportBytesOut = "dmv_transport_bytes_out_total" // bytes written to peer connections
 	TransportConns    = "dmv_transport_conns_total"     // peer connections accepted
+
+	TransportRPCTimeouts = "dmv_transport_rpc_timeouts_total" // client calls abandoned at their deadline
+	TransportRPCRetries  = "dmv_transport_rpc_retries_total"  // idempotent-call retry attempts after transport failures
+	TransportRedials     = "dmv_transport_redials_total"      // client reconnects after a broken rpc.Client
+	TransportRPCUS       = "dmv_transport_rpc_us"             // client-observed per-call latency (incl. timeouts)
 
 	// --- innodb-like on-disk baseline ---------------------------------------
 

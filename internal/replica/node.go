@@ -36,6 +36,10 @@ var (
 	ErrNotMaster = errors.New("replica: update transaction on non-master node")
 	// ErrNoSession reports an unknown transaction session id.
 	ErrNoSession = errors.New("replica: no such transaction session")
+	// ErrPeerTimeout reports a peer call that exceeded its deadline: the
+	// peer may be alive but slow or partitioned (a gray failure), so
+	// callers treat it as suspicion evidence rather than proof of death.
+	ErrPeerTimeout = errors.New("replica: peer call deadline exceeded")
 	// ErrVersionConflict mirrors the storage-level version-inconsistency
 	// abort at the replication API boundary so remote callers can match it.
 	ErrVersionConflict = page.ErrVersionConflict
@@ -120,6 +124,16 @@ type Options struct {
 	// OnPeerFailure, if non-nil, is invoked (asynchronously safe) when a
 	// replication broadcast to a subscriber fails.
 	OnPeerFailure func(peerID string)
+	// OnPeerSuspect, if non-nil, is invoked when a subscriber misses its
+	// write-set ack deadline: the peer is slow, not provably dead, so the
+	// failure detector gets a hint instead of a verdict.
+	OnPeerSuspect func(peerID string)
+	// AckTimeout bounds the wait for each subscriber's write-set
+	// acknowledgment during the pre-commit broadcast. One stalled slave
+	// then delays the commit by at most this long instead of forever; the
+	// straggler is reported via OnPeerSuspect and its ack abandoned. Zero
+	// waits indefinitely (the paper's pure fail-stop model).
+	AckTimeout time.Duration
 	// ServicePerStmt models the node's CPU: each statement occupies one of
 	// ServiceWidth execution slots for this long. The whole reproduction
 	// runs on one machine, so per-node capacity (what actually scales when
@@ -154,6 +168,15 @@ type Node struct {
 
 	alive         atomic.Bool
 	onPeerFailure func(string)
+	onPeerSuspect func(string)
+	ackTimeout    time.Duration
+
+	// stallMu guards the gray-failure injection gate: while stallCh is
+	// non-nil the node is "stalled" — alive, but inbound probes and
+	// replication deliveries block until the channel is closed. Tests use
+	// this to model a wedged-but-not-crashed process.
+	stallMu sync.Mutex
+	stallCh chan struct{} // guarded by stallMu
 
 	roleMu      sync.RWMutex
 	role        Role  // guarded by roleMu
@@ -215,6 +238,7 @@ type nodeMetrics struct {
 	wsBytes     *obs.Counter
 	acks        *obs.Counter
 	bcastFail   *obs.Counter
+	bcastTmo    *obs.Counter
 	bcastUS     *obs.Histogram
 }
 
@@ -239,6 +263,8 @@ func NewNode(opts Options) *Node {
 		disk:          opts.Disk,
 		role:          RoleSlave,
 		onPeerFailure: opts.OnPeerFailure,
+		onPeerSuspect: opts.OnPeerSuspect,
+		ackTimeout:    opts.AckTimeout,
 		sessions:      make(map[uint64]*session, 16),
 		stmts:         make(map[string]*exec.Prepared, 64),
 	}
@@ -267,6 +293,7 @@ func NewNode(opts Options) *Node {
 			wsBytes:     reg.Counter(obs.NodeWriteSetBytes),
 			acks:        reg.Counter(obs.NodeBroadcastAcks),
 			bcastFail:   reg.Counter(obs.NodeBroadcastFailures),
+			bcastTmo:    reg.Counter(obs.NodeBroadcastTimeouts),
 			bcastUS:     reg.Histogram(obs.NodeBroadcastUS),
 		}
 		n.roleGauge = reg.Gauge(obs.Labeled(obs.NodeRole, "node", opts.ID))
@@ -312,8 +339,37 @@ func (n *Node) check() error {
 	return nil
 }
 
+// SetStalled injects or lifts a gray failure: a stalled node is alive but
+// stops answering probes and replication deliveries until un-stalled, the
+// slow-but-not-dead behavior the suspicion detector exists to catch.
+// Transaction execution is deliberately left unstalled so in-process
+// callers already inside the node are not wedged.
+func (n *Node) SetStalled(stalled bool) {
+	n.stallMu.Lock()
+	defer n.stallMu.Unlock()
+	if stalled && n.stallCh == nil {
+		n.stallCh = make(chan struct{})
+	} else if !stalled && n.stallCh != nil {
+		close(n.stallCh)
+		n.stallCh = nil
+	}
+}
+
+// stallGate blocks while the node is stalled.
+func (n *Node) stallGate() {
+	n.stallMu.Lock()
+	ch := n.stallCh
+	n.stallMu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
 // Ping implements Peer (heartbeat probe).
-func (n *Node) Ping() error { return n.check() }
+func (n *Node) Ping() error {
+	n.stallGate()
+	return n.check()
+}
 
 // Role implements Peer.
 func (n *Node) Role() (Role, error) {
@@ -384,6 +440,7 @@ func (n *Node) Subscribers() []Peer {
 // ReceiveWriteSet implements Peer: eager receipt. Joining nodes buffer; all
 // others apply (publishing index entries eagerly, page mods lazily).
 func (n *Node) ReceiveWriteSet(ws *heap.WriteSet) error {
+	n.stallGate()
 	if err := n.check(); err != nil {
 		return err
 	}
@@ -451,6 +508,13 @@ func (n *Node) broadcast(ws *heap.WriteSet) error {
 // shipTo sends one write-set to one subscriber and accounts the ack. The
 // per-subscriber ship is recorded as a child span of the committing
 // transaction: its Total is the ship-to-ack round trip.
+//
+// With AckTimeout set, the wait for the acknowledgment is bounded: a slave
+// that stalls mid-ack delays this commit by at most the deadline, is
+// reported suspect, and the broadcast degrades to the remaining replicas —
+// the eager-ship contract holds for every peer that is actually keeping
+// up. The abandoned delivery either completes late (harmless: write-set
+// application is version-ordered) or dies with its connection.
 func (n *Node) shipTo(p Peer, ws *heap.WriteSet) {
 	var sp *obs.Span
 	if n.tracer != nil && ws.Trace.Valid() {
@@ -459,8 +523,37 @@ func (n *Node) shipTo(p Peer, ws *heap.WriteSet) {
 		sp.SetReplica(n.id)
 		sp.SetVersion(ws.Version.String())
 	}
-	if err := p.ReceiveWriteSet(ws); err != nil {
+	var err error
+	if n.ackTimeout > 0 {
+		done := make(chan error, 1)
+		go func() { done <- p.ReceiveWriteSet(ws) }()
+		t := time.NewTimer(n.ackTimeout)
+		select {
+		case err = <-done:
+			t.Stop()
+		case <-t.C:
+			n.met.bcastTmo.Inc()
+			sp.Finish("abort", "ack-timeout")
+			if n.onPeerSuspect != nil {
+				n.onPeerSuspect(p.ID())
+			}
+			return
+		}
+	} else {
+		err = p.ReceiveWriteSet(ws)
+	}
+	if err != nil {
 		n.met.bcastFail.Inc()
+		if errors.Is(err, ErrPeerTimeout) {
+			// The transport already bounded the call; same verdict as a
+			// local ack deadline - suspicion, not death.
+			sp.Finish("abort", "ack-timeout")
+			n.met.bcastTmo.Inc()
+			if n.onPeerSuspect != nil {
+				n.onPeerSuspect(p.ID())
+			}
+			return
+		}
 		sp.Finish("abort", "node-down")
 		if n.onPeerFailure != nil {
 			n.onPeerFailure(p.ID())

@@ -29,6 +29,13 @@ var (
 	ErrRetriesExhausted = errors.New("scheduler: retries exhausted")
 	// ErrUnknownTable reports a TxnSpec naming a table outside the schema.
 	ErrUnknownTable = errors.New("scheduler: unknown table in transaction spec")
+	// ErrCommitUncertain reports an update commit whose acknowledgment was
+	// lost to a deadline: the master may or may not have committed. Blind
+	// retry could apply the update twice, so the scheduler surfaces the
+	// ambiguity instead of retrying; the commit-fence fail-over rollback
+	// resolves it (an unacknowledged commit's version is above the rollback
+	// point and is discarded everywhere).
+	ErrCommitUncertain = errors.New("scheduler: commit outcome unknown (peer deadline)")
 )
 
 // ConflictClass names a disjoint set of tables mastered by one node. The
@@ -94,6 +101,13 @@ type Stats struct {
 type replicaState struct {
 	peer        replica.Peer
 	outstanding atomic.Int64
+
+	// quarantined marks a replica the failure detector suspects (slow or
+	// unreachable, not yet confirmed dead): read placement avoids it so
+	// one gray node cannot inflate read latencies, but it keeps receiving
+	// the replication stream and rejoins placement the moment the
+	// suspicion clears.
+	quarantined atomic.Bool
 
 	verMu   sync.Mutex
 	lastVer vclock.Vector // guarded by verMu
@@ -161,6 +175,7 @@ type Scheduler struct {
 // schedMetrics holds the registry handles beyond the public Stats set.
 type schedMetrics struct {
 	abortNodeDown    *obs.Counter
+	abortPeerTimeout *obs.Counter
 	retriesExhausted *obs.Counter
 	pickWaitUS       *obs.Histogram
 	txnUS            *obs.Histogram
@@ -198,6 +213,7 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 		},
 		met: schedMetrics{
 			abortNodeDown:    reg.Counter(obs.SchedAbortNodeDown),
+			abortPeerTimeout: reg.Counter(obs.SchedAbortPeerTimeout),
 			retriesExhausted: reg.Counter(obs.SchedRetriesExhausted),
 			pickWaitUS:       reg.Histogram(obs.SchedPickWaitUS),
 			txnUS:            reg.Histogram(obs.SchedTxnUS),
@@ -351,6 +367,37 @@ func (s *Scheduler) PromoteSpare(id string) bool {
 	return false
 }
 
+// SetQuarantined marks or clears suspicion on a replica (slave or spare).
+// A quarantined replica is skipped by read placement unless every replica
+// is quarantined — availability degrades gracefully rather than to zero on
+// a false mass-suspicion.
+func (s *Scheduler) SetQuarantined(id string, q bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, set := range [][]*replicaState{s.slaves, s.spares} {
+		for _, r := range set {
+			if r.peer.ID() == id {
+				r.quarantined.Store(q)
+			}
+		}
+	}
+}
+
+// Quarantined returns the ids currently under suspicion.
+func (s *Scheduler) Quarantined() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for _, set := range [][]*replicaState{s.slaves, s.spares} {
+		for _, r := range set {
+			if r.quarantined.Load() {
+				out = append(out, r.peer.ID())
+			}
+		}
+	}
+	return out
+}
+
 // Slaves returns the ids of the active read replicas.
 func (s *Scheduler) Slaves() []string {
 	s.mu.RLock()
@@ -436,7 +483,7 @@ func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
 		if dice < s.opts.WarmupShare {
 			s.mu.RLock()
 			defer s.mu.RUnlock()
-			if idx < len(s.spares) {
+			if idx < len(s.spares) && !s.spares[idx].quarantined.Load() {
 				sp := s.spares[idx]
 				sp.outstanding.Add(1)
 				return sp
@@ -470,11 +517,19 @@ func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
 		// different version risks aborting one side or the other, so those
 		// replicas are used only as a last resort after a bounded wait.
 		// Ties rotate so equally-loaded replicas share the work.
+		// Quarantined (suspect) replicas are passed over entirely while any
+		// healthy one exists; they reappear the moment suspicion clears.
 		start := int(s.rrSeq.Add(1))
-		var best, least *replicaState
+		var best, least, leastAny *replicaState
 		for i := range s.slaves {
 			r := s.slaves[(start+i)%len(s.slaves)]
 			out := r.outstanding.Load()
+			if leastAny == nil || out < leastAny.outstanding.Load() {
+				leastAny = r
+			}
+			if r.quarantined.Load() {
+				continue
+			}
 			if least == nil || out < least.outstanding.Load() {
 				least = r
 			}
@@ -486,6 +541,11 @@ func (s *Scheduler) pickReader(v vclock.Vector) *replicaState {
 					best = r
 				}
 			}
+		}
+		if least == nil {
+			// Every slave is under suspicion: degrade to the least-loaded
+			// suspect rather than refusing reads outright.
+			least = leastAny
 		}
 		if !s.opts.VersionAffinity {
 			least.outstanding.Add(1)
@@ -584,4 +644,52 @@ func (s *Scheduler) reportFailure(id string) {
 	if s.opts.OnPeerFailure != nil {
 		s.opts.OnPeerFailure(id)
 	}
+}
+
+// FailoverMaster executes the commit-fenced master fail-over rollback of
+// Section 4.2 for conflict class ci against the surviving peers, electing
+// the survivor with the highest produced version as the new master. This
+// is the remote-tier sibling of the in-process cluster's masterFailover:
+// cmd/dmv-scheduler and the faultnet partition tests drive fail-over
+// through it so the rollback is fenced against in-flight commit
+// acknowledgments exactly like the in-process path. Callers running peer
+// schedulers must bracket the call with BlockCommits/UnblockCommits on the
+// peers themselves.
+//
+// Survivors that fail their discard are skipped (they are reconciled by
+// reintegration when they return); a survivor that cannot be probed for
+// its versions simply cannot win the election. With no electable survivor
+// the class is left masterless and ErrNoReplicas returned.
+func (s *Scheduler) FailoverMaster(ci int, survivors []replica.Peer) (replica.Peer, error) {
+	s.BlockCommits()
+	defer s.UnblockCommits()
+
+	// Rollback point: the highest version any client has seen acknowledged.
+	lastSeen := s.Latest()
+
+	var newMaster replica.Peer
+	var bestVer vclock.Vector
+	for _, p := range survivors {
+		if err := p.DiscardAbove(lastSeen); err != nil {
+			continue // unreachable: excluded from election, rejoins via migration
+		}
+		v, err := p.MaxVersions()
+		if err != nil {
+			continue
+		}
+		if newMaster == nil || !bestVer.DominatesOrEqual(v) {
+			newMaster, bestVer = p, v
+		}
+	}
+	s.ResetVersion(lastSeen)
+	if newMaster == nil {
+		s.SetMaster(ci, nil)
+		return nil, ErrNoReplicas
+	}
+	if err := newMaster.Promote(s.ClassTables(ci)); err != nil {
+		s.SetMaster(ci, nil)
+		return nil, fmt.Errorf("failover: promote %s: %w", newMaster.ID(), err)
+	}
+	s.SetMaster(ci, newMaster)
+	return newMaster, nil
 }

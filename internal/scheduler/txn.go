@@ -90,12 +90,19 @@ func (s *Scheduler) isUpdateStmt(stmt string) bool {
 }
 
 // retryable classifies errors the scheduler handles by re-running the
-// transaction elsewhere (version-inconsistency aborts, node failures) or on
-// the same master (deadlock timeouts).
+// transaction elsewhere (version-inconsistency aborts, node failures,
+// peer deadlines before any commit was attempted) or on the same master
+// (deadlock timeouts). An uncertain commit is explicitly NOT retryable:
+// the update may already be applied, and replaying it could double its
+// effect.
 func retryable(err error) bool {
+	if errors.Is(err, ErrCommitUncertain) {
+		return false
+	}
 	return errors.Is(err, page.ErrVersionConflict) ||
 		errors.Is(err, replica.ErrNodeDown) ||
-		errors.Is(err, heap.ErrLockTimeout)
+		errors.Is(err, heap.ErrLockTimeout) ||
+		errors.Is(err, replica.ErrPeerTimeout)
 }
 
 // causeOf names an abort cause for trace spans ("" for success).
@@ -103,10 +110,14 @@ func causeOf(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrCommitUncertain):
+		return "commit-uncertain"
 	case errors.Is(err, page.ErrVersionConflict):
 		return "version-conflict"
 	case errors.Is(err, heap.ErrLockTimeout):
 		return "lock-timeout"
+	case errors.Is(err, replica.ErrPeerTimeout):
+		return "peer-timeout"
 	case errors.Is(err, replica.ErrNodeDown):
 		return "node-down"
 	default:
@@ -137,7 +148,9 @@ func (s *Scheduler) Run(spec TxnSpec, fn func(tx *Txn) error) error {
 		if errors.Is(err, heap.ErrLockTimeout) {
 			s.stats.LockRetries.Add(1)
 		}
-		if errors.Is(err, replica.ErrNodeDown) {
+		if errors.Is(err, replica.ErrPeerTimeout) {
+			s.met.abortPeerTimeout.Add(1)
+		} else if errors.Is(err, replica.ErrNodeDown) {
 			s.met.abortNodeDown.Add(1)
 		}
 	}
@@ -221,6 +234,13 @@ func (s *Scheduler) begin(spec TxnSpec, sp *obs.Span) (*Txn, error) {
 	sp.SetReplica(master.ID())
 	id, err := master.TxBegin(false, nil, sp.Context())
 	if err != nil {
+		if errors.Is(err, replica.ErrPeerTimeout) {
+			// No commit was attempted, so the retry is safe; the report
+			// feeds the failure detector, which decides whether the master
+			// is gray-failed or merely slow.
+			s.reportFailure(master.ID())
+			return nil, err
+		}
 		if errors.Is(err, replica.ErrNodeDown) || errors.Is(err, replica.ErrNotMaster) {
 			s.reportFailure(master.ID())
 			return nil, fmt.Errorf("%w: master %s unavailable", replica.ErrNodeDown, master.ID())
@@ -257,6 +277,15 @@ func (t *Txn) Commit() error {
 	ver, err := t.peer.TxCommit(t.id)
 	if err != nil {
 		s.commitFence.RUnlock()
+		if errors.Is(err, replica.ErrPeerTimeout) {
+			// The reply was lost to the deadline: the commit may have
+			// happened. Never acknowledged, never reported — so if it did
+			// land, its version sits above every rollback point and the
+			// fail-over discard erases it; if the master survives, the
+			// caller must reconcile. Either way, a blind retry is unsafe.
+			s.reportFailure(t.peer.ID())
+			return fmt.Errorf("%w: %v", ErrCommitUncertain, err)
+		}
 		if errors.Is(err, replica.ErrNodeDown) {
 			s.reportFailure(t.peer.ID())
 		}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dmv/internal/obs"
+	"dmv/internal/replica"
+)
+
+// stalledListener accepts connections and then sits on them forever: the
+// TCP handshake completes (the peer looks alive to a dialer) but no RPC is
+// ever answered — the canonical gray failure a raw net/rpc client hangs
+// on.
+func stalledListener(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			<-done // hold the connection open, answer nothing
+		}
+	}()
+	t.Cleanup(func() {
+		close(done)
+		lis.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	return lis
+}
+
+// TestStalledPeerDeadline is the acceptance check that no transport RPC
+// can outlive its configured deadline: both the heartbeat path and the
+// transaction path against a peer that accepts but never answers must fail
+// with ErrPeerTimeout in under twice the deadline.
+func TestStalledPeerDeadline(t *testing.T) {
+	lis := stalledListener(t)
+
+	const deadline = 200 * time.Millisecond
+	reg := obs.New()
+	rn, err := DialNodeOpts("stalled", lis.Addr().String(), ClientOptions{
+		CallTimeout:   deadline,
+		PingTimeout:   deadline,
+		RetryAttempts: -1, // isolate the single-attempt bound
+		Obs:           reg,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	start := time.Now()
+	err = rn.Ping()
+	elapsed := time.Since(start)
+	if !errors.Is(err, replica.ErrPeerTimeout) {
+		t.Fatalf("Ping against stalled peer: err=%v, want ErrPeerTimeout", err)
+	}
+	if elapsed >= 2*deadline {
+		t.Fatalf("Ping took %v, want < 2x the %v deadline", elapsed, deadline)
+	}
+
+	// Non-idempotent path (single attempt, CallTimeout).
+	start = time.Now()
+	_, err = rn.TxBegin(true, nil, obs.TraceContext{})
+	elapsed = time.Since(start)
+	if !errors.Is(err, replica.ErrPeerTimeout) {
+		t.Fatalf("TxBegin against stalled peer: err=%v, want ErrPeerTimeout", err)
+	}
+	if elapsed >= 2*deadline {
+		t.Fatalf("TxBegin took %v, want < 2x the %v deadline", elapsed, deadline)
+	}
+
+	if got := reg.Snapshot().Counters[obs.TransportRPCTimeouts]; got < 2 {
+		t.Fatalf("timeout counter = %d, want >= 2", got)
+	}
+}
+
+// dropFirstListener kills the first accepted connection before net/rpc can
+// serve it, then behaves normally — the transient conn reset of the
+// regression: a client that never re-dials is permanently dead after this.
+type dropFirstListener struct {
+	net.Listener
+	mu      sync.Mutex
+	dropped bool // guarded by mu
+}
+
+func (l *dropFirstListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	first := !l.dropped
+	l.dropped = true
+	l.mu.Unlock()
+	if first {
+		_ = c.Close()
+	}
+	return c, nil
+}
+
+// TestReconnectAfterConnDrop: one transient connection reset must not
+// permanently kill an otherwise healthy peer — the idempotent retry path
+// re-dials with backoff and the call succeeds on the fresh connection.
+func TestReconnectAfterConnDrop(t *testing.T) {
+	node := newTPCNode(t, "n1")
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeNodeListener(node, &dropFirstListener{Listener: raw}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := obs.New()
+	rn, err := DialNodeOpts("n1", srv.Addr(), ClientOptions{
+		CallTimeout: time.Second,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	// The first connection is already doomed; the first call fails in
+	// flight and the retry loop must recover on a re-dialed client.
+	if _, err := rn.MaxVersions(); err != nil {
+		t.Fatalf("MaxVersions after dropped first conn: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.TransportRedials] < 1 {
+		t.Fatalf("redial counter = %d, want >= 1", snap.Counters[obs.TransportRedials])
+	}
+	if snap.Counters[obs.TransportRPCRetries] < 1 {
+		t.Fatalf("retry counter = %d, want >= 1", snap.Counters[obs.TransportRPCRetries])
+	}
+
+	// The recovered client keeps working for non-idempotent traffic too.
+	if err := rn.Ping(); err != nil {
+		t.Fatalf("Ping on recovered client: %v", err)
+	}
+}

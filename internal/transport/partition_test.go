@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmv/internal/exec"
+	"dmv/internal/faultnet"
+	"dmv/internal/heap"
+	"dmv/internal/obs"
+	"dmv/internal/replica"
+	"dmv/internal/scheduler"
+	"dmv/internal/value"
+)
+
+// newAcctNode builds a node with one account row at balance zero — the
+// committed-increment counter the partition test audits for loss.
+func newAcctNode(t *testing.T, id string, ackTimeout time.Duration) *replica.Node {
+	t.Helper()
+	e := heap.NewEngine(heap.Options{PageCap: 8})
+	if err := exec.ExecDDL(e, `CREATE TABLE acct (id INT PRIMARY KEY, bal INT)`); err != nil {
+		t.Fatalf("ddl: %v", err)
+	}
+	tid, _ := e.TableID("acct")
+	if err := e.Load(tid, []value.Row{{value.NewInt(1), value.NewInt(0)}}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return replica.NewNode(replica.Options{ID: id, Engine: e, AckTimeout: ackTimeout})
+}
+
+// runPartitionScenario is one full seeded run of the acceptance scenario:
+// a master and two slaves on real TCP links policed by faultnet, a
+// scheduler committing increments through the master, a symmetric
+// partition isolating the master mid-workload (the node keeps running —
+// this is a partition, not a crash), a probe loop walking the master
+// through suspect to dead, and the commit-fenced FailoverMaster rollback.
+// It returns the (kind:node) event timeline, the number of commits
+// acknowledged to the client, and the balance the new master serves.
+func runPartitionScenario(t *testing.T, seed int64) (timeline []string, acked int64, final int64) {
+	t.Helper()
+	nw := faultnet.New(seed)
+
+	mk := func(id string) (*replica.Node, string) {
+		n := newAcctNode(t, id, 100*time.Millisecond)
+		lis, err := nw.Listen(id, "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen %s: %v", id, err)
+		}
+		srv, err := ServeNodeListener(n, lis, nil)
+		if err != nil {
+			t.Fatalf("serve %s: %v", id, err)
+		}
+		t.Cleanup(srv.Close)
+		return n, srv.Addr()
+	}
+	mNode, mAddr := mk("m")
+	_, s1Addr := mk("s1")
+	_, s2Addr := mk("s2")
+
+	if err := mNode.Promote([]int{0}); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+
+	// The master's eager write-set broadcast crosses the fault net too:
+	// the partition lands mid-broadcast, not just on the client plane.
+	subOpts := ClientOptions{
+		Dial:        nw.Dialer("m"),
+		DialTimeout: 200 * time.Millisecond,
+		CallTimeout: 300 * time.Millisecond,
+		Seed:        seed,
+	}
+	ms1, err := DialNodeOpts("s1", s1Addr, subOpts)
+	if err != nil {
+		t.Fatalf("master dial s1: %v", err)
+	}
+	ms2, err := DialNodeOpts("s2", s2Addr, subOpts)
+	if err != nil {
+		t.Fatalf("master dial s2: %v", err)
+	}
+	mNode.SetSubscribers([]replica.Peer{ms1, ms2})
+
+	// Scheduler plane: every peer call carries a deadline.
+	cOpts := ClientOptions{
+		Dial:        nw.Dialer("sched"),
+		DialTimeout: 200 * time.Millisecond,
+		CallTimeout: 300 * time.Millisecond,
+		PingTimeout: 80 * time.Millisecond,
+		Seed:        seed,
+	}
+	rm, err := DialNodeOpts("m", mAddr, cOpts)
+	if err != nil {
+		t.Fatalf("dial m: %v", err)
+	}
+	rs1, err := DialNodeOpts("s1", s1Addr, cOpts)
+	if err != nil {
+		t.Fatalf("dial s1: %v", err)
+	}
+	rs2, err := DialNodeOpts("s2", s2Addr, cOpts)
+	if err != nil {
+		t.Fatalf("dial s2: %v", err)
+	}
+	// Single-attempt probe client so each miss costs exactly one deadline.
+	probe, err := DialNodeOpts("m", mAddr, ClientOptions{
+		Dial:          nw.Dialer("sched"),
+		DialTimeout:   80 * time.Millisecond,
+		PingTimeout:   80 * time.Millisecond,
+		RetryAttempts: -1,
+	})
+	if err != nil {
+		t.Fatalf("dial probe: %v", err)
+	}
+
+	ref := mNode.Engine()
+	sched, err := scheduler.New(scheduler.Options{Seed: seed, MaxRetries: 2}, ref.NumTables(), ref.TableID)
+	if err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+	sched.SetMaster(0, rm)
+	sched.AddSlave(rs1)
+	sched.AddSlave(rs2)
+
+	record := func(kind, node string) { timeline = append(timeline, kind+":"+node) }
+
+	increment := func() error {
+		return sched.Run(scheduler.TxnSpec{Tables: []string{"acct"}}, func(tx *scheduler.Txn) error {
+			_, err := tx.Exec(`UPDATE acct SET bal = bal + 1 WHERE id = 1`)
+			return err
+		})
+	}
+
+	var ackedN atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := increment(); err == nil {
+				ackedN.Add(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Let a batch of commits be acknowledged, then cut every link to the
+	// master in both directions. The master process keeps running.
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for ackedN.Load() < 10 {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("workload never reached 10 acked commits")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	nw.Isolate("m")
+
+	// Probe loop: consecutive deadline misses walk the master down the
+	// suspicion ladder, then the commit-fenced fail-over elects a slave.
+	var newMaster replica.Peer
+	misses := 0
+	failDeadline := time.Now().Add(10 * time.Second)
+	for newMaster == nil {
+		if time.Now().After(failDeadline) {
+			t.Fatal("fail-over never triggered")
+		}
+		time.Sleep(25 * time.Millisecond)
+		if err := probe.Ping(); err == nil {
+			misses = 0
+			continue
+		} else if !errors.Is(err, replica.ErrPeerTimeout) && !errors.Is(err, replica.ErrNodeDown) {
+			t.Fatalf("probe: unexpected error %v", err)
+		}
+		misses++
+		if misses == 2 {
+			record("suspect", "m")
+		}
+		if misses >= 4 {
+			record("failed", "m")
+			nm, err := sched.FailoverMaster(0, []replica.Peer{rs1, rs2})
+			if err != nil {
+				t.Fatalf("FailoverMaster: %v", err)
+			}
+			newMaster = nm
+			record("elected", nm.ID())
+			sched.Remove(nm.ID()) // masters do not serve scheduled reads
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// The workload must keep committing against the elected master.
+	for i := 0; i < 5; i++ {
+		if err := increment(); err != nil {
+			t.Fatalf("post-fail-over commit %d: %v", i, err)
+		}
+		ackedN.Add(1)
+	}
+	acked = ackedN.Load()
+
+	// Audit the surviving state on the new master.
+	txID, err := newMaster.TxBegin(true, nil, obs.TraceContext{})
+	if err != nil {
+		t.Fatalf("audit begin: %v", err)
+	}
+	res, err := newMaster.TxExec(txID, `SELECT bal FROM acct WHERE id = 1`, nil)
+	if err != nil {
+		t.Fatalf("audit read: %v", err)
+	}
+	if _, err := newMaster.TxCommit(txID); err != nil {
+		t.Fatalf("audit commit: %v", err)
+	}
+	final = res.Rows[0][0].AsInt()
+	return timeline, acked, final
+}
+
+// TestPartitionedMasterFailover is the headline acceptance test: a seeded
+// faultnet partition (not a kill) of the active master completes
+// fail-over with zero acknowledged-commit loss, and the same seed
+// reproduces the identical event timeline twice.
+func TestPartitionedMasterFailover(t *testing.T) {
+	const seed = 42
+	tl1, acked1, final1 := runPartitionScenario(t, seed)
+	if final1 != acked1 {
+		t.Fatalf("acked-commit loss: %d acknowledged, %d applied on the new master (%s)",
+			acked1, final1, diffSign(acked1, final1))
+	}
+	want := []string{"suspect:m", "failed:m", "elected:s1"}
+	if !reflect.DeepEqual(tl1, want) {
+		t.Fatalf("timeline = %v, want %v", tl1, want)
+	}
+
+	tl2, acked2, final2 := runPartitionScenario(t, seed)
+	if final2 != acked2 {
+		t.Fatalf("acked-commit loss on rerun: %d acknowledged, %d applied", acked2, final2)
+	}
+	if !reflect.DeepEqual(tl1, tl2) {
+		t.Fatalf("same seed, different timelines:\n run 1: %v\n run 2: %v", tl1, tl2)
+	}
+}
+
+func diffSign(acked, applied int64) string {
+	if applied < acked {
+		return "lost commits"
+	}
+	return fmt.Sprintf("%d phantom commits", applied-acked)
+}

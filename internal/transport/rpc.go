@@ -16,10 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"strings"
 	"sync"
+	"time"
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
@@ -38,6 +40,7 @@ const (
 	errNotMaster
 	errVersionConflict
 	errLockTimeout
+	errPeerTimeout
 	errOther
 )
 
@@ -45,6 +48,11 @@ func encodeErr(err error) (int, string) {
 	switch {
 	case err == nil:
 		return errNone, ""
+	case errors.Is(err, replica.ErrPeerTimeout):
+		// Checked before ErrNodeDown: a deadline miss is a distinct signal
+		// (the peer may be alive but slow) and drives the suspicion ladder
+		// rather than immediate fail-over.
+		return errPeerTimeout, err.Error()
 	case errors.Is(err, replica.ErrNodeDown):
 		return errNodeDown, err.Error()
 	case errors.Is(err, replica.ErrNotMaster):
@@ -70,6 +78,8 @@ func decodeErr(code int, msg string) error {
 		return fmt.Errorf("%w: %s", page.ErrVersionConflict, msg)
 	case errLockTimeout:
 		return fmt.Errorf("%w: %s", heap.ErrLockTimeout, msg)
+	case errPeerTimeout:
+		return fmt.Errorf("%w: %s", replica.ErrPeerTimeout, msg)
 	default:
 		return errors.New(msg)
 	}
@@ -361,12 +371,21 @@ func ServeNode(n *replica.Node, addr string) (*Server, error) {
 // measured at the receiver's socket). A nil registry serves unwrapped
 // connections with no overhead.
 func ServeNodeObs(n *replica.Node, addr string, reg *obs.Registry) (*Server, error) {
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Node", &NodeService{node: n}); err != nil {
-		return nil, err
-	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
+		return nil, err
+	}
+	return ServeNodeListener(n, lis, reg)
+}
+
+// ServeNodeListener serves a node's Peer interface on a caller-supplied
+// listener. This is the fault-injection hook: tests hand in a
+// faultnet-wrapped listener so real TCP links to this node can be
+// partitioned, delayed, or reset under script control.
+func ServeNodeListener(n *replica.Node, lis net.Listener, reg *obs.Registry) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Node", &NodeService{node: n}); err != nil {
+		_ = lis.Close()
 		return nil, err
 	}
 	var connsC, bytesIn, bytesOut *obs.Counter
@@ -436,14 +455,105 @@ func (s *Server) Close() {
 	<-s.done
 }
 
+// Transport-wide deadline and retry defaults. Every RemoteNode call is
+// bounded by default; a stalled or partitioned peer costs at most the
+// configured deadline (times the retry budget for idempotent calls), never
+// an indefinite hang.
+const (
+	DefaultCallTimeout = 5 * time.Second
+	DefaultPingTimeout = 1 * time.Second
+	DefaultDialTimeout = 2 * time.Second
+	defaultRetries     = 2
+	defaultRetryBase   = 5 * time.Millisecond
+	defaultRetryCap    = 250 * time.Millisecond
+)
+
+// ClientOptions tunes a RemoteNode's dialing, deadlines, and retry policy.
+// The zero value gets sane defaults; pass a negative CallTimeout to run
+// unbounded (tests that want the raw net/rpc behavior).
+type ClientOptions struct {
+	// Dial replaces net.Dial for this peer — the fault-injection hook
+	// (e.g. faultnet.Network.Dialer). Nil dials real TCP with DialTimeout.
+	Dial func(network, addr string) (net.Conn, error)
+
+	DialTimeout time.Duration // TCP connect bound (default 2s)
+	CallTimeout time.Duration // per-RPC deadline (default 5s; <0 disables)
+	PingTimeout time.Duration // heartbeat deadline (default 1s; <0 disables)
+
+	// RetryAttempts is the number of extra attempts for idempotent calls
+	// after the first fails on a transport error (default 2; <0 disables).
+	RetryAttempts int
+	RetryBase     time.Duration // backoff floor (default 5ms)
+	RetryCap      time.Duration // backoff ceiling (default 250ms)
+
+	// Seed drives the backoff jitter; 0 means a fixed default so tests are
+	// reproducible without configuration.
+	Seed int64
+
+	// Obs receives transport client metrics (timeouts, retries, redials,
+	// per-call latency). Nil disables with no overhead.
+	Obs *obs.Registry
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	switch {
+	case o.CallTimeout == 0:
+		o.CallTimeout = DefaultCallTimeout
+	case o.CallTimeout < 0:
+		o.CallTimeout = 0
+	}
+	switch {
+	case o.PingTimeout == 0:
+		o.PingTimeout = DefaultPingTimeout
+	case o.PingTimeout < 0:
+		o.PingTimeout = 0
+	}
+	switch {
+	case o.RetryAttempts == 0:
+		o.RetryAttempts = defaultRetries
+	case o.RetryAttempts < 0:
+		o.RetryAttempts = 0
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = defaultRetryBase
+	}
+	if o.RetryCap == 0 {
+		o.RetryCap = defaultRetryCap
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// clientMetrics are the nil-safe transport client instruments.
+type clientMetrics struct {
+	timeouts *obs.Counter
+	retries  *obs.Counter
+	redials  *obs.Counter
+	rpcUS    *obs.Histogram
+}
+
 // RemoteNode is a replica.Peer backed by an RPC client; it reconnects
-// lazily after connection loss so a rebooted node is reachable again.
+// lazily (with the dial bounded) after connection loss so a rebooted node
+// is reachable again, and bounds every call with a deadline so a stalled
+// peer surfaces as ErrPeerTimeout instead of hanging the caller.
 type RemoteNode struct {
 	id   string
 	addr string
+	opts ClientOptions
+	met  clientMetrics
 
 	mu     sync.Mutex
 	client *rpc.Client // guarded by mu
+	dialed bool        // guarded by mu; a later dial is a re-dial
+
+	// rng drives the decorrelated-jitter retry backoff.
+	rngMu sync.Mutex
+	rng   *rand.Rand // guarded by rngMu
 
 	// traces remembers each open session's trace context so TxExec can
 	// repeat it on every statement (see ExecArgs.Trace); entries are cleared
@@ -454,9 +564,30 @@ type RemoteNode struct {
 
 var _ replica.Peer = (*RemoteNode)(nil)
 
-// DialNode connects to a node served by ServeNode.
+// DialNode connects to a node served by ServeNode with default options.
 func DialNode(id, addr string) (*RemoteNode, error) {
-	n := &RemoteNode{id: id, addr: addr, traces: make(map[uint64]obs.TraceContext, 8)}
+	return DialNodeOpts(id, addr, ClientOptions{})
+}
+
+// DialNodeOpts connects to a node with explicit dialing/deadline/retry
+// options.
+func DialNodeOpts(id, addr string, o ClientOptions) (*RemoteNode, error) {
+	o = o.withDefaults()
+	n := &RemoteNode{
+		id:     id,
+		addr:   addr,
+		opts:   o,
+		rng:    rand.New(rand.NewSource(o.Seed)),
+		traces: make(map[uint64]obs.TraceContext, 8),
+	}
+	if o.Obs != nil {
+		n.met = clientMetrics{
+			timeouts: o.Obs.Counter(obs.TransportRPCTimeouts),
+			retries:  o.Obs.Counter(obs.TransportRPCRetries),
+			redials:  o.Obs.Counter(obs.TransportRedials),
+			rpcUS:    o.Obs.Histogram(obs.TransportRPCUS),
+		}
+	}
 	if _, err := n.conn(); err != nil {
 		return nil, err
 	}
@@ -469,12 +600,25 @@ func (n *RemoteNode) conn() (*rpc.Client, error) {
 	if n.client != nil {
 		return n.client, nil
 	}
-	c, err := rpc.Dial("tcp", n.addr)
+	dial := n.opts.Dial
+	if dial == nil {
+		dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, n.opts.DialTimeout)
+		}
+	}
+	raw, err := dial("tcp", n.addr)
 	if err != nil {
+		if isTimeout(err) {
+			return nil, fmt.Errorf("%w: dial %s: %v", replica.ErrPeerTimeout, n.addr, err)
+		}
 		return nil, fmt.Errorf("%w: dial %s: %v", replica.ErrNodeDown, n.addr, err)
 	}
-	n.client = c
-	return c, nil
+	if n.dialed {
+		n.met.redials.Inc()
+	}
+	n.dialed = true
+	n.client = rpc.NewClient(raw)
+	return n.client, nil
 }
 
 func (n *RemoteNode) drop() {
@@ -486,22 +630,99 @@ func (n *RemoteNode) drop() {
 	n.mu.Unlock()
 }
 
-// call performs one RPC, mapping transport failures to ErrNodeDown (the
-// fail-stop model: a broken connection is a missed heartbeat).
+// call performs one deadline-bounded RPC attempt (the default path for
+// non-idempotent calls, which must not be replayed blind: a lost TxCommit
+// reply leaves the outcome genuinely unknown).
 func (n *RemoteNode) call(method string, args, reply any) error {
+	return n.callOnce(method, args, reply, n.opts.CallTimeout)
+}
+
+// callOnce performs one RPC with deadline d (0 = unbounded), mapping
+// transport failures to ErrNodeDown and deadline misses to ErrPeerTimeout.
+// On a timeout the client is dropped: net/rpc cannot cancel an in-flight
+// call, so abandoning the connection is the only way to keep a late reply
+// from being confused with a fresh request, and it arms the lazy re-dial.
+func (n *RemoteNode) callOnce(method string, args, reply any, d time.Duration) error {
 	c, err := n.conn()
 	if err != nil {
 		return err
 	}
-	if err := c.Call(method, args, reply); err != nil {
-		n.drop()
-		if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) ||
-			errors.Is(err, io.ErrUnexpectedEOF) || isNetError(err) {
-			return fmt.Errorf("%w: %s: %v", replica.ErrNodeDown, n.id, err)
+	start := time.Now()
+	var callErr error
+	if d <= 0 {
+		callErr = c.Call(method, args, reply)
+	} else {
+		// rpc.Client.Go writes the request in the calling goroutine, so a
+		// link that blackholes writes (a partition, not a refused dial)
+		// would stall here before the deadline select was ever reached.
+		// Issue the send from a goroutine; on timeout, drop() closes the
+		// connection, which unblocks a writer stalled on a dead link.
+		done := make(chan *rpc.Call, 1)
+		go c.Go(method, args, reply, done)
+		t := time.NewTimer(d)
+		select {
+		case call := <-done:
+			t.Stop()
+			callErr = call.Error
+		case <-t.C:
+			n.drop()
+			n.met.timeouts.Inc()
+			n.met.rpcUS.ObserveSince(start)
+			return fmt.Errorf("%w: %s %s after %v", replica.ErrPeerTimeout, n.id, method, d)
 		}
-		return err
+	}
+	n.met.rpcUS.ObserveSince(start)
+	if callErr != nil {
+		n.drop()
+		if errors.Is(callErr, rpc.ErrShutdown) || errors.Is(callErr, io.EOF) ||
+			errors.Is(callErr, io.ErrUnexpectedEOF) || isNetError(callErr) {
+			return fmt.Errorf("%w: %s: %v", replica.ErrNodeDown, n.id, callErr)
+		}
+		return callErr
 	}
 	return nil
+}
+
+// callIdem is callOnce plus a bounded retry loop with decorrelated-jitter
+// backoff, for calls that are safe to replay (pure reads, heartbeats, and
+// naturally idempotent writes like DiscardAbove or InstallDelta). Only
+// transport-level failures are retried — an error decoded from the reply
+// means the peer executed the request and retrying would not change it.
+func (n *RemoteNode) callIdem(method string, args, reply any, d time.Duration) error {
+	sleep := n.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		err := n.callOnce(method, args, reply, d)
+		if err == nil || attempt >= n.opts.RetryAttempts || !transportFailure(err) {
+			return err
+		}
+		n.met.retries.Inc()
+		// Decorrelated jitter: sleep in [base, 3*prev], capped. Spreads
+		// reconnect storms without synchronizing retries across peers.
+		n.rngMu.Lock()
+		f := n.rng.Float64()
+		n.rngMu.Unlock()
+		span := 3*sleep - n.opts.RetryBase
+		if span < 0 {
+			span = 0
+		}
+		sleep = n.opts.RetryBase + time.Duration(f*float64(span))
+		if sleep > n.opts.RetryCap {
+			sleep = n.opts.RetryCap
+		}
+		time.Sleep(sleep)
+	}
+}
+
+// transportFailure reports whether err came from the transport layer (the
+// request may never have reached the peer) rather than from the peer's
+// reply.
+func transportFailure(err error) bool {
+	return errors.Is(err, replica.ErrPeerTimeout) || errors.Is(err, replica.ErrNodeDown)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func isNetError(err error) bool {
@@ -518,10 +739,12 @@ func (n *RemoteNode) ID() string { return n.id }
 // Addr returns the remote address.
 func (n *RemoteNode) Addr() string { return n.addr }
 
-// Ping implements replica.Peer.
+// Ping implements replica.Peer. Heartbeats run on the tighter PingTimeout
+// so the failure detector's probe cost is bounded well below the data-path
+// deadline.
 func (n *RemoteNode) Ping() error {
 	var st Status
-	if err := n.call("Node.Ping", struct{}{}, &st); err != nil {
+	if err := n.callIdem("Node.Ping", struct{}{}, &st, n.opts.PingTimeout); err != nil {
 		return err
 	}
 	return st.Err()
@@ -607,7 +830,7 @@ func (n *RemoteNode) AbortActiveSessions() (int, error) {
 // Role implements replica.Peer.
 func (n *RemoteNode) Role() (replica.Role, error) {
 	var reply RoleReply
-	if err := n.call("Node.Role", struct{}{}, &reply); err != nil {
+	if err := n.callIdem("Node.Role", struct{}{}, &reply, n.opts.CallTimeout); err != nil {
 		return 0, err
 	}
 	return reply.Role, reply.Err()
@@ -631,10 +854,12 @@ func (n *RemoteNode) Demote(to replica.Role) error {
 	return st.Err()
 }
 
-// DiscardAbove implements replica.Peer.
+// DiscardAbove implements replica.Peer. Discarding above the same vector
+// twice is a no-op, so the fail-over path may retry through transient
+// faults instead of abandoning a reachable peer.
 func (n *RemoteNode) DiscardAbove(v vclock.Vector) error {
 	var st Status
-	if err := n.call("Node.DiscardAbove", v, &st); err != nil {
+	if err := n.callIdem("Node.DiscardAbove", v, &st, n.opts.CallTimeout); err != nil {
 		return err
 	}
 	return st.Err()
@@ -643,7 +868,7 @@ func (n *RemoteNode) DiscardAbove(v vclock.Vector) error {
 // MaxVersions implements replica.Peer.
 func (n *RemoteNode) MaxVersions() (vclock.Vector, error) {
 	var reply VersionReply
-	if err := n.call("Node.MaxVersions", struct{}{}, &reply); err != nil {
+	if err := n.callIdem("Node.MaxVersions", struct{}{}, &reply, n.opts.CallTimeout); err != nil {
 		return nil, err
 	}
 	return reply.Version, reply.Err()
@@ -661,25 +886,27 @@ func (n *RemoteNode) StartJoin() error {
 // PageVersions implements replica.Peer.
 func (n *RemoteNode) PageVersions() (heap.PageVersionMap, error) {
 	var reply PageVersionsReply
-	if err := n.call("Node.PageVersions", struct{}{}, &reply); err != nil {
+	if err := n.callIdem("Node.PageVersions", struct{}{}, &reply, n.opts.CallTimeout); err != nil {
 		return nil, err
 	}
 	return reply.Versions, reply.Err()
 }
 
-// DeltaSince implements replica.Peer.
+// DeltaSince implements replica.Peer. Pure read on the support slave, so
+// page migration survives transient faults via retry.
 func (n *RemoteNode) DeltaSince(have heap.PageVersionMap, target vclock.Vector) ([]page.Image, error) {
 	var reply DeltaReply
-	if err := n.call("Node.DeltaSince", DeltaArgs{Have: have, Target: target}, &reply); err != nil {
+	if err := n.callIdem("Node.DeltaSince", DeltaArgs{Have: have, Target: target}, &reply, n.opts.CallTimeout); err != nil {
 		return nil, err
 	}
 	return reply.Images, reply.Err()
 }
 
-// InstallDelta implements replica.Peer.
+// InstallDelta implements replica.Peer. Installing the same page images
+// twice overwrites them with identical content, so replay is safe.
 func (n *RemoteNode) InstallDelta(images []page.Image) error {
 	var st Status
-	if err := n.call("Node.InstallDelta", images, &st); err != nil {
+	if err := n.callIdem("Node.InstallDelta", images, &st, n.opts.CallTimeout); err != nil {
 		return err
 	}
 	return st.Err()
@@ -694,10 +921,10 @@ func (n *RemoteNode) FinishJoin() error {
 	return st.Err()
 }
 
-// WarmPages implements replica.Peer.
+// WarmPages implements replica.Peer. Touching a page twice is idempotent.
 func (n *RemoteNode) WarmPages(keys []simdisk.PageKey) error {
 	var st Status
-	if err := n.call("Node.WarmPages", keys, &st); err != nil {
+	if err := n.callIdem("Node.WarmPages", keys, &st, n.opts.CallTimeout); err != nil {
 		return err
 	}
 	return st.Err()
@@ -706,7 +933,7 @@ func (n *RemoteNode) WarmPages(keys []simdisk.PageKey) error {
 // ResidentPages implements replica.Peer.
 func (n *RemoteNode) ResidentPages(limit int) ([]simdisk.PageKey, error) {
 	var reply PagesReply
-	if err := n.call("Node.ResidentPages", limit, &reply); err != nil {
+	if err := n.callIdem("Node.ResidentPages", limit, &reply, n.opts.CallTimeout); err != nil {
 		return nil, err
 	}
 	return reply.Keys, reply.Err()
@@ -716,7 +943,7 @@ func (n *RemoteNode) ResidentPages(limit int) ([]simdisk.PageKey, error) {
 // of replica.Peer; the scheduler's aggregation loop type-asserts for it).
 func (n *RemoteNode) ObsSnapshot() (obs.NodeSnapshot, error) {
 	var reply ObsSnapshotReply
-	if err := n.call("Node.ObsSnapshot", struct{}{}, &reply); err != nil {
+	if err := n.callIdem("Node.ObsSnapshot", struct{}{}, &reply, n.opts.CallTimeout); err != nil {
 		return obs.NodeSnapshot{}, err
 	}
 	return reply.NS, reply.Err()

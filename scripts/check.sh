@@ -29,6 +29,17 @@ go test -race -count=1 ./internal/obs/
 go test -race -count=1 -run 'TestTracePropagation' ./internal/transport/
 go test -race -count=1 -run 'TestObsMetricsEnabled|TestStitchedTraceAcrossCluster|TestClusterLagGauges|TestLagConvergesAfterFailover' ./internal/cluster/
 
+echo "==> faultnet chaos leg (seeded partitions, RPC deadlines, gray-failure detection)"
+# Every scenario below runs on a fixed seed, so a failure here reproduces
+# byte-for-byte: rerun the named test with the same seed from the source.
+go test -race -count=1 ./internal/faultnet/
+go test -tags dmvdebug -race -count=1 \
+	-run 'TestPartitionedMasterFailover|TestStalledPeerDeadline|TestReconnectAfterConnDrop' \
+	./internal/transport/
+go test -tags dmvdebug -race -count=1 \
+	-run 'TestSuspectQuarantineAndClear|TestGrayMasterFailover|TestFailStopStillFast' \
+	./internal/cluster/
+
 echo "==> go test -race"
 go test -race -count=1 ./...
 
