@@ -27,10 +27,12 @@ import (
 
 	"dmv/internal/harness"
 	"dmv/internal/obs"
+	"dmv/internal/persist"
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
 	"dmv/internal/tpcw"
 	"dmv/internal/transport"
+	"dmv/internal/wal"
 )
 
 type nodeList []string
@@ -71,6 +73,9 @@ func run() error {
 		suspectAt  = flag.Int("suspect-misses", 2, "consecutive probe misses before a node is quarantined as suspect")
 		deadAt     = flag.Int("dead-misses", 4, "consecutive probe misses before a suspect is declared dead")
 		seed       = flag.Int64("seed", 1, "seed for retry jitter and scheduler randomness")
+		walDir     = flag.String("wal-dir", "", "append committed update queries to a crash-durable WAL in this directory (empty = off)")
+		walFlush   = flag.String("wal-flush", "always", "WAL fsync policy: always (group commit), interval, never")
+		walEvery   = flag.Duration("wal-flush-interval", 5*time.Millisecond, "background fsync period for -wal-flush=interval")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
@@ -140,11 +145,43 @@ func run() error {
 		}
 		return 0, false
 	}
+	// Durable commit log: every committed update transaction is appended to
+	// the WAL (group-committed under -wal-flush=always) before the client
+	// sees the ack, so a scheduler crash loses no acknowledged commits —
+	// the recovered log seeds a fresh tier or replays onto rebuilt nodes.
+	var onCommit func(scheduler.CommitRecord)
+	if *walDir != "" {
+		policy, perr := wal.ParsePolicy(*walFlush)
+		if perr != nil {
+			return perr
+		}
+		rlog, lerr := persist.OpenLog(persist.DurableConfig{
+			Dir:           *walDir,
+			Policy:        policy,
+			FlushInterval: *walEvery,
+			Obs:           reg,
+		})
+		if lerr != nil {
+			return fmt.Errorf("wal: %w", lerr)
+		}
+		log.Printf("wal: %s recovered %d records (base %d, %d torn bytes truncated), policy %s",
+			*walDir, len(rlog.Records), rlog.Base, rlog.TruncatedBytes, policy)
+		tier := persist.NewTier(persist.Options{
+			Log: rlog,
+			Obs: reg,
+			OnError: func(err error) {
+				log.Printf("wal: durability error: %v", err)
+			},
+		})
+		defer tier.Close()
+		onCommit = tier.OnCommit
+	}
 	sched, err := scheduler.New(scheduler.Options{
 		VersionAffinity: true,
 		MaxRetries:      30,
 		Seed:            *seed,
 		Obs:             reg,
+		OnCommit:        onCommit,
 	}, len(names), tableID)
 	if err != nil {
 		return err

@@ -94,7 +94,7 @@ func render(cs obs.ClusterSnapshot) string {
 	}
 
 	b.WriteString("\ncounters:\n")
-	for _, name := range pick(cs.Merged.Counters, obs.SchedPrefix, obs.NodePrefix) {
+	for _, name := range pick(cs.Merged.Counters, obs.SchedPrefix, obs.NodePrefix, obs.WalPrefix, obs.PersistPrefix) {
 		fmt.Fprintf(&b, "  %-40s %d\n", name, cs.Merged.Counters[name])
 	}
 	b.WriteString("\nlatency (us):\n")

@@ -41,6 +41,7 @@ import (
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
+	"dmv/internal/wal"
 )
 
 // ConflictClass names a disjoint set of tables whose update transactions are
@@ -88,6 +89,25 @@ type Config struct {
 	// PersistBackends adds an on-disk persistence tier with this many
 	// back-end databases (0 = none).
 	PersistBackends int
+	// WALDir makes the persistence tier crash-durable: committed update
+	// queries are appended to a write-ahead log in this directory before the
+	// commit is acknowledged, and Open recovers the cluster state from the
+	// directory after a crash (checkpoint restore plus log replay). Setting
+	// WALDir implies at least one persistence backend.
+	WALDir string
+	// WALFlushPolicy selects when WAL appends are fsynced: "always"
+	// (default; group commit, the ack implies durability), "interval"
+	// (background fsync every WALFlushInterval; a crash loses at most one
+	// interval), or "never" (OS page cache only).
+	WALFlushPolicy string
+	// WALFlushInterval is the background fsync period for the "interval"
+	// policy (default 5ms).
+	WALFlushInterval time.Duration
+	// WALCheckpointEvery auto-checkpoints the persistence tier once every
+	// backend has applied this many records past the log base, truncating
+	// dead WAL segments and the in-memory log prefix (0 = only manual
+	// CheckpointPersistence calls truncate).
+	WALCheckpointEvery int
 	// PeerSchedulers adds standby peer schedulers; KillScheduler fails the
 	// primary over to the next peer (the paper's Section 4.1).
 	PeerSchedulers int
@@ -101,10 +121,11 @@ type Config struct {
 
 // Cluster is an open DMV database cluster.
 type Cluster struct {
-	inner   *cluster.Cluster
-	tier    *persist.Tier
-	backs   []*persist.Backend
-	closing bool
+	inner    *cluster.Cluster
+	tier     *persist.Tier
+	backs    []*persist.Backend
+	restored bool // nodes were rebuilt from the WAL during Open
+	closing  bool
 }
 
 // Tx is a running transaction. Use Exec for statements without result rows
@@ -269,21 +290,90 @@ func Open(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	// Optional persistence tier.
+	// Optional persistence tier; a WAL directory makes it crash-durable and
+	// implies at least one backend.
+	if cfg.WALDir != "" && cfg.PersistBackends <= 0 {
+		cfg.PersistBackends = 1
+	}
 	var onCommit func(scheduler.CommitRecord)
 	if cfg.PersistBackends > 0 {
-		for i := 0; i < cfg.PersistBackends; i++ {
-			b, err := persist.NewBackend(
-				fmt.Sprintf("disk%d", i),
-				simdisk.OnDisk(200*time.Microsecond, 200*time.Microsecond, 100*time.Microsecond),
-				0, cfg.Schema, load)
+		backendCosts := simdisk.OnDisk(200*time.Microsecond, 200*time.Microsecond, 100*time.Microsecond)
+		var rlog *persist.RecoveredLog
+		if cfg.WALDir != "" {
+			policy, err := wal.ParsePolicy(cfg.WALFlushPolicy)
 			if err != nil {
+				return nil, err
+			}
+			rlog, err = persist.OpenLog(persist.DurableConfig{
+				Dir:           cfg.WALDir,
+				Policy:        policy,
+				FlushInterval: cfg.WALFlushInterval,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < cfg.PersistBackends; i++ {
+			id := fmt.Sprintf("disk%d", i)
+			var b *persist.Backend
+			var err error
+			if rlog != nil {
+				if cp := rlog.Checkpoint(id); cp != nil {
+					b, err = persist.RestoreBackend(id, backendCosts, 0, cfg.Schema, cp)
+				}
+			}
+			if b == nil && err == nil {
+				b, err = persist.NewBackend(id, backendCosts, 0, cfg.Schema, load)
+			}
+			if err != nil {
+				if rlog != nil {
+					rlog.WAL.Close()
+				}
 				return nil, err
 			}
 			c.backs = append(c.backs, b)
 		}
-		c.tier = persist.NewTier(persist.Options{Backends: c.backs})
+		c.tier = persist.NewTier(persist.Options{
+			Backends:        c.backs,
+			Log:             rlog,
+			CheckpointEvery: cfg.WALCheckpointEvery,
+		})
 		onCommit = c.tier.OnCommit
+
+		// Crash restart: rebuild every in-memory node from the recovered
+		// durable state instead of the pristine initial image. With no
+		// checkpoint the WAL holds all of history, so the initial load plus
+		// full replay reproduces it; past a checkpoint the min-applied
+		// backend's manifest is the state at the log base and replay covers
+		// the suffix. Every node executes the identical statement sequence,
+		// so versions tick identically across the cluster.
+		if rlog != nil && (rlog.Base > 0 || len(rlog.Records) > 0) {
+			c.restored = true
+			userLoad := load
+			records := rlog.Records
+			var baseCp *persist.BackendCheckpoint
+			if rlog.Base > 0 {
+				if _, id := rlog.MinApplied(); id != "" {
+					baseCp = rlog.Checkpoint(id)
+				}
+				if baseCp == nil || baseCp.Applied != rlog.Base {
+					c.tier.Close()
+					return nil, fmt.Errorf("dmv: wal base %d has no matching checkpoint manifest", rlog.Base)
+				}
+			}
+			load = func(e *heap.Engine) error {
+				if baseCp != nil {
+					if err := e.RestoreCheckpoint(baseCp.Checkpoint); err != nil {
+						return err
+					}
+				} else if userLoad != nil {
+					if err := userLoad(e); err != nil {
+						return err
+					}
+				}
+				return persist.ReplayInto(e, records)
+			}
+		}
 	}
 
 	mode := cluster.SpareHot
@@ -317,6 +407,18 @@ func Open(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.inner = inner
+	// After a crash restart the nodes carry the replayed page versions, but
+	// the scheduler's merged frontier starts at zero — readers tagged with
+	// it would demand long-overwritten versions. Adopt the recovered
+	// frontier from any live node (replay ran identically on all of them).
+	if c.restored {
+		for _, id := range inner.NodeIDs() {
+			if n, ok := inner.Node(id); ok && n.Alive() {
+				inner.Scheduler().ReportVersion(n.Engine().AppliedVersions())
+				break
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -472,6 +574,17 @@ func (c *Cluster) FlushPersistence() {
 	if c.tier != nil {
 		c.tier.Flush()
 	}
+}
+
+// CheckpointPersistence cuts durable checkpoints of the persistence
+// backends and truncates the WAL segments and in-memory log prefix they
+// cover, bounding disk and memory. Returns the truncation cut (the global
+// log index recovery will resume from). Requires Config.WALDir.
+func (c *Cluster) CheckpointPersistence() (int, error) {
+	if c.tier == nil {
+		return 0, errors.New("dmv: no persistence tier")
+	}
+	return c.tier.Checkpoint()
 }
 
 // PersistenceApplied returns per-backend applied-transaction counts.

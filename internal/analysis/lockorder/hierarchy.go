@@ -22,6 +22,8 @@ package lockorder
 const (
 	levelFence     = 5  // scheduler commit fence: held across fail-over rollback, outermost
 	levelCluster   = 10 // cluster orchestration (membership, event log)
+	levelPersist   = 12 // persistence tier (commit log, backend apply state)
+	levelWAL       = 16 // write-ahead log + fault-injected storage beneath it
 	levelScheduler = 20 // scheduler routing state
 	levelReplica   = 30 // per-node replica state (sessions, subscribers)
 	levelTransport = 35 // RPC client/server bookkeeping
@@ -45,6 +47,22 @@ var DefaultConfig = &Config{
 	Levels: map[string]int{
 		// cluster (the former evMu event log now lives in obs.Timeline)
 		"dmv/internal/cluster.Cluster.mu": levelCluster,
+
+		// persistence tier. OnCommit appends to the WAL under Tier.mu, so
+		// Tier.mu sits outside WAL.mu; the applier takes Backend.applyMu
+		// (quiescing the engine for complete fuzzy checkpoints) and under it
+		// the prepared-statement cache (stmtMu) and the progress-mark lock
+		// (Backend.mu).
+		"dmv/internal/persist.Tier.mu":         levelPersist,
+		"dmv/internal/persist.Backend.applyMu": levelPersist + 1,
+		"dmv/internal/persist.Backend.mu":      levelPersist + 2,
+		"dmv/internal/persist.Tier.stmtMu":     levelPersist + 3,
+
+		// WAL and the seeded fault-injection disk beneath it: segment file
+		// operations run against faultdisk files whose durability model is
+		// guarded by Disk.mu, always entered with WAL.mu ordering above it.
+		"dmv/internal/wal.WAL.mu":        levelWAL,
+		"dmv/internal/faultdisk.Disk.mu": levelWAL + 1,
 
 		// scheduler
 		"dmv/internal/scheduler.Scheduler.commitFence": levelFence,
@@ -113,6 +131,10 @@ var DefaultConfig = &Config{
 		"dmv/internal/vclock.Merged.Report":        levelClock,
 		"dmv/internal/vclock.Merged.Latest":        levelClock,
 		"dmv/internal/vclock.Merged.Reset":         levelClock,
+		"dmv/internal/wal.WAL.Append":              levelWAL,
+		"dmv/internal/wal.WAL.WaitDurable":         levelWAL,
+		"dmv/internal/wal.WAL.Flush":               levelWAL,
+		"dmv/internal/wal.WAL.TruncateTo":          levelWAL,
 		"dmv/internal/heap.Engine.table":           levelEngine,
 		"dmv/internal/heap.Engine.allTables":       levelEngine,
 		"dmv/internal/heap.Engine.AppliedVersions": levelEngine,

@@ -1,0 +1,374 @@
+// Package faultdisk is a deterministic storage fault injector: a wal.FS
+// that passes every file operation through to the real filesystem while a
+// seeded script decides what to sabotage. It is the storage twin of
+// internal/faultnet — all randomness flows from one seeded rand.Rand, so
+// any failing schedule replays exactly from its seed.
+//
+// The disk tracks, per file, how many bytes have been written and how many
+// are covered by a successful fsync. Crash() then models power loss: every
+// file is truncated back to its synced size plus a seeded torn fragment of
+// the unsynced tail — exactly the state a real disk may expose after the
+// plug is pulled mid-write. Scriptable faults:
+//
+//   - FailSyncs(n): the next n Sync calls return an error (the WAL must
+//     treat this as a sticky durability loss — fsyncgate semantics).
+//   - LoseSyncs(on): Sync returns nil but durability is NOT recorded, so a
+//     later Crash() still drops the data — a lying disk.
+//   - SetBitFlip(p): each read byte is independently flipped with
+//     probability p (checksum validation must catch it).
+//   - SetShortRead(p): each Read returns a truncated count with
+//     probability p (framing must tolerate partial reads).
+//   - CorruptAt(path, off): flip one byte on disk right now — targeted
+//     mid-log corruption for recovery tests.
+//
+// Faults apply only to files opened through the Disk; the test owns the
+// real directory underneath.
+package faultdisk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+
+	"dmv/internal/wal"
+)
+
+// ErrCrashed reports an operation on a handle or disk that crashed.
+var ErrCrashed = errors.New("faultdisk: disk crashed")
+
+// ErrSyncFailed is the scripted error returned by a failed fsync.
+var ErrSyncFailed = errors.New("faultdisk: injected fsync failure")
+
+// fileState tracks durability per path. Both fields are read and written
+// only under the owning Disk's mu (a cross-struct guard the `guarded by`
+// annotation cannot name).
+type fileState struct {
+	size   int64 // under Disk.mu; bytes written to the file
+	synced int64 // under Disk.mu; bytes covered by a successful, honest fsync
+}
+
+// Disk is a wal.FS with scriptable, seeded storage faults. Safe for
+// concurrent use.
+type Disk struct {
+	mu        sync.Mutex
+	rng       *rand.Rand            // guarded by mu; sole randomness source
+	files     map[string]*fileState // guarded by mu; path -> durability state
+	failSyncs int                   // guarded by mu; Syncs left to fail
+	loseSyncs bool                  // guarded by mu; Syncs lie (nil but not durable)
+	bitFlipP  float64               // guarded by mu; per-byte read corruption probability
+	shortP    float64               // guarded by mu; per-call short-read probability
+	crashed   bool                  // guarded by mu; post-crash, pre-PowerOn
+	syncs     int                   // guarded by mu; honest Syncs observed
+	writes    int                   // guarded by mu; Write calls observed
+}
+
+// New returns a Disk whose faults are driven by the given seed.
+func New(seed int64) *Disk {
+	return &Disk{
+		rng:   rand.New(rand.NewSource(seed)),
+		files: make(map[string]*fileState),
+	}
+}
+
+// FailSyncs makes the next n Sync calls fail with ErrSyncFailed.
+func (d *Disk) FailSyncs(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failSyncs = n
+}
+
+// LoseSyncs toggles lying fsyncs: Sync returns nil without durability.
+func (d *Disk) LoseSyncs(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.loseSyncs = on
+}
+
+// SetBitFlip sets the per-byte probability that a read byte is flipped.
+func (d *Disk) SetBitFlip(p float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bitFlipP = p
+}
+
+// SetShortRead sets the per-call probability that a Read is truncated.
+func (d *Disk) SetShortRead(p float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.shortP = p
+}
+
+// Counts returns how many Write calls and honest Sync calls the disk has
+// seen — group-commit tests assert syncs « writes.
+func (d *Disk) Counts() (writes, syncs int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes, d.syncs
+}
+
+// CorruptAt flips one bit of the byte at off in path, on the real disk,
+// bypassing the fault model — targeted mid-log corruption.
+func (d *Disk) CorruptAt(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0x40
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// Crash models power loss: every tracked file is truncated to its synced
+// size plus a seeded fragment of the unsynced tail (a torn write), and all
+// handles plus the disk itself start failing until PowerOn. The WAL being
+// tested must be discarded — like a real crash, in-memory state is gone.
+func (d *Disk) Crash() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	d.crashed = true
+	for path, st := range d.files {
+		keep := st.synced
+		if st.size > st.synced {
+			// A torn fragment of the unsynced suffix may have reached the
+			// platter; its length comes from the seed.
+			keep += d.rng.Int63n(st.size - st.synced + 1)
+		}
+		if err := os.Truncate(path, keep); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("faultdisk: crash-truncate %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// PowerOn clears the crashed state so a fresh WAL can reopen the files.
+// Durability tracking restarts from whatever is on disk.
+func (d *Disk) PowerOn() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = false
+	d.files = make(map[string]*fileState)
+}
+
+// OpenFile implements wal.FS.
+func (d *Disk) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	d.mu.Unlock()
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.mu.Lock()
+	fs, ok := d.files[name]
+	if !ok {
+		// Preexisting bytes survived earlier incarnations; treat them as
+		// durable so Crash only threatens what this run wrote.
+		fs = &fileState{size: st.Size(), synced: st.Size()}
+		d.files[name] = fs
+	}
+	if flag&os.O_TRUNC != 0 {
+		fs.size, fs.synced = 0, 0
+	}
+	d.mu.Unlock()
+	return &file{d: d, f: f, path: name, append: flag&os.O_APPEND != 0}, nil
+}
+
+// ReadDir implements wal.FS.
+func (d *Disk) ReadDir(dir string) ([]string, error) {
+	if d.isCrashed() {
+		return nil, ErrCrashed
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// Remove implements wal.FS.
+func (d *Disk) Remove(name string) error {
+	if d.isCrashed() {
+		return ErrCrashed
+	}
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.files, name)
+	d.mu.Unlock()
+	return nil
+}
+
+// MkdirAll implements wal.FS.
+func (d *Disk) MkdirAll(dir string, perm os.FileMode) error {
+	if d.isCrashed() {
+		return ErrCrashed
+	}
+	return os.MkdirAll(dir, perm)
+}
+
+// Rename implements wal.FS.
+func (d *Disk) Rename(oldpath, newpath string) error {
+	if d.isCrashed() {
+		return ErrCrashed
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if st, ok := d.files[oldpath]; ok {
+		delete(d.files, oldpath)
+		d.files[newpath] = st
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *Disk) isCrashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// file wraps one *os.File with the Disk's fault script.
+type file struct {
+	d      *Disk
+	f      *os.File
+	path   string
+	append bool
+}
+
+// Read implements wal.File, injecting seeded bit flips and short reads.
+func (fl *file) Read(p []byte) (int, error) {
+	d := fl.d
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	short := d.shortP > 0 && len(p) > 1 && d.rng.Float64() < d.shortP
+	var cut int
+	if short {
+		cut = 1 + d.rng.Intn(len(p)-1)
+	}
+	d.mu.Unlock()
+	if short {
+		p = p[:cut]
+	}
+	n, err := fl.f.Read(p)
+	if n > 0 {
+		d.mu.Lock()
+		if d.bitFlipP > 0 {
+			for i := 0; i < n; i++ {
+				if d.rng.Float64() < d.bitFlipP {
+					p[i] ^= 1 << uint(d.rng.Intn(8))
+				}
+			}
+		}
+		d.mu.Unlock()
+	}
+	return n, err
+}
+
+// Write implements wal.File. Bytes land in the OS file (page cache) but
+// count as volatile until an honest Sync covers them.
+func (fl *file) Write(p []byte) (int, error) {
+	d := fl.d
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	d.writes++
+	d.mu.Unlock()
+	n, err := fl.f.Write(p)
+	if n > 0 {
+		d.mu.Lock()
+		if st, ok := d.files[fl.path]; ok {
+			if fl.append {
+				st.size += int64(n)
+			} else if pos, perr := fl.f.Seek(0, io.SeekCurrent); perr == nil && pos > st.size {
+				st.size = pos
+			}
+		}
+		d.mu.Unlock()
+	}
+	return n, err
+}
+
+// Sync implements wal.File, honoring FailSyncs and LoseSyncs scripts.
+func (fl *file) Sync() error {
+	d := fl.d
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return ErrCrashed
+	}
+	if d.failSyncs > 0 {
+		d.failSyncs--
+		d.mu.Unlock()
+		return ErrSyncFailed
+	}
+	if d.loseSyncs {
+		d.mu.Unlock()
+		return nil // lie: report durable, record nothing
+	}
+	d.mu.Unlock()
+	if err := fl.f.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if st, ok := d.files[fl.path]; ok {
+		st.synced = st.size
+	}
+	d.syncs++
+	d.mu.Unlock()
+	return nil
+}
+
+// Truncate implements wal.File.
+func (fl *file) Truncate(size int64) error {
+	d := fl.d
+	if d.isCrashed() {
+		return ErrCrashed
+	}
+	if err := fl.f.Truncate(size); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	if st, ok := d.files[fl.path]; ok {
+		st.size = size
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Close implements wal.File. Closing is allowed after a crash (the WAL's
+// shutdown path closes handles); the data fate was already decided.
+func (fl *file) Close() error { return fl.f.Close() }

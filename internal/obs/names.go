@@ -12,8 +12,10 @@ package obs
 const (
 	// --- name-family prefixes (dashboards filter on these) ------------------
 
-	SchedPrefix = "dmv_sched_" // scheduler metric family
-	NodePrefix  = "dmv_node_"  // replica metric family
+	SchedPrefix   = "dmv_sched_"   // scheduler metric family
+	NodePrefix    = "dmv_node_"    // replica metric family
+	WalPrefix     = "dmv_wal_"     // write-ahead log metric family
+	PersistPrefix = "dmv_persist_" // persistence tier metric family
 
 	// --- scheduler (version-aware transaction router) -----------------------
 
@@ -83,11 +85,20 @@ const (
 
 	// --- persistence tier ----------------------------------------------------
 
-	PersistLogged   = "dmv_persist_logged_total"   // update transactions appended to the query log
-	PersistApplied  = "dmv_persist_applied_total"  // log entries applied to every on-disk backend
-	PersistReplayed = "dmv_persist_replayed_total" // log entries replayed during Recover
-	PersistErrors   = "dmv_persist_errors_total"   // backend apply errors
-	PersistBacklog  = "dmv_persist_backlog"        // log entries not yet applied everywhere (gauge func)
+	PersistLogged      = "dmv_persist_logged_total"          // update transactions appended to the query log
+	PersistApplied     = "dmv_persist_applied_total"         // log entries applied to every on-disk backend
+	PersistReplayed    = "dmv_persist_replayed_total"        // log entries replayed during Recover
+	PersistErrors      = "dmv_persist_errors_total"          // backend apply errors
+	PersistBacklog     = "dmv_persist_backlog"               // log entries not yet applied everywhere (gauge func)
+	PersistQuarantined = "dmv_persist_backend_quarantined"   // labeled gauge: 1 while a backend is quarantined after an apply error
+	PersistTruncations = "dmv_persist_log_truncations_total" // checkpoint-coordinated log truncations completed
+
+	// --- write-ahead log (crash durability under the persistence tier) ------
+
+	WalFsyncUS           = "dmv_wal_fsync_us"                 // fsync latency (group commit: one observation per batch)
+	WalBytes             = "dmv_wal_bytes_total"              // framed record bytes appended
+	WalSegments          = "dmv_wal_segments"                 // live segment files (gauge func)
+	WalRecoveryTruncated = "dmv_wal_recovery_truncated_bytes" // torn-tail bytes discarded by recovery
 
 	// --- transport (TCP peer RPC) -------------------------------------------
 

@@ -4,11 +4,25 @@
 // waiting for the on-disk databases; an asynchronous applier executes the
 // batched queries on one or more on-disk back-ends, and a stale back-end
 // recovers by replaying the missing suffix of the log.
+//
+// The query log is crash-durable when the tier is opened over a WAL
+// directory (see durable.go): OnCommit appends the record to the WAL and —
+// under the "always" fsync policy — group-commits it before returning, so
+// an acknowledged transaction survives a process crash. Checkpoint() cuts
+// per-backend engine checkpoints and truncates both the WAL segments and
+// the in-memory log prefix they make redundant, bounding disk and memory.
+//
+// Log positions are global record indexes that survive truncation: the
+// in-memory slice t.log holds records [t.base, t.base+len(t.log)), and a
+// backend's applied mark counts from the beginning of history.
 package persist
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"dmv/internal/exec"
@@ -16,10 +30,16 @@ import (
 	"dmv/internal/obs"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
+	"dmv/internal/wal"
 )
 
 // ErrClosed reports use of a closed tier.
 var ErrClosed = errors.New("persist: tier closed")
+
+// ErrLogTruncated reports a Recover target whose applied mark lies below
+// the truncated log prefix: replay alone cannot rebuild it — restore the
+// backend from a checkpoint manifest (RestoreBackend) first.
+var ErrLogTruncated = errors.New("persist: backend predates the truncated log prefix")
 
 // Backend is one on-disk database: an engine whose options charge the
 // synthetic disk costs, plus the disk itself (for replay-read charging).
@@ -28,8 +48,14 @@ type Backend struct {
 	Eng  *heap.Engine
 	Disk *simdisk.Disk
 
-	mu      sync.Mutex
-	applied int // log prefix already executed here
+	// applyMu serializes writers of the backend engine (applier, Recover,
+	// Checkpoint). Holding it quiesces the engine, so a fuzzy checkpoint
+	// taken under it is complete — no dirty pages to skip.
+	applyMu sync.Mutex
+
+	mu          sync.Mutex
+	applied     int  // guarded by mu; log prefix (global index) already executed here
+	quarantined bool // guarded by mu; an apply error froze this backend pending Recover
 }
 
 // Applied returns how many committed transactions this backend has executed.
@@ -39,63 +65,128 @@ func (b *Backend) Applied() int {
 	return b.applied
 }
 
+// Quarantined reports whether an apply error has frozen this backend.
+func (b *Backend) Quarantined() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quarantined
+}
+
 // Tier is the persistence tier: a query log plus asynchronous appliers.
 type Tier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	log     []scheduler.CommitRecord
-	closed  bool
-	stmts   map[string]*exec.Prepared
+	mu     sync.Mutex
+	cond   *sync.Cond               // guarded by mu; signals log growth and apply progress
+	log    []scheduler.CommitRecord // guarded by mu; records [base, base+len)
+	base   int                      // guarded by mu; global index of log[0]
+	closed bool                     // guarded by mu
+
+	// stmtMu guards only the prepared-statement cache; it is ordered below
+	// Backend.applyMu because applyOne parses under the apply lock.
+	stmtMu sync.Mutex
+	stmts  map[string]*exec.Prepared // guarded by stmtMu
+
 	backs   []*Backend
 	done    chan struct{}
 	onError func(error)
 
-	logged   *obs.Counter // committed transactions appended to the query log
-	applied  *obs.Counter // transactions executed on a backend by the applier
-	replayed *obs.Counter // transactions replayed during backend recovery
-	errs     *obs.Counter // apply errors (counted and dropped)
+	wal       *wal.WAL // nil for a memory-only tier
+	dir       string
+	fs        wal.FS
+	ckptEvery int // auto-checkpoint once every backend is this far past base (0 = manual)
+
+	reg         *obs.Registry
+	logged      *obs.Counter // committed transactions appended to the query log
+	applied     *obs.Counter // transactions executed on a backend by the applier
+	replayed    *obs.Counter // transactions replayed during backend recovery
+	errs        *obs.Counter // apply/durability errors
+	truncations *obs.Counter // checkpoint-coordinated truncations completed
 }
 
 // Options configure a tier.
 type Options struct {
 	// Backends are the on-disk databases (the paper uses "a few, e.g. two").
 	Backends []*Backend
-	// OnError, if non-nil, receives apply errors (they are otherwise
-	// counted and dropped: the log retains everything for replay).
+	// Log, if non-nil, makes the tier crash-durable: recovered records seed
+	// the in-memory log (at the recovered base offset) and OnCommit appends
+	// to the WAL before acknowledging. The tier takes ownership and closes
+	// the WAL in Close.
+	Log *RecoveredLog
+	// CheckpointEvery, when > 0 with a durable log, auto-checkpoints once
+	// every backend has applied this many records past the current base.
+	CheckpointEvery int
+	// OnError, if non-nil, receives apply and durability errors. An apply
+	// error also quarantines the failing backend: its applied mark freezes
+	// (holding the log from truncation) until Recover succeeds.
 	OnError func(error)
 	// Obs, if non-nil, receives the tier's counters plus a backlog gauge
-	// (log entries not yet applied by the slowest backend).
+	// (log entries not yet applied by the slowest backend) and per-backend
+	// quarantine gauges.
 	Obs *obs.Registry
 }
 
 // NewTier starts the tier's applier.
 func NewTier(opts Options) *Tier {
 	t := &Tier{
-		stmts:   make(map[string]*exec.Prepared, 64),
-		backs:   opts.Backends,
-		done:    make(chan struct{}),
-		onError: opts.OnError,
+		stmts:     make(map[string]*exec.Prepared, 64),
+		backs:     opts.Backends,
+		done:      make(chan struct{}),
+		onError:   opts.OnError,
+		ckptEvery: opts.CheckpointEvery,
+	}
+	if l := opts.Log; l != nil {
+		t.wal = l.WAL
+		t.dir = l.WAL.Dir()
+		t.fs = l.WAL.FS()
+		t.base = l.Base
+		t.log = l.Records
 	}
 	if reg := opts.Obs; reg != nil {
+		t.reg = reg
 		t.logged = reg.Counter(obs.PersistLogged)
 		t.applied = reg.Counter(obs.PersistApplied)
 		t.replayed = reg.Counter(obs.PersistReplayed)
 		t.errs = reg.Counter(obs.PersistErrors)
+		t.truncations = reg.Counter(obs.PersistTruncations)
 		reg.GaugeFunc(obs.PersistBacklog, t.backlog)
+		for _, b := range t.backs {
+			reg.GaugeFunc(obs.Labeled(obs.PersistQuarantined, "backend", b.ID), quarantineGauge(b))
+		}
 	}
 	t.cond = sync.NewCond(&t.mu)
+	// A backend whose applied mark predates the recovered base cannot be
+	// caught up by replay; quarantine it immediately so the applier does
+	// not index below the log.
+	for _, b := range t.backs {
+		b.mu.Lock()
+		if b.applied < t.base {
+			b.quarantined = true
+			if t.onError != nil {
+				t.onError(fmt.Errorf("persist: backend %s applied %d < log base %d: %w", b.ID, b.applied, t.base, ErrLogTruncated))
+			}
+		}
+		b.mu.Unlock()
+	}
 	go t.applier()
 	return t
+}
+
+func quarantineGauge(b *Backend) func() float64 {
+	return func() float64 {
+		if b.Quarantined() {
+			return 1
+		}
+		return 0
+	}
 }
 
 // backlog reports how far the slowest backend trails the query log.
 func (t *Tier) backlog() float64 {
 	t.mu.Lock()
-	logLen := len(t.log)
+	logEnd := t.base + len(t.log)
 	t.mu.Unlock()
 	max := 0
 	for _, b := range t.backs {
-		if lag := logLen - b.Applied(); lag > max {
+		if lag := logEnd - b.Applied(); lag > max {
 			max = lag
 		}
 	}
@@ -104,32 +195,68 @@ func (t *Tier) backlog() float64 {
 
 // OnCommit is the scheduler hook: append to the query log and return. The
 // log append is the "lightweight database insert"; the on-disk execution
-// happens asynchronously.
+// happens asynchronously. With a durable log the record is framed into the
+// WAL under the same lock that orders the memory log (so disk order equals
+// memory order), and under the "always" policy this call group-commits —
+// it returns only once an fsync covers the record, so the scheduler's ack
+// implies durability.
 func (t *Tier) OnCommit(rec scheduler.CommitRecord) {
+	var payload []byte
+	if t.wal != nil {
+		payload = EncodeRecord(rec) // encode outside the lock
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return
 	}
 	t.log = append(t.log, rec)
+	var seq uint64
+	var walErr error
+	if t.wal != nil {
+		seq, walErr = t.wal.Append(payload)
+	}
 	t.logged.Inc()
 	t.cond.Broadcast()
+	t.mu.Unlock()
+	if t.wal != nil && walErr == nil {
+		walErr = t.wal.WaitDurable(seq)
+	}
+	if walErr != nil {
+		// The record stays in the memory log (backends must not diverge
+		// from what the cluster committed), but its durability is gone;
+		// surface the loss loudly.
+		t.errs.Inc()
+		if t.onError != nil {
+			t.onError(fmt.Errorf("persist: wal append: %w", walErr))
+		}
+	}
 }
 
-// LogLen returns the committed-transaction count in the query log.
+// LogLen returns the committed-transaction count in the query log since
+// the beginning of history (truncated prefix included).
 func (t *Tier) LogLen() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.log)
+	return t.base + len(t.log)
 }
 
-// Flush blocks until every backend has applied the current log.
+// Base returns the global index of the first in-memory log record.
+func (t *Tier) Base() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.base
+}
+
+// Flush blocks until every non-quarantined backend has applied the log as
+// of the call. A quarantined backend would block Flush forever (its mark
+// is frozen); it is skipped and remains visible via the quarantine gauge.
 func (t *Tier) Flush() {
 	t.mu.Lock()
-	target := len(t.log)
+	target := t.base + len(t.log)
 	t.mu.Unlock()
 	for _, b := range t.backs {
-		for b.Applied() < target {
+		for !b.Quarantined() && b.Applied() < target {
 			t.mu.Lock()
 			t.cond.Wait()
 			t.mu.Unlock()
@@ -137,7 +264,8 @@ func (t *Tier) Flush() {
 	}
 }
 
-// Close stops the applier (the log remains readable for recovery).
+// Close stops the applier and closes the WAL (the log remains readable for
+// recovery; a clean Close fsyncs the tail under always/interval policies).
 func (t *Tier) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -148,6 +276,11 @@ func (t *Tier) Close() {
 	t.cond.Broadcast()
 	t.mu.Unlock()
 	<-t.done
+	if t.wal != nil {
+		if err := t.wal.Close(); err != nil && t.onError != nil {
+			t.onError(fmt.Errorf("persist: wal close: %w", err))
+		}
+	}
 }
 
 func (t *Tier) applier() {
@@ -159,9 +292,10 @@ func (t *Tier) applier() {
 				t.mu.Unlock()
 				return
 			}
+			logEnd := t.base + len(t.log)
 			progress := false
 			for _, b := range t.backs {
-				if b.Applied() < len(t.log) {
+				if !b.Quarantined() && b.Applied() < logEnd {
 					progress = true
 				}
 			}
@@ -170,22 +304,37 @@ func (t *Tier) applier() {
 			}
 			t.cond.Wait()
 		}
-		logLen := len(t.log)
+		logEnd := t.base + len(t.log)
 		t.mu.Unlock()
 
 		for _, b := range t.backs {
-			for b.Applied() < logLen {
+			for {
 				b.mu.Lock()
-				idx := b.applied
+				idx, quarantined := b.applied, b.quarantined
 				b.mu.Unlock()
+				if quarantined || idx >= logEnd {
+					break
+				}
 				t.mu.Lock()
-				rec := t.log[idx]
+				rec := t.log[idx-t.base]
 				t.mu.Unlock()
-				if err := t.applyOne(b, rec); err != nil {
+				b.applyMu.Lock()
+				err := t.applyOne(b, rec)
+				b.applyMu.Unlock()
+				if err != nil {
+					// Quarantine: freeze the applied mark so the log keeps
+					// every record this backend still needs, and stop
+					// touching the backend until Recover clears it.
+					// Skipping the record instead would silently diverge
+					// the backend from the log forever.
+					b.mu.Lock()
+					b.quarantined = true
+					b.mu.Unlock()
 					t.errs.Inc()
 					if t.onError != nil {
-						t.onError(fmt.Errorf("persist: backend %s txn %d: %w", b.ID, idx, err))
+						t.onError(fmt.Errorf("persist: backend %s txn %d quarantined: %w", b.ID, idx, err))
 					}
+					break
 				}
 				t.applied.Inc()
 				b.mu.Lock()
@@ -196,13 +345,38 @@ func (t *Tier) applier() {
 		t.mu.Lock()
 		t.cond.Broadcast()
 		t.mu.Unlock()
+		t.maybeCheckpoint()
+	}
+}
+
+// maybeCheckpoint runs an automatic checkpoint when every backend has
+// applied CheckpointEvery records past the current base.
+func (t *Tier) maybeCheckpoint() {
+	if t.ckptEvery <= 0 || t.wal == nil || len(t.backs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	base := t.base
+	t.mu.Unlock()
+	min := -1
+	for _, b := range t.backs {
+		a := b.Applied()
+		if min < 0 || a < min {
+			min = a
+		}
+	}
+	if min-base < t.ckptEvery {
+		return
+	}
+	if _, err := t.Checkpoint(); err != nil && t.onError != nil {
+		t.onError(fmt.Errorf("persist: auto checkpoint: %w", err))
 	}
 }
 
 func (t *Tier) prepared(text string) (*exec.Prepared, error) {
-	t.mu.Lock()
+	t.stmtMu.Lock()
 	p, ok := t.stmts[text]
-	t.mu.Unlock()
+	t.stmtMu.Unlock()
 	if ok {
 		return p, nil
 	}
@@ -210,12 +384,14 @@ func (t *Tier) prepared(text string) (*exec.Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
+	t.stmtMu.Lock()
 	t.stmts[text] = p
-	t.mu.Unlock()
+	t.stmtMu.Unlock()
 	return p, nil
 }
 
+// applyOne executes one commit record on a backend. Callers hold
+// b.applyMu.
 func (t *Tier) applyOne(b *Backend, rec scheduler.CommitRecord) error {
 	tx := b.Eng.BeginUpdate()
 	for _, s := range rec.Stmts {
@@ -234,30 +410,48 @@ func (t *Tier) applyOne(b *Backend, rec scheduler.CommitRecord) error {
 }
 
 // Recover brings a stale backend up to date by replaying the missing suffix
-// of the query log, charging the backend's replay-read disk cost. Returns
-// the number of transactions replayed.
+// of the query log, charging the backend's replay-read disk cost, and
+// clears its quarantine once it has fully caught up. Returns the number of
+// transactions replayed. A backend whose applied mark predates the log
+// base gets ErrLogTruncated: rebuild it from a checkpoint manifest
+// (RestoreBackend) before replaying.
 func (t *Tier) Recover(b *Backend) (int, error) {
 	t.mu.Lock()
-	logLen := len(t.log)
+	base := t.base
+	logEnd := t.base + len(t.log)
 	t.mu.Unlock()
 	b.mu.Lock()
 	from := b.applied
 	b.mu.Unlock()
+	if from < base {
+		return 0, fmt.Errorf("persist: backend %s applied %d < log base %d: %w", b.ID, from, base, ErrLogTruncated)
+	}
 	if b.Disk != nil {
 		n := 0
 		t.mu.Lock()
-		for i := from; i < logLen; i++ {
-			n += len(t.log[i].Stmts)
+		for i := from; i < logEnd; i++ {
+			n += len(t.log[i-t.base].Stmts)
 		}
 		t.mu.Unlock()
 		b.Disk.ReplayRead(n)
 	}
 	replayed := 0
-	for i := from; i < logLen; i++ {
+	for i := from; i < logEnd; i++ {
 		t.mu.Lock()
-		rec := t.log[i]
+		if i < t.base {
+			// A concurrent checkpoint truncated past our cursor — only
+			// possible if another path advanced this backend's mark; the
+			// re-read below resyncs.
+			curBase := t.base
+			t.mu.Unlock()
+			return replayed, fmt.Errorf("persist: backend %s replay cursor %d < log base %d: %w", b.ID, i, curBase, ErrLogTruncated)
+		}
+		rec := t.log[i-t.base]
 		t.mu.Unlock()
-		if err := t.applyOne(b, rec); err != nil {
+		b.applyMu.Lock()
+		err := t.applyOne(b, rec)
+		b.applyMu.Unlock()
+		if err != nil {
 			t.errs.Inc()
 			return replayed, err
 		}
@@ -267,7 +461,68 @@ func (t *Tier) Recover(b *Backend) (int, error) {
 		replayed++
 		t.replayed.Inc()
 	}
+	// Caught up (as of the snapshot above): lift the quarantine so the
+	// applier resumes; any records committed meanwhile follow normally.
+	b.mu.Lock()
+	if b.quarantined && b.applied >= logEnd {
+		b.quarantined = false
+	}
+	b.mu.Unlock()
+	t.mu.Lock()
+	t.cond.Broadcast()
+	t.mu.Unlock()
 	return replayed, nil
+}
+
+// Checkpoint cuts a durable checkpoint of every backend, advances the
+// log base to the minimum applied mark, deletes dead WAL segments, and
+// prunes the in-memory prefix — the truncation point that keeps both disk
+// and memory bounded. Quarantined backends are included in the minimum
+// (their frozen mark holds the log until they recover or are rebuilt).
+// Returns the new truncation cut. Requires a durable log.
+func (t *Tier) Checkpoint() (int, error) {
+	if t.wal == nil {
+		return 0, errors.New("persist: checkpoint requires a durable log")
+	}
+	if len(t.backs) == 0 {
+		return 0, errors.New("persist: checkpoint requires at least one backend")
+	}
+	cut := -1
+	for _, b := range t.backs {
+		// applyMu quiesces this backend: no update transaction is in
+		// flight, so the fuzzy checkpoint skips nothing and pairs exactly
+		// with the applied mark read under the same hold.
+		b.applyMu.Lock()
+		b.mu.Lock()
+		applied := b.applied
+		b.mu.Unlock()
+		cp := b.Eng.FuzzyCheckpoint()
+		b.applyMu.Unlock()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&BackendCheckpoint{Applied: applied, Checkpoint: cp}); err != nil {
+			return 0, fmt.Errorf("persist: encode checkpoint %s: %w", b.ID, err)
+		}
+		path := filepath.Join(t.dir, "ckpt-"+b.ID+ckptSuffix)
+		if err := wal.WriteFileDurable(t.fs, path, buf.Bytes()); err != nil {
+			return 0, fmt.Errorf("persist: write checkpoint %s: %w", b.ID, err)
+		}
+		if cut < 0 || applied < cut {
+			cut = applied
+		}
+	}
+	if err := t.wal.TruncateTo(uint64(cut)); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	if cut > t.base {
+		// Reallocate so the dropped prefix is actually collectable rather
+		// than pinned by the backing array.
+		t.log = append([]scheduler.CommitRecord(nil), t.log[cut-t.base:]...)
+		t.base = cut
+	}
+	t.mu.Unlock()
+	t.truncations.Inc()
+	return cut, nil
 }
 
 // NewBackend builds an on-disk backend with the given cost model and cache

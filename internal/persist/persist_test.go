@@ -145,12 +145,20 @@ func TestCloseStopsApplier(t *testing.T) {
 	}
 }
 
-func TestApplyErrorsReported(t *testing.T) {
-	b := newBackend(t, "d")
+func TestApplyErrorQuarantinesBackend(t *testing.T) {
+	// wide has a table narrow lacks, so one log record succeeds on wide and
+	// fails on narrow: the failure must quarantine narrow (frozen applied
+	// mark, log retained) without stalling wide or skipping the record.
+	wide, err := NewBackend("wide", simdisk.CostModel{}, 0,
+		append(append([]string(nil), testDDL...), `CREATE TABLE extra (k INT PRIMARY KEY, v INT)`), seed)
+	if err != nil {
+		t.Fatalf("backend: %v", err)
+	}
+	narrow := newBackend(t, "narrow")
 	var mu sync.Mutex
 	var errs []error
 	tier := NewTier(Options{
-		Backends: []*Backend{b},
+		Backends: []*Backend{wide, narrow},
 		OnError: func(err error) {
 			mu.Lock()
 			errs = append(errs, err)
@@ -158,15 +166,45 @@ func TestApplyErrorsReported(t *testing.T) {
 		},
 	})
 	defer tier.Close()
-	tier.OnCommit(rec(1, scheduler.LoggedStmt{Text: `UPDATE nosuch SET v = 1`}))
-	tier.OnCommit(rec(2, set(1, 7))) // later records still apply
-	tier.Flush()
-	mu.Lock()
-	defer mu.Unlock()
-	if len(errs) != 1 {
-		t.Fatalf("errors = %d, want 1", len(errs))
+	tier.OnCommit(rec(1, set(1, 1)))
+	tier.OnCommit(rec(2, scheduler.LoggedStmt{
+		Text:   `INSERT INTO extra (k, v) VALUES (?, ?)`,
+		Params: []value.Value{value.NewInt(1), value.NewInt(1)},
+	}))
+	tier.OnCommit(rec(3, set(1, 7)))
+	tier.Flush() // must not hang on the quarantined backend
+
+	if !narrow.Quarantined() {
+		t.Fatal("narrow backend not quarantined after apply error")
 	}
-	if got := kvValue(t, b, 1); got != 7 {
-		t.Fatalf("value = %d, want 7", got)
+	if wide.Quarantined() {
+		t.Fatal("healthy backend quarantined")
+	}
+	if got := narrow.Applied(); got != 1 {
+		t.Fatalf("quarantined applied mark = %d, want frozen at 1", got)
+	}
+	if got := wide.Applied(); got != 3 {
+		t.Fatalf("healthy backend applied = %d, want 3", got)
+	}
+	if got := kvValue(t, wide, 1); got != 7 {
+		t.Fatalf("healthy backend value = %d, want 7", got)
+	}
+	// The failing record was NOT skipped on the quarantined backend.
+	if got := kvValue(t, narrow, 1); got != 1 {
+		t.Fatalf("quarantined backend value = %d, want 1 (frozen before record 2)", got)
+	}
+	mu.Lock()
+	n := len(errs)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("errors = %d, want 1 (quarantine reports once, not per record)", n)
+	}
+	// The log is retained for replay: Recover re-hits the same record and
+	// reports the error instead of silently diverging.
+	if _, err := tier.Recover(narrow); err == nil {
+		t.Fatal("recover of incompatible backend succeeded, want apply error")
+	}
+	if got := narrow.Applied(); got != 1 {
+		t.Fatalf("applied mark moved to %d during failed recover, want 1", got)
 	}
 }

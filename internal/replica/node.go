@@ -25,6 +25,7 @@ import (
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
+	"dmv/internal/wal"
 )
 
 // Errors surfaced by node operations.
@@ -154,6 +155,11 @@ type Options struct {
 	// checkpoint on disk. When empty, checkpoints are kept in memory on the
 	// node object, which models the same thing for in-process experiments.
 	CheckpointDir string
+	// CheckpointSync fsyncs on-disk checkpoints before the atomic rename
+	// publishes them, so a power loss right after RunCheckpoint cannot
+	// leave a zero-length or torn checkpoint behind the new name. Off by
+	// default to keep the fast path for in-process experiments.
+	CheckpointSync bool
 	// Obs, if non-nil, receives cluster-wide node metrics (transactions,
 	// aborts, write-set traffic, broadcast latency). The per-node Stats
 	// counters are kept regardless; the registry aggregates across nodes.
@@ -202,6 +208,7 @@ type Node struct {
 	cpMu   sync.Mutex
 	lastCP []byte // guarded by cpMu; encoded fuzzy checkpoint (in-memory stable storage)
 	cpDir  string // when set, checkpoints live in files instead
+	cpSync bool   // fsync checkpoint files before the publishing rename
 
 	svcPer    time.Duration
 	svcPerUpd time.Duration
@@ -301,6 +308,7 @@ func NewNode(opts Options) *Node {
 		obs.RegisterIdentity(reg, opts.ID, n.started)
 	}
 	n.cpDir = opts.CheckpointDir
+	n.cpSync = opts.CheckpointSync
 	n.alive.Store(true)
 	return n
 }
@@ -1023,6 +1031,15 @@ func (n *Node) RunCheckpoint() error {
 	n.cpMu.Lock()
 	defer n.cpMu.Unlock()
 	if n.cpDir != "" {
+		if n.cpSync {
+			// Durable publish: temp write + fsync + atomic rename, so a
+			// crash mid-checkpoint leaves either the old file or the new
+			// one, never a torn blob under the published name.
+			if err := wal.WriteFileDurable(nil, n.checkpointPath(), blob); err != nil {
+				return fmt.Errorf("write checkpoint: %w", err)
+			}
+			return nil
+		}
 		tmp := n.checkpointPath() + ".tmp"
 		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
 			return fmt.Errorf("write checkpoint: %w", err)

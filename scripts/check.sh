@@ -40,6 +40,16 @@ go test -tags dmvdebug -race -count=1 \
 	-run 'TestSuspectQuarantineAndClear|TestGrayMasterFailover|TestFailStopStillFast' \
 	./internal/cluster/
 
+echo "==> storage-fault crash-recovery leg (WAL, faultdisk, persistence tier)"
+# Fixed-seed crash/recovery scenarios: a torn tail from a seeded faultdisk
+# crash must never lose an acknowledged commit, two runs of one seed must
+# recover byte-identical state, and mid-log corruption must be refused
+# rather than silently truncated.
+go test -race -count=1 ./internal/wal/ ./internal/faultdisk/
+go test -race -count=1 \
+	-run 'TestCrashRecoveryNoAckedCommitLoss|TestSeededCrashDeterminism|TestMidLogCorruptionDetected|TestApplyErrorQuarantinesBackend|TestLogTruncationBoundsMemory|TestConcurrentTierOps' \
+	./internal/persist/
+
 echo "==> go test -race"
 go test -race -count=1 ./...
 
