@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet dmv-vet check bench
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,13 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
-# Standard vet plus the project's own concurrency analyzers (cmd/dmv-vet).
+# Standard vet plus the project's own invariant analyzers (cmd/dmv-vet).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dmv-vet ./...
+
+# The nine dmv-vet analyzers standalone (no go vet), package-parallel.
+dmv-vet:
 	$(GO) run ./cmd/dmv-vet ./...
 
 # The full gate CI runs: build, vet, dmv-vet, race tests, dmvdebug chaos leg.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dmv"
+	"dmv/internal/harness"
 )
 
 // TestChaosNoLostUpdates is the capstone correctness test: a mixed workload
@@ -25,6 +26,9 @@ func TestChaosNoLostUpdates(t *testing.T) {
 		workers  = 6
 		duration = 3 * time.Second
 	)
+	// All pacing in this test flows through the injectable clock so the
+	// chaos schedule's only entropy is the seeded rng below (detrand).
+	clk := harness.RealClock{}
 	c := openTestCluster(t, dmv.Config{
 		Slaves:           3,
 		Spares:           1,
@@ -112,7 +116,7 @@ func TestChaosNoLostUpdates(t *testing.T) {
 		deadline := time.Now().Add(duration - 500*time.Millisecond)
 		var downSlave string
 		for time.Now().Before(deadline) {
-			time.Sleep(time.Duration(200+rng.Intn(300)) * time.Millisecond)
+			clk.Sleep(time.Duration(200+rng.Intn(300)) * time.Millisecond)
 			switch rng.Intn(4) {
 			case 0: // master failure (each one consumes a slave)
 				if masterKills < 2 && len(c.Slaves()) >= 2 {
@@ -148,12 +152,12 @@ func TestChaosNoLostUpdates(t *testing.T) {
 				if err := c.Restart(downSlave); err == nil {
 					break
 				}
-				time.Sleep(50 * time.Millisecond)
+				clk.Sleep(50 * time.Millisecond)
 			}
 		}
 	}()
 
-	time.Sleep(duration)
+	clk.Sleep(duration)
 	<-chaosDone
 	close(stop)
 	wg.Wait()
@@ -179,7 +183,7 @@ func TestChaosNoLostUpdates(t *testing.T) {
 			audited = true
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		clk.Sleep(20 * time.Millisecond)
 	}
 	if !audited {
 		t.Fatalf("tier unavailable for the audit: %v (events: %v)", auditErr, eventKinds(c))

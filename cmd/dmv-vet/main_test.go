@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"dmv/internal/analysis"
+)
+
+// TestVetMainJSONClean runs the full nine-analyzer suite over a real,
+// clean package and asserts the -json contract: empty array on stdout,
+// exit 0.
+func TestVetMainJSONClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := vetMain([]string{"-json", "dmv/internal/vclock"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	var ds []analysis.JSONDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &ds); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostics array: %v\n%s", err, stdout.String())
+	}
+	if len(ds) != 0 {
+		t.Fatalf("diagnostics on clean package: %+v", ds)
+	}
+}
+
+// TestJSONShape asserts the field names and ordering of the -json
+// encoding without invoking the loader.
+func TestJSONShape(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\nvar v = 1\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []analysis.Diagnostic{{Pos: f.Pos(), Analyzer: "demo", Message: "m"}}
+	var buf bytes.Buffer
+	if err := analysis.EncodeJSON(&buf, analysis.JSONDiagnostics(fset, diags, "")); err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if len(raw) != 1 {
+		t.Fatalf("len = %d", len(raw))
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, present := raw[0][key]; !present {
+			t.Errorf("missing %q in %v", key, raw[0])
+		}
+	}
+	if raw[0]["analyzer"] != "demo" || raw[0]["file"] != "x.go" || raw[0]["line"] != float64(1) {
+		t.Errorf("unexpected values: %v", raw[0])
+	}
+}
+
+// TestIgnoreWithoutReasonIsDiagnostic asserts that a suppression comment
+// with no reason is itself reported, under the unsuppressible "dmvignore"
+// analyzer name.
+func TestIgnoreWithoutReasonIsDiagnostic(t *testing.T) {
+	fset := token.NewFileSet()
+	const src = "package x\n\nfunc f() {\n\t//dmv:ignore(detrand)\n}\n"
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := analysis.NewIgnoreIndex()
+	bad := ix.AddFile(fset, f)
+	if len(bad) != 1 {
+		t.Fatalf("malformed diagnostics = %d, want 1", len(bad))
+	}
+	if bad[0].Analyzer != analysis.IgnoreAnalyzerName {
+		t.Errorf("analyzer = %q, want %q", bad[0].Analyzer, analysis.IgnoreAnalyzerName)
+	}
+	if !strings.Contains(bad[0].Message, "has no reason") {
+		t.Errorf("message = %q, want a no-reason explanation", bad[0].Message)
+	}
+	// The malformed ignore must not suppress anything either.
+	probe := analysis.Diagnostic{Pos: f.Comments[0].List[0].Pos(), Analyzer: "detrand", Message: "m"}
+	if ix.Suppressed(fset, probe) {
+		t.Error("reason-less ignore suppressed a diagnostic")
+	}
+}
+
+// TestFmtMode asserts the -fmt rendering of a saved -json file.
+func TestFmtMode(t *testing.T) {
+	ds := []analysis.JSONDiagnostic{
+		{Analyzer: "b", File: "z.go", Line: 2, Col: 1, Message: "second"},
+		{Analyzer: "a", File: "a.go", Line: 1, Col: 5, Message: "first"},
+	}
+	var enc bytes.Buffer
+	if err := analysis.EncodeJSON(&enc, ds); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/diag.json"
+	if err := os.WriteFile(path, enc.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := vetMain([]string{"-fmt", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	want := "a.go:1:5: [a] first\nz.go:2:1: [b] second\n"
+	if stdout.String() != want {
+		t.Errorf("fmt output:\n%s\nwant:\n%s", stdout.String(), want)
+	}
+}
+
+// TestListAndFlags asserts -list names all nine analyzers and unknown
+// -run names are usage errors.
+func TestListAndFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := vetMain([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("list exit = %d", code)
+	}
+	for _, name := range []string{
+		"ackdurable", "commitretry", "copylockws", "detrand", "guardedfield",
+		"lockorder", "metricname", "rpcdeadline", "vclockmut",
+	} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %q", name)
+		}
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := vetMain([]string{"-run", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+}

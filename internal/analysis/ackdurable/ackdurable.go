@@ -1,0 +1,128 @@
+// Package ackdurable enforces ack-after-fsync in the persistence tier:
+// returning from the commit hook IS the acknowledgement (the scheduler
+// treats OnCommit's return as "the backend has this"), so any path that
+// appends a commit record to the WAL and returns before awaiting
+// durability silently reintroduces acked-commit loss — the fsyncgate bug
+// class where a crash between ack and fsync drops a transaction the
+// client was told is committed.
+//
+// Within each acknowledging function the analyzer checks three things:
+//
+//  1. A WAL Append with no WaitDurable anywhere in the function — the
+//     record may never be fsynced before the ack.
+//  2. WaitDurable positioned before the first Append — the wait covers a
+//     prior record, not the one just written.
+//  3. A return statement between the first Append and the first
+//     WaitDurable — an early ack on some path (an error branch, a fast
+//     path) that skips the durability barrier.
+//
+// The check is positional (source order approximates control-flow order
+// in the straight-line commit hooks it guards); conditional Append sites
+// behind `if wal != nil` guards match naturally since the return-between
+// rule only fires for returns lexically inside the window.
+package ackdurable
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dmv/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// ScopePkgs are the persistence packages whose ack functions are
+	// checked (PkgMatch semantics).
+	ScopePkgs []string
+	// AckFuncs are the function/method names whose return acknowledges a
+	// commit.
+	AckFuncs []string
+	// WalPkg is the package providing the durability primitives.
+	WalPkg string
+	// AppendFunc and DurableFunc name the write and barrier primitives.
+	AppendFunc  string
+	DurableFunc string
+}
+
+// DefaultConfig matches this repository's persist/wal layout.
+var DefaultConfig = Config{
+	ScopePkgs:   []string{"persist"},
+	AckFuncs:    []string{"OnCommit"},
+	WalPkg:      "wal",
+	AppendFunc:  "Append",
+	DurableFunc: "WaitDurable",
+}
+
+// Analyzer flags commit acknowledgements not dominated by a durability wait.
+var Analyzer = &analysis.Analyzer{
+	Name: "ackdurable",
+	Doc:  "flag commit-ack paths in the persistence tier that return before WaitDurable covers the appended record (ack-after-fsync)",
+	Run:  func(pass *analysis.Pass) error { return run(pass, DefaultConfig) },
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if !analysis.PkgMatchAny(pass.Pkg.Path(), cfg.ScopePkgs) {
+		return nil
+	}
+	ackFunc := make(map[string]bool, len(cfg.AckFuncs))
+	for _, n := range cfg.AckFuncs {
+		ackFunc[n] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil || !ackFunc[fd.Name.Name] {
+				continue
+			}
+			checkAckFunc(pass, cfg, fd)
+		}
+	}
+	return nil
+}
+
+func checkAckFunc(pass *analysis.Pass, cfg Config, fd *ast.FuncDecl) {
+	var firstAppend, firstWait token.Pos
+	var returns []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			// A closure's body does not run inline on the ack path; its
+			// returns are not acks and its calls are not this function's.
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, node.Pos())
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, node)
+			if fn == nil || fn.Pkg() == nil || !analysis.PkgMatch(fn.Pkg().Path(), cfg.WalPkg) {
+				return true
+			}
+			switch fn.Name() {
+			case cfg.AppendFunc:
+				if !firstAppend.IsValid() {
+					firstAppend = node.Pos()
+				}
+			case cfg.DurableFunc:
+				if !firstWait.IsValid() {
+					firstWait = node.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if !firstAppend.IsValid() {
+		return // no commit record written; nothing to make durable
+	}
+	if !firstWait.IsValid() {
+		pass.Reportf(firstAppend, "%s appends the commit record but never calls %s.%s; returning acknowledges a commit that may not be fsynced", fd.Name.Name, cfg.WalPkg, cfg.DurableFunc)
+		return
+	}
+	if firstWait < firstAppend {
+		pass.Reportf(firstWait, "%s.%s precedes the %s; the durability wait covers an earlier record, not the one being acknowledged", cfg.WalPkg, cfg.DurableFunc, cfg.AppendFunc)
+		return
+	}
+	for _, ret := range returns {
+		if analysis.PosBetween(ret, firstAppend, firstWait) {
+			pass.Reportf(ret, "return between %s and %s acknowledges the commit before it is durable", cfg.AppendFunc, cfg.DurableFunc)
+		}
+	}
+}

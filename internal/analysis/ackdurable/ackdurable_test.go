@@ -1,0 +1,11 @@
+package ackdurable
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+)
+
+func TestAckDurable(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "wal", "persist")
+}

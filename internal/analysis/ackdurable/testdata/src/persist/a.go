@@ -1,0 +1,75 @@
+// Package persist is the ackdurable fixture: OnCommit's return is the
+// acknowledgement, so every variant here exercises one ack-vs-durability
+// ordering.
+package persist
+
+import "wal"
+
+// Good appends then waits: ack-after-fsync.
+type Good struct{ w *wal.WAL }
+
+func (t *Good) OnCommit(rec []byte) {
+	if t.w == nil {
+		return // fine: nothing appended yet
+	}
+	seq, err := t.w.Append(rec)
+	if err == nil {
+		_ = t.w.WaitDurable(seq)
+	}
+}
+
+// NoWait never awaits durability.
+type NoWait struct{ w *wal.WAL }
+
+func (t *NoWait) OnCommit(rec []byte) {
+	_, _ = t.w.Append(rec) // want `OnCommit appends the commit record but never calls wal\.WaitDurable`
+}
+
+// EarlyAck returns on an error path between append and wait.
+type EarlyAck struct{ w *wal.WAL }
+
+func (t *EarlyAck) OnCommit(rec []byte) {
+	seq, err := t.w.Append(rec)
+	if err != nil {
+		return // want `return between Append and WaitDurable acknowledges the commit before it is durable`
+	}
+	_ = t.w.WaitDurable(seq)
+}
+
+// WrongOrder waits on a stale sequence before appending.
+type WrongOrder struct {
+	w    *wal.WAL
+	last uint64
+}
+
+func (t *WrongOrder) OnCommit(rec []byte) {
+	_ = t.w.WaitDurable(t.last) // want `wal\.WaitDurable precedes the Append`
+	seq, _ := t.w.Append(rec)
+	t.last = seq
+}
+
+// Async hands the wait to a goroutine closure; the closure's calls are not
+// the ack path, so this is a missing wait.
+type Async struct{ w *wal.WAL }
+
+func (t *Async) OnCommit(rec []byte) {
+	seq, _ := t.w.Append(rec) // want `OnCommit appends the commit record but never calls wal\.WaitDurable`
+	go func() {
+		_ = t.w.WaitDurable(seq)
+	}()
+}
+
+// NotAnAck is not an acknowledging function; no rules apply.
+type NotAnAck struct{ w *wal.WAL }
+
+func (t *NotAnAck) Preload(rec []byte) {
+	_, _ = t.w.Append(rec)
+}
+
+// Suppressed documents a reviewed exception.
+type Suppressed struct{ w *wal.WAL }
+
+func (t *Suppressed) OnCommit(rec []byte) {
+	//dmv:ignore(ackdurable) fixture: demonstrating a documented suppression
+	_, _ = t.w.Append(rec)
+}

@@ -1,0 +1,12 @@
+// Package wal is the support fixture providing the durability primitives
+// the ackdurable analyzer recognizes.
+package wal
+
+// WAL mirrors the real write-ahead log surface.
+type WAL struct{}
+
+// Append frames one record and returns its sequence number.
+func (w *WAL) Append(payload []byte) (uint64, error) { return 0, nil }
+
+// WaitDurable blocks until an fsync covers seq.
+func (w *WAL) WaitDurable(seq uint64) error { return nil }

@@ -25,7 +25,11 @@ import (
 )
 
 // Run applies the analyzer to each fixture package and reports any
-// mismatch between actual diagnostics and // want expectations.
+// mismatch between actual diagnostics and // want expectations. Fixtures
+// see the full driver semantics: one Begin state shared across the listed
+// packages, Finish diagnostics after all packages ran, and //dmv:ignore
+// suppression (malformed ignores surface as "dmvignore" diagnostics, so a
+// fixture can assert them with a want comment).
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	ld := &loader{
@@ -34,25 +38,43 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		imported: make(map[string]*fixture),
 	}
 	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	ignores := analysis.NewIgnoreIndex()
+	var state any
+	if a.Begin != nil {
+		state = a.Begin()
+	}
+	var diags, malformed []analysis.Diagnostic
+	var allFiles []*ast.File
 	for _, pkg := range pkgs {
 		fx, err := ld.load(pkg)
 		if err != nil {
 			t.Fatalf("load fixture %s: %v", pkg, err)
 		}
-		var diags []analysis.Diagnostic
+		allFiles = append(allFiles, fx.files...)
+		for _, f := range fx.files {
+			malformed = append(malformed, ignores.AddFile(ld.fset, f)...)
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      ld.fset,
 			Files:     fx.files,
 			Pkg:       fx.pkg,
 			TypesInfo: fx.info,
+			State:     state,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s: run on %s: %v", a.Name, pkg, err)
 		}
-		check(t, ld.fset, fx.files, diags)
 	}
+	if a.Finish != nil {
+		if err := a.Finish(state, func(d analysis.Diagnostic) { diags = append(diags, d) }); err != nil {
+			t.Fatalf("%s: finish: %v", a.Name, err)
+		}
+	}
+	diags = ignores.Filter(ld.fset, diags)
+	diags = append(diags, malformed...)
+	check(t, ld.fset, allFiles, diags)
 }
 
 type fixture struct {

@@ -1,0 +1,251 @@
+// Package commitretry statically enforces the ErrCommitUncertain
+// discipline: TxExec and TxCommit are not idempotent (a lost reply leaves
+// the outcome genuinely unknown — the peer may have committed), so their
+// call sites must never be wrapped in a blind retry. Retrying a commit
+// whose first attempt landed produces a duplicate commit; the only safe
+// recovery is surfacing ErrCommitUncertain and re-running the whole
+// transaction as a new session.
+//
+// Three rules:
+//
+//  1. Inside the transport packages, routing a Tx method through the
+//     idempotent-retry helper (callIdem with a "…TxExec"/"…TxCommit"/
+//     "…TxBegin" method string) re-sends the request on transport failure —
+//     exactly the duplicate-commit bug.
+//  2. A TxExec/TxCommit method call inside a for/range loop whose shape is
+//     a retry — the loop condition consults the call's error, the body
+//     `continue`s under an error test, the body `break`s on success
+//     (err == nil), or the result is discarded inside a bare for loop.
+//     Whole-transaction retry loops (scheduler.Run) are legal and are not
+//     matched: they re-invoke a function that starts a fresh session, so no
+//     Tx call appears lexically inside the loop.
+//  3. Passing a closure that performs TxExec/TxCommit to any helper whose
+//     name contains "retry" — the helper's contract is re-invocation.
+//
+// The loop-shape matching is lexical and intraprocedural: it recognizes
+// the standard retry idioms rather than proving domination, which keeps
+// false positives near zero on broadcast loops (ranging over peers calls
+// TxExec once per peer, not twice per peer, and matches none of the retry
+// shapes).
+package commitretry
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"dmv/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// TransportPkgs locate the retry helper (rule 1).
+	TransportPkgs []string
+	// RetryHelpers are the idempotent-retry primitives whose method-string
+	// argument must never name a Tx call.
+	RetryHelpers []string
+	// NonIdem are the non-idempotent methods that rules 2 and 3 protect
+	// from re-invocation.
+	NonIdem []string
+	// MethodStrings are the substrings of a method-name argument that mark
+	// it as non-idempotent for rule 1.
+	MethodStrings []string
+}
+
+// DefaultConfig matches this repository's transport/scheduler layout.
+var DefaultConfig = Config{
+	TransportPkgs: []string{"transport"},
+	RetryHelpers:  []string{"callIdem"},
+	NonIdem:       []string{"TxExec", "TxCommit"},
+	MethodStrings: []string{"TxExec", "TxCommit", "TxBegin"},
+}
+
+// Analyzer flags retry wrappers around non-idempotent commit RPCs.
+var Analyzer = &analysis.Analyzer{
+	Name: "commitretry",
+	Doc:  "flag retry loops and retry helpers around non-idempotent TxExec/TxCommit calls (ErrCommitUncertain discipline)",
+	Run:  func(pass *analysis.Pass) error { return run(pass, DefaultConfig) },
+}
+
+var retryNameRE = regexp.MustCompile(`(?i)retry`)
+
+func run(pass *analysis.Pass, cfg Config) error {
+	inTransport := analysis.PkgMatchAny(pass.Pkg.Path(), cfg.TransportPkgs)
+	helper := make(map[string]bool, len(cfg.RetryHelpers))
+	for _, n := range cfg.RetryHelpers {
+		helper[n] = true
+	}
+	nonIdem := make(map[string]bool, len(cfg.NonIdem))
+	for _, n := range cfg.NonIdem {
+		nonIdem[n] = true
+	}
+
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			// Rule 1: callIdem("Node.TxCommit", ...) inside transport.
+			if inTransport && helper[fn.Name()] && len(call.Args) > 0 {
+				if lit, isLit := call.Args[0].(*ast.BasicLit); isLit && lit.Kind == token.STRING {
+					for _, m := range cfg.MethodStrings {
+						if strings.Contains(lit.Value, m) {
+							pass.Reportf(call.Pos(), "%s routes non-idempotent %s through the idempotent-retry helper; a replayed commit is a duplicate commit — use the single-attempt path and surface ErrCommitUncertain", fn.Name(), strings.Trim(lit.Value, "`\""))
+							break
+						}
+					}
+				}
+			}
+			// Rule 3: retryFn(func() { ... TxCommit ... }).
+			if retryNameRE.MatchString(fn.Name()) {
+				for _, arg := range call.Args {
+					flit, isLit := arg.(*ast.FuncLit)
+					if !isLit {
+						continue
+					}
+					for inner := range txCallsIn(pass, flit.Body, nonIdem) {
+						pass.Reportf(inner.Pos(), "%s call inside a closure passed to retry helper %s; commits must not be re-invoked — surface ErrCommitUncertain instead", calleeName(pass, inner), fn.Name())
+					}
+				}
+			}
+			// Rule 2: Tx method call under a retry-shaped loop.
+			if nonIdem[fn.Name()] && analysis.RecvTypeName(fn) != "" {
+				checkLoopRetry(pass, call, fn.Name(), stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLoopRetry(pass *analysis.Pass, call *ast.CallExpr, name string, stack []ast.Node) {
+	loop := analysis.EnclosingLoop(stack)
+	if loop == nil {
+		return
+	}
+	errObj := analysis.AssignedErrObj(pass.TypesInfo, call, stack)
+	if errObj == nil {
+		// Discarded result inside a bare for loop: the classic
+		// for { peer.TxCommit(...) } hammer.
+		if _, isFor := loop.(*ast.ForStmt); isFor {
+			pass.Reportf(call.Pos(), "%s result discarded inside a for loop; a repeated commit attempt is a duplicate commit — handle the error and surface ErrCommitUncertain", name)
+		}
+		return
+	}
+	forStmt, isFor := loop.(*ast.ForStmt)
+	// Shape A: for err != nil { ... } — the loop condition consults err.
+	if isFor && forStmt.Cond != nil && analysis.MentionsObj(pass.TypesInfo, forStmt.Cond, errObj) {
+		pass.Reportf(call.Pos(), "%s retried until its error clears (loop condition tests the call's error); a lost reply may have committed — surface ErrCommitUncertain instead of retrying", name)
+		return
+	}
+	// Shapes B and C: branch-driven retries in the loop body.
+	body := loopBody(loop)
+	if body == nil {
+		return
+	}
+	flagged := false
+	analysis.WalkStack(body, func(n ast.Node, inner []ast.Node) bool {
+		if flagged {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			if n != ast.Node(body) {
+				return false // branches below target the nested loop
+			}
+		}
+		ifStmt, isIf := n.(*ast.IfStmt)
+		if !isIf || !analysis.MentionsObj(pass.TypesInfo, ifStmt.Cond, errObj) {
+			return true
+		}
+		// Shape B: if <err test> { ... continue } — retry on failure.
+		if containsBranch(ifStmt.Body, token.CONTINUE) {
+			pass.Reportf(call.Pos(), "%s retried via continue under an error test; a lost reply may have committed — surface ErrCommitUncertain instead of retrying", name)
+			flagged = true
+			return false
+		}
+		// Shape C: if err == nil { ... break } — loop until success.
+		if isNilEquality(ifStmt.Cond) && containsBranch(ifStmt.Body, token.BREAK) {
+			pass.Reportf(call.Pos(), "%s looped until success (break under err == nil); a lost reply may have committed — surface ErrCommitUncertain instead of retrying", name)
+			flagged = true
+			return false
+		}
+		return true
+	})
+}
+
+func loopBody(loop ast.Stmt) *ast.BlockStmt {
+	switch s := loop.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return nil
+}
+
+// containsBranch reports whether block contains a continue/break targeting
+// the enclosing loop (nested loops and closures are not descended into).
+func containsBranch(block *ast.BlockStmt, tok token.Token) bool {
+	found := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if b.Tok == tok && b.Label == nil {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isNilEquality reports whether cond has the shape `x == nil`.
+func isNilEquality(cond ast.Expr) bool {
+	bin, isBin := cond.(*ast.BinaryExpr)
+	if !isBin || bin.Op != token.EQL {
+		return false
+	}
+	return isNilIdent(bin.X) || isNilIdent(bin.Y)
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, isIdent := e.(*ast.Ident)
+	return isIdent && id.Name == "nil"
+}
+
+// txCallsIn yields the CallExprs inside body whose callee is a
+// non-idempotent Tx method.
+func txCallsIn(pass *analysis.Pass, body ast.Node, nonIdem map[string]bool) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn != nil && nonIdem[fn.Name()] && analysis.RecvTypeName(fn) != "" {
+			out[call] = true
+		}
+		return true
+	})
+	return out
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "Tx"
+}

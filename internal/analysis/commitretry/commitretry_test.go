@@ -1,0 +1,11 @@
+package commitretry
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+)
+
+func TestCommitRetry(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "sched", "transport")
+}

@@ -1,0 +1,102 @@
+// Package sched is the commitretry fixture for the loop-shape and
+// retry-helper rules around non-idempotent Tx calls.
+package sched
+
+import "errors"
+
+// Peer mirrors the replica peer interface.
+type Peer struct{}
+
+func (p *Peer) TxExec(q string) error   { return nil }
+func (p *Peer) TxCommit(id int) error   { return nil }
+func (p *Peer) Status() (string, error) { return "", nil }
+
+var errUncertain = errors.New("commit uncertain")
+
+// retryLoopCond is shape A: the loop condition consults the call's error.
+func retryLoopCond(p *Peer) {
+	err := p.TxCommit(1)
+	for err != nil {
+		err = p.TxCommit(1) // want `TxCommit retried until its error clears`
+	}
+}
+
+// retryContinue is shape B: continue under an error test.
+func retryContinue(p *Peer) error {
+	for i := 0; i < 3; i++ {
+		err := p.TxExec("UPDATE t") // want `TxExec retried via continue under an error test`
+		if err != nil {
+			continue
+		}
+		return nil
+	}
+	return errUncertain
+}
+
+// retryBreakOnSuccess is shape C: loop until err == nil.
+func retryBreakOnSuccess(p *Peer) {
+	for {
+		err := p.TxCommit(2) // want `TxCommit looped until success`
+		if err == nil {
+			break
+		}
+	}
+}
+
+// hammer discards the result inside a bare for loop.
+func hammer(p *Peer) {
+	for {
+		p.TxCommit(3) // want `TxCommit result discarded inside a for loop`
+	}
+}
+
+// viaHelper passes a committing closure to a retry helper.
+func retryN(n int, f func() error) error { return f() }
+
+func viaHelper(p *Peer) error {
+	return retryN(3, func() error {
+		return p.TxCommit(4) // want `TxCommit call inside a closure passed to retry helper retryN`
+	})
+}
+
+// broadcast is the legal shape: one call per peer, error handled.
+func broadcast(peers []*Peer) error {
+	for _, p := range peers {
+		if err := p.TxExec("UPDATE t"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// idempotentRetry is legal: Status is replay-safe.
+func idempotentRetry(p *Peer) {
+	for {
+		_, err := p.Status()
+		if err == nil {
+			break
+		}
+	}
+}
+
+// wholeTxnRetry is the blessed recovery: re-run the transaction as a new
+// session; no Tx call appears lexically inside the loop.
+func runOnce(p *Peer) error { return p.TxCommit(5) }
+
+func wholeTxnRetry(p *Peer) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = runOnce(p); err == nil || errors.Is(err, errUncertain) {
+			return err
+		}
+	}
+	return err
+}
+
+// suppressed documents a reviewed exception.
+func suppressed(p *Peer) {
+	for {
+		//dmv:ignore(commitretry) fixture: demonstrating a documented suppression
+		p.TxCommit(6)
+	}
+}

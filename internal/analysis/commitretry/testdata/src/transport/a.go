@@ -1,0 +1,21 @@
+// Package transport is the commitretry fixture for rule 1: the
+// idempotent-retry helper must never carry a Tx method string.
+package transport
+
+// Node mirrors the transport client.
+type Node struct{}
+
+func (n *Node) callOnce(method string, args, reply any) error { return nil }
+func (n *Node) callIdem(method string, args, reply any) error { return nil }
+
+func (n *Node) TxCommit(args, reply any) error {
+	return n.callIdem("Node.TxCommit", args, reply) // want `callIdem routes non-idempotent Node\.TxCommit through the idempotent-retry helper`
+}
+
+func (n *Node) TxExec(args, reply any) error {
+	return n.callOnce("Node.TxExec", args, reply) // fine: single attempt
+}
+
+func (n *Node) Status(args, reply any) error {
+	return n.callIdem("Node.Status", args, reply) // fine: idempotent
+}

@@ -1,0 +1,145 @@
+// Package detrand enforces seeded determinism in the fault-injection and
+// chaos-harness code: every chaos leg must reproduce byte-for-byte from
+// its seed, so the packages that schedule failures may not draw entropy
+// from the math/rand global source, seed from the wall clock, or pace
+// themselves with bare time.Sleep (which couples the schedule to host
+// timing instead of the injected clock).
+//
+// In scope are the configured fault/harness packages — including their
+// _test.go files, loaded via the analyzer's TestScope — plus any file
+// named chaos*_test.go in any analyzed package. Within scope:
+//
+//   - calls to math/rand (or math/rand/v2) package-level functions are
+//     banned except the source constructors (New, NewSource, NewPCG,
+//     NewChaCha8): rand.Intn and friends draw from the process-global
+//     source, which other goroutines also consume, so replaying a seed
+//     does not replay the schedule;
+//   - seeding a constructor from time.Now (rand.NewSource(
+//     time.Now().UnixNano()) and variants) is banned: the seed must come
+//     from configuration so the log line "seed=N" suffices to reproduce;
+//   - bare time.Sleep is banned in favor of the injectable clock
+//     (time.After inside a select remains legal — it races against other
+//     channels rather than pacing the schedule).
+package detrand
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"dmv/internal/analysis"
+)
+
+// Config scopes the analyzer.
+type Config struct {
+	// ScopePkgs are the packages (PkgMatch semantics) whose entire source —
+	// tests included — must be deterministic.
+	ScopePkgs []string
+	// ChaosFilePrefix marks test files in ANY package as in scope when the
+	// basename starts with it (chaos_test.go and friends).
+	ChaosFilePrefix string
+}
+
+// DefaultConfig matches this repository's fault-injection layout.
+var DefaultConfig = Config{
+	ScopePkgs:       []string{"faultnet", "faultdisk", "harness"},
+	ChaosFilePrefix: "chaos",
+}
+
+// randCtors are the constructor calls exempt from the global-source ban
+// (they produce the threaded seeded source).
+var randCtors = map[string]bool{
+	"New": true, "NewSource": true, // math/rand
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer flags nondeterminism in the fault-injection packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "flag math/rand global-source use, wall-clock seeds, and bare time.Sleep in fault-injection and chaos code (seeded determinism)",
+	Run:  func(pass *analysis.Pass) error { return run(pass, DefaultConfig) },
+	TestScope: []string{
+		"dmv", // chaos_test.go lives in the root package's external tests
+		"internal/faultnet",
+		"internal/faultdisk",
+		"internal/harness",
+	},
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	pkgInScope := analysis.PkgMatchAny(pass.Pkg.Path(), cfg.ScopePkgs)
+	for _, f := range pass.Files {
+		if !pkgInScope && !chaosFile(pass, f, cfg) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case isMathRand(path) && analysis.RecvTypeName(fn) == "":
+				if !randCtors[name] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the process-global source; thread the seeded *rand.Rand so the chaos schedule replays from its seed", name)
+				} else if seedArg := wallClockSeedArg(pass, call); seedArg != nil {
+					pass.Reportf(seedArg.Pos(), "rand.%s seeded from time.Now; the seed must come from configuration so a logged seed reproduces the run", name)
+				}
+			case path == "time" && name == "Sleep" && analysis.RecvTypeName(fn) == "":
+				pass.Reportf(call.Pos(), "bare time.Sleep couples the schedule to host timing; use the injectable clock")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// chaosFile reports whether f is a chaos-named test file.
+func chaosFile(pass *analysis.Pass, f *ast.File, cfg Config) bool {
+	base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+	return strings.HasPrefix(base, cfg.ChaosFilePrefix) && analysis.IsTestFileName(base)
+}
+
+// wallClockSeedArg returns the offending argument of a rand constructor
+// whose seed derives from time.Now, or nil. Nested constructor calls are
+// skipped so rand.New(rand.NewSource(time.Now().UnixNano())) reports once,
+// at the inner NewSource.
+func wallClockSeedArg(pass *analysis.Pass, ctor *ast.CallExpr) ast.Expr {
+	for _, arg := range ctor.Args {
+		if containsNestedCtor(pass, arg) {
+			continue
+		}
+		if analysis.ContainsCallTo(pass.TypesInfo, arg, "time", "Now") {
+			return arg
+		}
+	}
+	return nil
+}
+
+func containsNestedCtor(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, isCall := m.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn != nil && fn.Pkg() != nil && isMathRand(fn.Pkg().Path()) && randCtors[fn.Name()] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

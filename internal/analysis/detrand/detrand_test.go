@@ -1,0 +1,11 @@
+package detrand
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "faultnet", "other")
+}

@@ -1,0 +1,50 @@
+// Package faultnet is the detrand fixture: a scope package whose entropy
+// must come from a threaded seeded source and whose pacing must flow
+// through the injectable clock.
+package faultnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from time\.Now`
+}
+
+func seededOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func methodOK(r *rand.Rand) int {
+	return r.Intn(10) // fine: draws from the threaded source
+}
+
+func bareSleep() {
+	time.Sleep(time.Millisecond) // want `bare time\.Sleep couples the schedule to host timing`
+}
+
+func selectAfterOK(stop chan struct{}) {
+	select {
+	case <-stop:
+	case <-time.After(time.Millisecond): // fine: races against other channels
+	}
+}
+
+func suppressedSleep() {
+	//dmv:ignore(detrand) fixture: demonstrating a documented suppression
+	time.Sleep(time.Millisecond)
+}
+
+// A reason-less ignore being itself a diagnostic is asserted in the driver
+// test (cmd/dmv-vet), where the dmvignore diagnostic can be observed
+// directly; expressing it as a // want here would turn the want text into
+// the ignore's reason.

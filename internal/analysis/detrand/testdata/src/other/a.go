@@ -1,0 +1,13 @@
+// Package other is outside the detrand scope: ordinary code may sleep and
+// use convenience randomness; only fault-injection and chaos code must be
+// deterministic.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() {
+	time.Sleep(time.Duration(rand.Intn(10)) * time.Millisecond) // fine: out of scope
+}

@@ -1,0 +1,16 @@
+// A chaos-named test file is in the detrand scope regardless of its
+// package: chaos schedules must replay from their seed.
+package other
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestChaosSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(42)) // fine: seeded from configuration
+	_ = rng.Intn(10)
+	_ = rand.Intn(10)            // want `rand\.Intn draws from the process-global source`
+	time.Sleep(time.Millisecond) // want `bare time\.Sleep couples the schedule to host timing`
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression comments. A diagnostic can be silenced at its source line (or
+// from the line directly above) with
+//
+//	//dmv:ignore(<analyzer>[,<analyzer>...]) <reason>
+//
+// The reason is mandatory: an ignore without one is itself a diagnostic
+// (analyzer name "dmvignore"), so every suppression in the tree documents
+// why the invariant does not apply. All analyzers honor the comment; it is
+// applied centrally when diagnostics are collected, never inside an
+// analyzer's Run.
+
+// IgnoreAnalyzerName tags diagnostics produced by malformed ignore
+// comments themselves; they cannot be suppressed.
+const IgnoreAnalyzerName = "dmvignore"
+
+var ignoreRE = regexp.MustCompile(`^//\s*dmv:ignore\(([^)]*)\)(.*)$`)
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// IgnoreIndex records which analyzers are suppressed on which lines.
+type IgnoreIndex struct {
+	byLine map[ignoreKey]map[string]bool
+	seen   map[string]bool // files already indexed (test variants re-parse sources)
+}
+
+// NewIgnoreIndex returns an empty index.
+func NewIgnoreIndex() *IgnoreIndex {
+	return &IgnoreIndex{byLine: make(map[ignoreKey]map[string]bool), seen: make(map[string]bool)}
+}
+
+// AddFile scans one file's comments into the index and returns a
+// diagnostic for every malformed ignore (missing reason or empty analyzer
+// list). A file already indexed (same name) is skipped, so loading a
+// package and its test variant does not double-report.
+func (ix *IgnoreIndex) AddFile(fset *token.FileSet, f *ast.File) []Diagnostic {
+	name := fset.Position(f.Pos()).Filename
+	if ix.seen[name] {
+		return nil
+	}
+	ix.seen[name] = true
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			names := splitIgnoreNames(m[1])
+			reason := strings.TrimSpace(m[2])
+			if len(names) == 0 {
+				bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: IgnoreAnalyzerName,
+					Message: "dmv:ignore() names no analyzer; write //dmv:ignore(<analyzer>) <reason>"})
+				continue
+			}
+			if reason == "" {
+				bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: IgnoreAnalyzerName,
+					Message: "dmv:ignore(" + m[1] + ") has no reason; a suppression must say why the invariant does not apply"})
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := ignoreKey{file: pos.Filename, line: pos.Line}
+			if ix.byLine[key] == nil {
+				ix.byLine[key] = make(map[string]bool, len(names))
+			}
+			for _, n := range names {
+				ix.byLine[key][n] = true
+			}
+		}
+	}
+	return bad
+}
+
+func splitIgnoreNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Suppressed reports whether d is silenced: an ignore naming d's analyzer
+// sits on the same line (trailing comment) or on the line above
+// (standalone comment).
+func (ix *IgnoreIndex) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if names := ix.byLine[ignoreKey{file: pos.Filename, line: line}]; names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the diagnostics not suppressed by the index.
+func (ix *IgnoreIndex) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !ix.Suppressed(fset, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

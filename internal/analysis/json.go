@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// JSONDiagnostic is the machine-readable diagnostic shape emitted by
+// dmv-vet -json: one object per finding, file paths relative to the
+// invocation directory so output diffs cleanly across checkouts.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// JSONDiagnostics converts positioned diagnostics, relativizing file paths
+// against baseDir when possible.
+func JSONDiagnostics(fset *token.FileSet, diags []Diagnostic, baseDir string) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, file); err == nil && !filepath.IsAbs(rel) {
+				file = rel
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// EncodeJSON writes ds as a JSON array with one element per line (stable,
+// diff-friendly). An empty slice encodes as "[]".
+func EncodeJSON(w io.Writer, ds []JSONDiagnostic) error {
+	if len(ds) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, d := range ds {
+		b, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(ds)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// FormatJSON reads a -json diagnostics array from r and writes the
+// diff-friendly text rendering ("file:line:col: [analyzer] message", one
+// line per finding, sorted) to w. It returns the number of findings.
+func FormatJSON(r io.Reader, w io.Writer) (int, error) {
+	var ds []JSONDiagnostic
+	if err := json.NewDecoder(r).Decode(&ds); err != nil {
+		return 0, fmt.Errorf("decode diagnostics: %w", err)
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
+		}
+		if ds[i].Line != ds[j].Line {
+			return ds[i].Line < ds[j].Line
+		}
+		if ds[i].Analyzer != ds[j].Analyzer {
+			return ds[i].Analyzer < ds[j].Analyzer
+		}
+		return ds[i].Message < ds[j].Message
+	})
+	for _, d := range ds {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message); err != nil {
+			return 0, err
+		}
+	}
+	return len(ds), nil
+}

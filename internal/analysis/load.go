@@ -23,14 +23,27 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	// TestVariant marks a package re-checked with its _test.go files
+	// included (both in-package and external test files). The base
+	// (non-test) variant of the same import path is always present too.
+	TestVariant bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string // _test.go files in the package itself
+	XTestGoFiles []string // _test.go files in the external pkg_test package
+	Error        *struct{ Err string }
+}
+
+// LoadOptions tunes package loading.
+type LoadOptions struct {
+	// Tests lists import-path patterns (PkgMatch semantics) whose _test.go
+	// files should also be loaded, as additional TestVariant packages.
+	Tests []string
 }
 
 // Load resolves the given package patterns with `go list` (run in dir) and
@@ -39,12 +52,37 @@ type listedPackage struct {
 // so the loader needs nothing beyond the go toolchain already present for
 // builds.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	return LoadPkgs(dir, patterns, LoadOptions{})
+}
+
+// LoadPkgs is Load with options.
+func LoadPkgs(dir string, patterns []string, opts LoadOptions) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
+	parse := func(pkgDir string, names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(pkgDir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	check := func(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("type-check %s: %w", path, err)
+		}
+		return tpkg, info, nil
+	}
 	var pkgs []*Package
 	for _, lp := range listed {
 		if lp.Error != nil {
@@ -53,19 +91,13 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		var files []*ast.File
-		for _, name := range lp.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, err
-			}
-			files = append(files, f)
-		}
-		info := NewInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		files, err := parse(lp.Dir, lp.GoFiles)
 		if err != nil {
-			return nil, fmt.Errorf("type-check %s: %w", lp.ImportPath, err)
+			return nil, err
+		}
+		tpkg, info, err := check(lp.ImportPath, files)
+		if err != nil {
+			return nil, err
 		}
 		pkgs = append(pkgs, &Package{
 			PkgPath: lp.ImportPath,
@@ -75,6 +107,53 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			Types:   tpkg,
 			Info:    info,
 		})
+		if !PkgMatchAny(lp.ImportPath, opts.Tests) {
+			continue
+		}
+		// In-package test variant: base files plus TestGoFiles, checked
+		// under the same import path (a distinct types.Package instance, so
+		// the base one stays untouched).
+		if len(lp.TestGoFiles) > 0 {
+			tfiles, err := parse(lp.Dir, lp.TestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			all := append(append([]*ast.File{}, files...), tfiles...)
+			vpkg, vinfo, err := check(lp.ImportPath, all)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, &Package{
+				PkgPath:     lp.ImportPath,
+				Dir:         lp.Dir,
+				Fset:        fset,
+				Files:       all,
+				Types:       vpkg,
+				Info:        vinfo,
+				TestVariant: true,
+			})
+		}
+		// External test package (package foo_test): its own compilation
+		// unit importing the base package normally.
+		if len(lp.XTestGoFiles) > 0 {
+			xfiles, err := parse(lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			xpkg, xinfo, err := check(lp.ImportPath+"_test", xfiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, &Package{
+				PkgPath:     lp.ImportPath,
+				Dir:         lp.Dir,
+				Fset:        fset,
+				Files:       xfiles,
+				Types:       xpkg,
+				Info:        xinfo,
+				TestVariant: true,
+			})
+		}
 	}
 	return pkgs, nil
 }

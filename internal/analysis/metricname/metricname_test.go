@@ -1,0 +1,11 @@
+package metricname
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "obs", "app")
+}

@@ -1,0 +1,24 @@
+// Package app is the metricname fixture for registration sites: names
+// come from the obs catalogue, directly or through Labeled.
+package app
+
+import "obs"
+
+var dynamicName = "custom_series_total"
+
+func register(r *obs.Registry) {
+	r.Counter(obs.Good)                                                // fine: catalogued constant
+	r.Histogram(obs.Labeled(obs.PrefixFam, "k", "v"))                  // fine: Labeled over a catalogued base
+	r.Gauge("dmv_bad_total")                                           // want `Gauge registered with string literal "dmv_bad_total"; declare it in names\.go`
+	r.Counter(dynamicName)                                             // want `Counter registered with a non-catalogue name`
+	r.GaugeFunc(obs.Labeled(dynamicName), func() float64 { return 0 }) // want `GaugeFunc registered with a non-catalogue name`
+}
+
+func stray() string {
+	return "dmv_stray_bytes" // want `metric-name literal "dmv_stray_bytes" outside names\.go`
+}
+
+func suppressed(r *obs.Registry) {
+	//dmv:ignore(metricname) fixture: demonstrating a documented suppression
+	r.Counter("dmv_suppressed_total")
+}

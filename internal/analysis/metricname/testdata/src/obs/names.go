@@ -1,0 +1,12 @@
+// The metric-name catalogue fixture: every name the fixture app registers
+// must be declared here, and a declared name nobody uses is dead.
+package obs
+
+const (
+	Good      = "dmv_good_total"
+	PrefixFam = "dmv_fam_"       // alive: used as a Labeled base name
+	Dead      = "dmv_dead_total" // want `metric name constant Dead is declared in names\.go but never registered or referenced`
+
+	//dmv:ignore(metricname) fixture: demonstrating a suppressed dead name
+	Parked = "dmv_parked_total"
+)

@@ -1,0 +1,17 @@
+package obs
+
+// Registry mirrors the real obs registry surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter             { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge                 { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram         { return &Histogram{} }
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+
+// Counter, Gauge, and Histogram are opaque instruments.
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+// Labeled derives a labeled series name from a catalogued base.
+func Labeled(name string, kv ...string) string { return name }

@@ -1,0 +1,11 @@
+package rpcdeadline
+
+import (
+	"testing"
+
+	"dmv/internal/analysis/analysistest"
+)
+
+func TestRPCDeadline(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "transport", "client")
+}

@@ -1,0 +1,18 @@
+// Package client is the rpcdeadline fixture for rule 1: outside the
+// transport layer, importing net/rpc at all bypasses the deadline
+// machinery.
+package client
+
+import (
+	"net/rpc" // want `package client imports net/rpc directly`
+
+	"transport"
+)
+
+func dial() (*rpc.Client, error) {
+	return rpc.Dial("tcp", "localhost:0")
+}
+
+func good() transport.ClientOptions {
+	return transport.ClientOptions{CallTimeout: 1000000}
+}

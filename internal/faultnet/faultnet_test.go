@@ -6,6 +6,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"dmv/internal/harness"
 )
 
 // echoServer accepts connections on the listener and echoes every byte
@@ -253,7 +255,7 @@ func TestCloseWakesStalledWriter(t *testing.T) {
 		_, err := conn.Write([]byte("never"))
 		errc <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	harness.RealClock{}.Sleep(20 * time.Millisecond)
 	conn.Close()
 	select {
 	case err := <-errc:

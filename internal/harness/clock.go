@@ -1,0 +1,25 @@
+package harness
+
+import "time"
+
+// Clock is the injectable time source the harness paces itself with. The
+// detrand analyzer bans bare time.Sleep in the fault-injection and chaos
+// packages; threading a Clock keeps every pause attributable to one
+// injection point, so a deterministic test clock can replace wall time
+// without touching call sites.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall-clock implementation and the single blessed
+// time.Sleep in the seeded-determinism scope.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) {
+	time.Sleep(d) //dmv:ignore(detrand) the one blessed wall-clock sleep: every other pause must route through an injectable Clock
+}

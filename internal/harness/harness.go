@@ -91,6 +91,10 @@ type RunConfig struct {
 	// OnTick, if non-nil, is invoked once per client iteration (fault
 	// injection scripting hooks poll elapsed time from it).
 	OnTick func(elapsed time.Duration)
+	// Clock paces the warmup and measurement phases (nil = RealClock).
+	// Injecting a test clock keeps harness pacing out of the chaos
+	// schedule's entropy (see the detrand analyzer).
+	Clock Clock
 }
 
 // InteractionStat aggregates one interaction type over a run.
@@ -123,6 +127,9 @@ func Run(cfg RunConfig) *RunResult {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 7
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
 	}
 	type iStat struct {
 		count, errs, latSum int64
@@ -197,12 +204,12 @@ func Run(cfg RunConfig) *RunResult {
 		}(c)
 	}
 	if cfg.Warmup > 0 {
-		time.Sleep(cfg.Warmup)
+		cfg.Clock.Sleep(cfg.Warmup)
 	}
 	tl = NewTimeline(cfg.Window)
 	measureStart = time.Now()
 	measuring.Store(true)
-	time.Sleep(cfg.Duration)
+	cfg.Clock.Sleep(cfg.Duration)
 	measuring.Store(false)
 	close(stop)
 	wg.Wait()

@@ -146,7 +146,7 @@ func TestInnoDBTierWriteAllReadOne(t *testing.T) {
 	tier.KillActive(0)
 	deadline := time.Now().Add(2 * time.Second)
 	for tier.Actives() < 2 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+		RealClock{}.Sleep(5 * time.Millisecond)
 	}
 	if tier.Actives() != 2 {
 		t.Fatalf("actives after failover = %d, want 2 (spare promoted)", tier.Actives())

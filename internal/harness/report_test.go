@@ -10,7 +10,7 @@ func TestTimelineBucketing(t *testing.T) {
 	tl := NewTimeline(10 * time.Millisecond)
 	tl.Record(time.Millisecond, false)
 	tl.Record(3*time.Millisecond, true)
-	time.Sleep(25 * time.Millisecond)
+	RealClock{}.Sleep(25 * time.Millisecond)
 	tl.Record(2*time.Millisecond, false)
 	series := tl.Series()
 	if len(series) < 3 {

@@ -503,13 +503,13 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	case o.CallTimeout == 0:
 		o.CallTimeout = DefaultCallTimeout
 	case o.CallTimeout < 0:
-		o.CallTimeout = 0
+		o.CallTimeout = 0 //dmv:ignore(rpcdeadline) normalizer: the public <0 escape hatch maps to callOnce's internal 0 = unbounded encoding
 	}
 	switch {
 	case o.PingTimeout == 0:
 		o.PingTimeout = DefaultPingTimeout
 	case o.PingTimeout < 0:
-		o.PingTimeout = 0
+		o.PingTimeout = 0 //dmv:ignore(rpcdeadline) normalizer: the public <0 escape hatch maps to callOnce's internal 0 = unbounded encoding
 	}
 	switch {
 	case o.RetryAttempts == 0:
