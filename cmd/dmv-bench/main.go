@@ -1,0 +1,319 @@
+// Command dmv-bench records and gates the repository's perf trajectory.
+//
+// Run mode executes the registered scenario suites (TPC-W scaling grid,
+// fail-over stage timings, WAL fsync and transport RPC micro-benchmarks)
+// and emits a versioned BENCH_<pr>.json report; diff mode compares two
+// reports under per-metric tolerance bands and exits non-zero when a
+// metric regressed beyond tolerance; smoke mode is the seconds-scale
+// check.sh leg that proves the plan/schema/comparator pipeline end to end
+// with no perf assertions.
+//
+// Usage:
+//
+//	dmv-bench [-mode full|quick|smoke] [-seed N] [-duration 10s]
+//	          [-run regex] [-mix all|browsing|shopping|ordering]
+//	          [-slaves 1,2,4] [-json path] [-pr N]
+//	          [-against baseline.json | -baseline-dir .]
+//	dmv-bench -diff OLD.json NEW.json [-allow-missing] [-tol-wips 0.20] [-v]
+//	dmv-bench -list [-mode ...] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"dmv/internal/bench"
+	"dmv/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dmv-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression distinguishes "the gate failed" (clean non-zero exit, the
+// report already printed) from operational errors.
+var errRegression = fmt.Errorf("performance regressed beyond tolerance")
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dmv-bench", flag.ContinueOnError)
+	var (
+		mode     = fs.String("mode", "quick", "duration envelope: full|quick|smoke")
+		seed     = fs.Int64("seed", 7, "root seed; every scenario seed derives from it")
+		duration = fs.Duration("duration", 0, "override the measured period per scenario run")
+		runRe    = fs.String("run", "", "regexp restricting which suites run")
+		mixName  = fs.String("mix", "all", "TPC-W mixes for the scaling suite: all|browsing|shopping|ordering")
+		slaves   = fs.String("slaves", "1,2,4", "comma-separated DMV tier sizes for the scaling suite")
+		jsonPath = fs.String("json", "", "write the report to this path (BENCH_<pr>.json)")
+		pr       = fs.Int("pr", -1, "PR ordinal stamped into the report (default: parsed from -json name, else 0)")
+		against  = fs.String("against", "", "after running, diff against this baseline report and gate on it")
+		baseDir  = fs.String("baseline-dir", "", "after running, auto-discover the latest prior BENCH_*.json in this directory and gate against it (no-op when none exists)")
+		doDiff   = fs.Bool("diff", false, "compare two report files given as positional args; no scenarios run")
+		doList   = fs.Bool("list", false, "print the deterministic run plan (suite names + derived seeds) and exit")
+		allowMis = fs.Bool("allow-missing", false, "tolerate scenarios present in the baseline but absent from the new report")
+		tolWIPS  = fs.Float64("tol-wips", 0, "relative WIPS band treated as noise (default 0.20)")
+		tolLat   = fs.Float64("tol-latency", 0, "latency p95 growth ratio flagged as regression (default 3.0)")
+		verbose  = fs.Bool("v", false, "also print in-band metrics in diff reports")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tol := bench.DefaultTolerance()
+	tol.AllowMissing = *allowMis
+	if *tolWIPS > 0 {
+		tol.WIPSFrac = *tolWIPS
+	}
+	if *tolLat > 1 {
+		tol.LatencyRatio = *tolLat
+	}
+
+	if *doDiff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff wants exactly two report paths, got %d", fs.NArg())
+		}
+		return diffFiles(fs.Arg(0), fs.Arg(1), tol, *verbose, out)
+	}
+
+	cfg := bench.Config{
+		Seed:            *seed,
+		Mode:            bench.Mode(*mode),
+		MeasureOverride: *duration,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(out, "# "+format+"\n", a...)
+		},
+	}
+	switch cfg.Mode {
+	case bench.ModeFull, bench.ModeQuick, bench.ModeSmoke:
+	default:
+		return fmt.Errorf("unknown -mode %q (want full|quick|smoke)", *mode)
+	}
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			return fmt.Errorf("bad -run: %w", err)
+		}
+		cfg.Filter = re
+	}
+	if *mixName != "all" {
+		mix, ok := tpcw.MixByName(*mixName)
+		if !ok {
+			return fmt.Errorf("unknown mix %q", *mixName)
+		}
+		cfg.Mixes = []tpcw.Mix{mix}
+	}
+	for _, s := range strings.Split(*slaves, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -slaves entry %q: %w", s, err)
+		}
+		cfg.SlaveCounts = append(cfg.SlaveCounts, n)
+	}
+	cfg.PR = *pr
+	if cfg.PR < 0 {
+		cfg.PR = 0
+		if *jsonPath != "" {
+			if n := bench.PRFromFileName(*jsonPath); n >= 0 {
+				cfg.PR = n
+			}
+		}
+	}
+	cfg.Commit = gitCommit()
+
+	if *doList {
+		for _, p := range bench.Plan(cfg) {
+			fmt.Fprintf(out, "%-24s %-9s seed=%-20d %s\n", p.Suite.Name, p.Suite.Kind, p.Seed, p.Suite.Desc)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	rep, err := bench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printReport(out, rep)
+
+	if *jsonPath != "" {
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote %s (%d scenarios, %s)\n", *jsonPath, len(rep.Scenarios), time.Since(start).Round(time.Second))
+	}
+
+	if cfg.Mode == bench.ModeSmoke {
+		if err := smokeSelfCheck(rep, out); err != nil {
+			return err
+		}
+	}
+
+	baseline := *against
+	if baseline == "" && *baseDir != "" {
+		baseline, err = bench.LatestBaseline(*baseDir, cfg.PR)
+		if err != nil {
+			return err
+		}
+		if baseline == "" {
+			fmt.Fprintf(out, "\nno prior BENCH_*.json in %s — nothing to gate against\n", *baseDir)
+		}
+	}
+	if baseline != "" {
+		base, err := bench.Load(baseline)
+		if err != nil {
+			return err
+		}
+		d, err := bench.Compare(base, rep, tol)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		d.Render(out, *verbose)
+		if d.HasRegressions() {
+			return errRegression
+		}
+	}
+	return nil
+}
+
+// diffFiles is the comparator entry point: load, compare, render, gate.
+func diffFiles(oldPath, newPath string, tol bench.Tolerance, verbose bool, out *os.File) error {
+	oldR, err := bench.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := bench.Load(newPath)
+	if err != nil {
+		return err
+	}
+	d, err := bench.Compare(oldR, newR, tol)
+	if err != nil {
+		return err
+	}
+	d.Render(out, verbose)
+	if d.HasRegressions() {
+		return errRegression
+	}
+	return nil
+}
+
+// smokeSelfCheck exercises the persistence and comparator pipeline on the
+// fresh smoke report: write, reload, byte-stable re-marshal, self-diff
+// (must be clean), and a hand-mutated copy (must be caught). No perf
+// numbers are asserted — only that the machinery would catch them.
+func smokeSelfCheck(rep *bench.Report, out *os.File) error {
+	dir, err := os.MkdirTemp("", "dmv-bench-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/" + bench.FileName(rep.PR)
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	loaded, err := bench.Load(path)
+	if err != nil {
+		return fmt.Errorf("smoke: reload: %w", err)
+	}
+	a, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	b, err := loaded.Marshal()
+	if err != nil {
+		return err
+	}
+	if string(a) != string(b) {
+		return fmt.Errorf("smoke: report JSON is not round-trip stable")
+	}
+	self, err := bench.Compare(loaded, rep, bench.DefaultTolerance())
+	if err != nil {
+		return err
+	}
+	if self.HasRegressions() {
+		return fmt.Errorf("smoke: self-diff reported regressions")
+	}
+	// Mutate a latency quantile far beyond tolerance; the comparator must
+	// flag it, or the gate is decorative.
+	mutated := *loaded
+	mutated.Scenarios = append([]bench.Scenario(nil), loaded.Scenarios...)
+	caught := false
+	for i, s := range mutated.Scenarios {
+		for name, sum := range s.LatencyUS {
+			if sum.P95 == 0 {
+				continue
+			}
+			lat := map[string]bench.Quantiles{}
+			for k, v := range s.LatencyUS {
+				lat[k] = v
+			}
+			worse := sum
+			worse.P95 = sum.P95 * 100
+			if worse.P95 < 10_000_000 {
+				worse.P95 = 10_000_000 // clear every floor regardless of how fast the host is
+			}
+			lat[name] = worse
+			mutated.Scenarios[i].LatencyUS = lat
+			caught = true
+			break
+		}
+		if caught {
+			break
+		}
+	}
+	if !caught {
+		return fmt.Errorf("smoke: no latency summary to mutate")
+	}
+	d, err := bench.Compare(loaded, &mutated, bench.DefaultTolerance())
+	if err != nil {
+		return err
+	}
+	if !d.HasRegressions() {
+		return fmt.Errorf("smoke: comparator missed an injected 100x latency regression")
+	}
+	fmt.Fprintf(out, "\nsmoke ok: %d scenarios, JSON round-trip stable, self-diff clean, injected regression caught\n", len(rep.Scenarios))
+	return nil
+}
+
+// printReport renders the run as a compact table.
+func printReport(out *os.File, rep *bench.Report) {
+	fmt.Fprintf(out, "\nBENCH report pr=%d mode=%s seed=%d go=%s gomaxprocs=%d\n",
+		rep.PR, rep.Meta.Mode, rep.Meta.Seed, rep.Meta.GoVersion, rep.Meta.GOMAXPROCS)
+	fmt.Fprintf(out, "%-32s %-9s %10s %12s %12s\n", "scenario", "kind", "wips", "p95_us", "stages_s")
+	for _, s := range rep.Scenarios {
+		p95 := int64(0)
+		for _, sum := range s.LatencyUS {
+			if sum.P95 > p95 {
+				p95 = sum.P95
+			}
+		}
+		stageTotal := 0.0
+		for _, v := range s.StageSeconds {
+			stageTotal += v
+		}
+		wips := "-"
+		if s.WIPS > 0 {
+			wips = fmt.Sprintf("%.1f", s.WIPS)
+		}
+		stages := "-"
+		if stageTotal > 0 {
+			stages = fmt.Sprintf("%.3f", stageTotal)
+		}
+		fmt.Fprintf(out, "%-32s %-9s %10s %12d %12s\n", s.Name, s.Kind, wips, p95, stages)
+	}
+}
+
+// gitCommit best-effort resolves the current commit for provenance.
+func gitCommit() string {
+	out, err := osexec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

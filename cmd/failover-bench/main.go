@@ -6,6 +6,7 @@
 // Usage:
 //
 //	failover-bench [-fig 4|5|6|7|8|9|all] [-quick] [-csv dir]
+//	               [-seed N] [-duration 10s] [-json report.json]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"dmv/internal/bench"
 	"dmv/internal/experiments"
 	"dmv/internal/harness"
 	"dmv/internal/tpcw"
@@ -29,10 +31,13 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 4..9 or all")
-		quick  = flag.Bool("quick", false, "short runs")
-		csvDir = flag.String("csv", "", "directory to write per-figure CSV timelines")
-		repeat = flag.Int("repeat", 1, "repetitions per figure; medians are reported")
+		fig      = flag.String("fig", "all", "figure to regenerate: 4..9 or all")
+		quick    = flag.Bool("quick", false, "short runs")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV timelines")
+		repeat   = flag.Int("repeat", 1, "repetitions per figure; medians are reported")
+		seed     = flag.Int64("seed", 0, "seed for every client's random stream (0 = harness default)")
+		duration = flag.Duration("duration", 0, "override the measured period per figure")
+		jsonPath = flag.String("json", "", "also write the figures as a bench report (internal/bench schema) to this path")
 	)
 	flag.Parse()
 
@@ -40,7 +45,20 @@ func run() error {
 	if *quick {
 		d = experiments.QuickDurations()
 	}
+	d.Seed = *seed
+	if *duration > 0 {
+		d.Measure = *duration
+	}
 	scale := tpcw.FailoverScale()
+
+	// -json accumulates one scenario per figure that ran, through the same
+	// conversion dmv-bench uses, so the two emitters cannot drift.
+	var scenarios []bench.Scenario
+	record := func(name string, r *experiments.FailoverResult) {
+		if *jsonPath != "" {
+			scenarios = append(scenarios, bench.FailoverScenario(name, d, r))
+		}
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
@@ -107,6 +125,7 @@ func run() error {
 		if err := report("Fig 4 — master kill, reboot, reintegration", r); err != nil {
 			return err
 		}
+		record("failover/fig4-reintegration", r)
 		fmt.Println("Paper: instantaneous adaptation, ~20% graceful degradation, ~5s catch-up, 50-60s cache warmup.")
 		fmt.Println()
 	}
@@ -123,6 +142,8 @@ func run() error {
 		if err := report("Fig 5(c,d) — DMV tier, kill master, stale spare gets page deltas", dmvRes); err != nil {
 			return err
 		}
+		record("failover/fig5-innodb-stale", innoRes)
+		record("failover/fig5-dmv-stale", dmvRes)
 		fmt.Println("Fig 6 — fail-over stage weights:")
 		fmt.Printf("  %-8s %-14s %10s\n", "system", "stage", "seconds")
 		for _, row := range rows {
@@ -145,6 +166,7 @@ func run() error {
 		if err := report("Fig 7 — cold backup: full cache warm-up after fail-over", r); err != nil {
 			return err
 		}
+		record("failover/fig7-cold-backup", r)
 		fmt.Println("Paper: significant dip; >1 minute until peak throughput is restored.")
 		fmt.Println()
 	}
@@ -158,6 +180,7 @@ func run() error {
 		if err := report("Fig 8 — warm backup (1% of reads): failure almost unnoticeable", r); err != nil {
 			return err
 		}
+		record("failover/fig8-warm-query", r)
 		fmt.Println("Paper: effect of the failure is almost unnoticeable.")
 		fmt.Println()
 	}
@@ -171,8 +194,26 @@ func run() error {
 		if err := report("Fig 9 — warm backup (page-id transfer): seamless failure handling", r); err != nil {
 			return err
 		}
+		record("failover/fig9-warm-pageid", r)
 		fmt.Println("Paper: seamless behavior, same as the query-execution warm-up scheme.")
 		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		mode := bench.ModeFull
+		if *quick {
+			mode = bench.ModeQuick
+		}
+		pr := bench.PRFromFileName(*jsonPath)
+		if pr < 0 {
+			pr = 0
+		}
+		rep := bench.NewReport(pr, mode, *seed)
+		rep.Scenarios = scenarios
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d scenarios)\n", *jsonPath, len(rep.Scenarios))
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //
 //	tpcw-bench [-quick] [-mix browsing|shopping|ordering|all]
 //	           [-slaves 1,2,4,8] [-items N] [-customers N] [-ablate]
+//	           [-seed N] [-duration 10s] [-json report.json]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dmv/internal/bench"
 	"dmv/internal/experiments"
 	"dmv/internal/tpcw"
 )
@@ -37,12 +39,19 @@ func run() error {
 		customers = flag.Int("customers", 1000, "customers in the TPC-W database")
 		ablate    = flag.Bool("ablate", false, "also run the design-choice ablations")
 		ramp      = flag.String("ramp", "", "comma-separated client steps; peak over the ramp is reported (the paper ramps 100..1000)")
+		seed      = flag.Int64("seed", 0, "seed for every client's random stream (0 = harness default); recorded runs name it so tables regenerate reproducibly")
+		duration  = flag.Duration("duration", 0, "override the measured period per configuration")
+		jsonPath  = flag.String("json", "", "also write the rows as a bench report (internal/bench schema) to this path")
 	)
 	flag.Parse()
 
 	d := experiments.FullDurations()
 	if *quick {
 		d = experiments.QuickDurations()
+	}
+	d.Seed = *seed
+	if *duration > 0 {
+		d.Measure = *duration
 	}
 	opts := experiments.DefaultFig3Opts(d)
 	opts.Scale = tpcw.Scale{Items: *items, Customers: *customers}
@@ -118,6 +127,23 @@ func run() error {
 	fmt.Println()
 	fmt.Println("Paper reference (9-node tier vs stand-alone InnoDB): browsing 14.6x, shopping 17.6x, ordering 6.5x;")
 	fmt.Println("read-only aborts below 2.5% in all experiments.")
+
+	if *jsonPath != "" {
+		mode := bench.ModeFull
+		if *quick {
+			mode = bench.ModeQuick
+		}
+		pr := bench.PRFromFileName(*jsonPath)
+		if pr < 0 {
+			pr = 0
+		}
+		rep := bench.NewReport(pr, mode, *seed)
+		rep.Scenarios = bench.TPCWScenarios(d, rows)
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%d scenarios)\n", *jsonPath, len(rep.Scenarios))
+	}
 
 	if *ablate {
 		fmt.Println()

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tolerance holds the per-metric bands inside which a change is noise, not
+// a verdict. EXPERIMENTS.md documents ±10–15% run-to-run WIPS variance on
+// compressed timelines, so the default throughput band sits just above it;
+// latency quantiles come from log2-bucket histograms whose adjacent bounds
+// differ 2×, so they are compared by ratio, not fraction.
+type Tolerance struct {
+	// WIPSFrac is the relative WIPS change treated as noise (default 0.20:
+	// a drop below old×0.80 is a regression).
+	WIPSFrac float64
+	// LatencyRatio flags a latency-quantile regression when the new p95
+	// exceeds old×ratio (default 3.0 — one log2 bucket of slack plus
+	// scheduling noise).
+	LatencyRatio float64
+	// LatencyFloorUS ignores latency diffs where both p95s sit below this
+	// bound (default 500µs): micro-latencies jitter with host load.
+	LatencyFloorUS int64
+	// StageRatio flags a fail-over stage regression when the new duration
+	// exceeds old×ratio (default 3.0).
+	StageRatio float64
+	// StageFloorSec ignores stage diffs where both durations sit below
+	// this bound (default 0.05s).
+	StageFloorSec float64
+	// AllowMissing downgrades scenarios present in the baseline but absent
+	// from the new report from regression to note (for filtered runs).
+	AllowMissing bool
+}
+
+// DefaultTolerance returns the bands used by make bench-diff.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		WIPSFrac:       0.20,
+		LatencyRatio:   3.0,
+		LatencyFloorUS: 500,
+		StageRatio:     3.0,
+		StageFloorSec:  0.05,
+	}
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	d := DefaultTolerance()
+	if t.WIPSFrac <= 0 {
+		t.WIPSFrac = d.WIPSFrac
+	}
+	if t.LatencyRatio <= 1 {
+		t.LatencyRatio = d.LatencyRatio
+	}
+	if t.LatencyFloorUS <= 0 {
+		t.LatencyFloorUS = d.LatencyFloorUS
+	}
+	if t.StageRatio <= 1 {
+		t.StageRatio = d.StageRatio
+	}
+	if t.StageFloorSec <= 0 {
+		t.StageFloorSec = d.StageFloorSec
+	}
+	return t
+}
+
+// Verdict classifies one compared metric.
+type Verdict string
+
+// Metric verdicts.
+const (
+	VerdictRegression  Verdict = "regression"
+	VerdictImprovement Verdict = "improvement"
+	VerdictOK          Verdict = "ok"
+	VerdictInfo        Verdict = "info" // shown, never gated
+)
+
+// Delta is one compared metric within a scenario.
+type Delta struct {
+	Metric  string
+	Old     float64
+	New     float64
+	Verdict Verdict
+	Note    string
+}
+
+// ScenarioStatus classifies scenario coverage between two reports.
+type ScenarioStatus string
+
+// Scenario statuses.
+const (
+	StatusCompared ScenarioStatus = "compared"
+	StatusNew      ScenarioStatus = "new"     // in new report only
+	StatusMissing  ScenarioStatus = "missing" // in baseline only
+)
+
+// ScenarioDiff is the comparison of one scenario name across two reports.
+type ScenarioDiff struct {
+	Name   string
+	Status ScenarioStatus
+	Deltas []Delta
+}
+
+// Diff is the full comparison of two reports.
+type Diff struct {
+	OldPR, NewPR int
+	Tol          Tolerance
+	Scenarios    []ScenarioDiff
+
+	Regressions  int
+	Improvements int
+	NewCount     int
+	MissingCount int
+	Compared     int // metrics compared under a gate
+}
+
+// HasRegressions reports whether the diff should fail a gate: any metric
+// regression, or (unless tolerated) lost scenario coverage.
+func (d *Diff) HasRegressions() bool {
+	return d.Regressions > 0 || (!d.Tol.AllowMissing && d.MissingCount > 0)
+}
+
+// Compare diffs two reports scenario-by-scenario. Both must carry the same
+// schema version (Load enforces it for files).
+func Compare(oldR, newR *Report, tol Tolerance) (*Diff, error) {
+	if oldR.Schema != newR.Schema {
+		return nil, fmt.Errorf("bench: schema mismatch: baseline v%d vs new v%d", oldR.Schema, newR.Schema)
+	}
+	tol = tol.withDefaults()
+	d := &Diff{OldPR: oldR.PR, NewPR: newR.PR, Tol: tol}
+
+	names := map[string]bool{}
+	for _, s := range oldR.Scenarios {
+		names[s.Name] = true
+	}
+	for _, s := range newR.Scenarios {
+		names[s.Name] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	for _, name := range ordered {
+		o, inOld := oldR.Scenario(name)
+		n, inNew := newR.Scenario(name)
+		switch {
+		case !inNew:
+			d.MissingCount++
+			d.Scenarios = append(d.Scenarios, ScenarioDiff{Name: name, Status: StatusMissing})
+		case !inOld:
+			d.NewCount++
+			d.Scenarios = append(d.Scenarios, ScenarioDiff{Name: name, Status: StatusNew})
+		default:
+			sd := ScenarioDiff{Name: name, Status: StatusCompared}
+			sd.Deltas = compareScenario(o, n, tol)
+			for _, dl := range sd.Deltas {
+				switch dl.Verdict {
+				case VerdictRegression:
+					d.Regressions++
+					d.Compared++
+				case VerdictImprovement:
+					d.Improvements++
+					d.Compared++
+				case VerdictOK:
+					d.Compared++
+				}
+			}
+			d.Scenarios = append(d.Scenarios, sd)
+		}
+	}
+	return d, nil
+}
+
+// compareScenario emits the gated deltas (WIPS, latency p95 per histogram,
+// stage durations) plus informational ones (scalar values).
+func compareScenario(o, n Scenario, tol Tolerance) []Delta {
+	var out []Delta
+
+	if o.WIPS > 0 || n.WIPS > 0 {
+		dl := Delta{Metric: "wips", Old: o.WIPS, New: n.WIPS, Verdict: VerdictOK}
+		switch {
+		case o.WIPS <= 0:
+			dl.Verdict, dl.Note = VerdictInfo, "no baseline WIPS"
+		case n.WIPS < o.WIPS*(1-tol.WIPSFrac):
+			dl.Verdict = VerdictRegression
+			dl.Note = fmt.Sprintf("%+.1f%% exceeds the ±%.0f%% band", pct(o.WIPS, n.WIPS), tol.WIPSFrac*100)
+		case n.WIPS > o.WIPS*(1+tol.WIPSFrac):
+			dl.Verdict = VerdictImprovement
+			dl.Note = fmt.Sprintf("%+.1f%%", pct(o.WIPS, n.WIPS))
+		default:
+			dl.Note = fmt.Sprintf("%+.1f%% within band", pct(o.WIPS, n.WIPS))
+		}
+		out = append(out, dl)
+	}
+
+	for _, hist := range sortedKeys2(o.LatencyUS, n.LatencyUS) {
+		os_, inO := o.LatencyUS[hist]
+		ns, inN := n.LatencyUS[hist]
+		if !inO || !inN {
+			continue // coverage noted at scenario level; a lone summary gates nothing
+		}
+		dl := Delta{Metric: hist + "/p95", Old: float64(os_.P95), New: float64(ns.P95), Verdict: VerdictOK}
+		switch {
+		case os_.P95 < tol.LatencyFloorUS && ns.P95 < tol.LatencyFloorUS:
+			dl.Verdict, dl.Note = VerdictInfo, fmt.Sprintf("below %dus floor", tol.LatencyFloorUS)
+		case float64(ns.P95) > float64(os_.P95)*tol.LatencyRatio:
+			dl.Verdict = VerdictRegression
+			dl.Note = fmt.Sprintf("grew beyond the x%.1f band", tol.LatencyRatio)
+		case float64(ns.P95)*tol.LatencyRatio < float64(os_.P95):
+			dl.Verdict = VerdictImprovement
+		}
+		out = append(out, dl)
+	}
+
+	for _, stage := range sortedKeys2(o.StageSeconds, n.StageSeconds) {
+		ov, inO := o.StageSeconds[stage]
+		nv, inN := n.StageSeconds[stage]
+		if !inO || !inN {
+			// Stages are data-dependent (a run without a spare activation
+			// records none); presence changes are informational.
+			out = append(out, Delta{Metric: "stage/" + stage, Old: ov, New: nv, Verdict: VerdictInfo, Note: "stage present in one report only"})
+			continue
+		}
+		dl := Delta{Metric: "stage/" + stage, Old: ov, New: nv, Verdict: VerdictOK}
+		switch {
+		case ov < tol.StageFloorSec && nv < tol.StageFloorSec:
+			dl.Verdict, dl.Note = VerdictInfo, fmt.Sprintf("below %.2fs floor", tol.StageFloorSec)
+		case nv > ov*tol.StageRatio:
+			dl.Verdict = VerdictRegression
+			dl.Note = fmt.Sprintf("grew beyond the x%.1f band", tol.StageRatio)
+		case nv*tol.StageRatio < ov:
+			dl.Verdict = VerdictImprovement
+		}
+		out = append(out, dl)
+	}
+
+	for _, k := range sortedKeys2(o.Values, n.Values) {
+		ov, inO := o.Values[k]
+		nv, inN := n.Values[k]
+		if inO && inN && ov != nv {
+			out = append(out, Delta{Metric: "value/" + k, Old: ov, New: nv, Verdict: VerdictInfo})
+		}
+	}
+	return out
+}
+
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (newV - oldV) / oldV
+}
+
+// sortedKeys2 returns the sorted union of two maps' keys.
+func sortedKeys2[V any](a, b map[string]V) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render writes the human-readable diff report. Regressions and coverage
+// losses print unconditionally; in-band metrics print only under verbose.
+func (d *Diff) Render(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "bench diff: %s -> %s\n", FileName(d.OldPR), FileName(d.NewPR))
+	fmt.Fprintf(w, "tolerance: wips ±%.0f%%, latency p95 x%.1f (floor %dus), stages x%.1f (floor %.2fs)\n\n",
+		d.Tol.WIPSFrac*100, d.Tol.LatencyRatio, d.Tol.LatencyFloorUS, d.Tol.StageRatio, d.Tol.StageFloorSec)
+	for _, sd := range d.Scenarios {
+		switch sd.Status {
+		case StatusMissing:
+			if d.Tol.AllowMissing {
+				fmt.Fprintf(w, "  missing     %-32s in baseline, absent from new report (tolerated)\n", sd.Name)
+			} else {
+				fmt.Fprintf(w, "  MISSING     %-32s in baseline, absent from new report\n", sd.Name)
+			}
+		case StatusNew:
+			fmt.Fprintf(w, "  new         %-32s no baseline to compare\n", sd.Name)
+		default:
+			for _, dl := range sd.Deltas {
+				switch dl.Verdict {
+				case VerdictRegression:
+					fmt.Fprintf(w, "  REGRESSION  %-32s %-28s %12.1f -> %-12.1f %s\n", sd.Name, dl.Metric, dl.Old, dl.New, dl.Note)
+				case VerdictImprovement:
+					fmt.Fprintf(w, "  improvement %-32s %-28s %12.1f -> %-12.1f %s\n", sd.Name, dl.Metric, dl.Old, dl.New, dl.Note)
+				default:
+					if verbose {
+						fmt.Fprintf(w, "  %-11s %-32s %-28s %12.1f -> %-12.1f %s\n", dl.Verdict, sd.Name, dl.Metric, dl.Old, dl.New, dl.Note)
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nsummary: %d regression(s), %d improvement(s), %d new, %d missing (%d gated metrics compared)\n",
+		d.Regressions, d.Improvements, d.NewCount, d.MissingCount, d.Compared)
+	if d.HasRegressions() {
+		fmt.Fprintf(w, "verdict: FAIL — performance regressed beyond tolerance\n")
+	} else {
+		fmt.Fprintf(w, "verdict: ok\n")
+	}
+}

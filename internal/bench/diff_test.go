@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmv/internal/obs"
+)
+
+// loadGolden loads one of the checked-in reference reports.
+func loadGolden(t *testing.T, name string) *Report {
+	t.Helper()
+	r, err := Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return r
+}
+
+// findDelta returns the named metric delta within a scenario diff, failing
+// the test when either level is absent.
+func findDelta(t *testing.T, d *Diff, scenario, metric string) Delta {
+	t.Helper()
+	for _, sd := range d.Scenarios {
+		if sd.Name != scenario {
+			continue
+		}
+		for _, dl := range sd.Deltas {
+			if dl.Metric == metric {
+				return dl
+			}
+		}
+		t.Fatalf("scenario %s has no delta %q (got %+v)", scenario, metric, sd.Deltas)
+	}
+	t.Fatalf("diff has no scenario %q", scenario)
+	return Delta{}
+}
+
+func scenarioStatus(t *testing.T, d *Diff, name string) ScenarioStatus {
+	t.Helper()
+	for _, sd := range d.Scenarios {
+		if sd.Name == name {
+			return sd.Status
+		}
+	}
+	t.Fatalf("diff has no scenario %q", name)
+	return ""
+}
+
+// TestCompareGolden pins the comparator against the checked-in golden pair:
+// one WIPS regression past the band, one latency improvement, one new
+// scenario, one missing scenario, and in-band changes staying quiet.
+func TestCompareGolden(t *testing.T) {
+	base := loadGolden(t, "BENCH_0006.json")
+	next := loadGolden(t, "BENCH_0007.json")
+	d, err := Compare(base, next, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// tpcw/shopping/dmv-2 dropped 120 -> 90 WIPS: -25% exceeds the 20% band.
+	if dl := findDelta(t, d, "tpcw/shopping/dmv-2", "wips"); dl.Verdict != VerdictRegression {
+		t.Errorf("wips 120->90 verdict = %s, want regression (%+v)", dl.Verdict, dl)
+	}
+	// wal-fsync p95 9000 -> 2000us: shrank beyond the x3 band.
+	if dl := findDelta(t, d, "micro/wal-fsync", obs.WalFsyncUS+"/p95"); dl.Verdict != VerdictImprovement {
+		t.Errorf("fsync p95 9000->2000 verdict = %s, want improvement", dl.Verdict)
+	}
+	// transport-rpc p95 2000 -> 2400us: within the x3 band.
+	if dl := findDelta(t, d, "micro/transport-rpc", obs.TransportRPCUS+"/p95"); dl.Verdict != VerdictOK {
+		t.Errorf("rpc p95 2000->2400 verdict = %s, want ok", dl.Verdict)
+	}
+	// recovery stage 1.2 -> 1.5s: within the x3 band.
+	if dl := findDelta(t, d, "failover/fig5-dmv-stale", "stage/recovery"); dl.Verdict != VerdictOK {
+		t.Errorf("stage 1.2->1.5 verdict = %s, want ok", dl.Verdict)
+	}
+	if got := scenarioStatus(t, d, "tpcw/browsing/dmv-4"); got != StatusNew {
+		t.Errorf("browsing/dmv-4 status = %s, want new", got)
+	}
+	if got := scenarioStatus(t, d, "tpcw/shopping/gone"); got != StatusMissing {
+		t.Errorf("shopping/gone status = %s, want missing", got)
+	}
+
+	if d.Regressions != 1 || d.Improvements != 1 || d.NewCount != 1 || d.MissingCount != 1 {
+		t.Errorf("counts = %d reg / %d imp / %d new / %d missing, want 1/1/1/1",
+			d.Regressions, d.Improvements, d.NewCount, d.MissingCount)
+	}
+	if !d.HasRegressions() {
+		t.Error("HasRegressions() = false despite a WIPS regression")
+	}
+
+	var b strings.Builder
+	d.Render(&b, false)
+	out := b.String()
+	for _, want := range []string{
+		"REGRESSION",
+		"tpcw/shopping/dmv-2",
+		"MISSING",
+		"tpcw/shopping/gone",
+		"verdict: FAIL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareSelf: a report diffed against itself is clean.
+func TestCompareSelf(t *testing.T) {
+	base := loadGolden(t, "BENCH_0006.json")
+	d, err := Compare(base, base, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 || d.Improvements != 0 || d.NewCount != 0 || d.MissingCount != 0 {
+		t.Errorf("self-diff not clean: %d reg / %d imp / %d new / %d missing",
+			d.Regressions, d.Improvements, d.NewCount, d.MissingCount)
+	}
+	if d.HasRegressions() {
+		t.Error("self-diff HasRegressions() = true")
+	}
+	var b strings.Builder
+	d.Render(&b, false)
+	if !strings.Contains(b.String(), "verdict: ok") {
+		t.Errorf("self-diff verdict not ok:\n%s", b.String())
+	}
+}
+
+// TestMissingScenarioGates: lost coverage alone fails the gate unless
+// AllowMissing tolerates it.
+func TestMissingScenarioGates(t *testing.T) {
+	base := loadGolden(t, "BENCH_0006.json")
+	trimmed := *base
+	trimmed.Scenarios = base.Scenarios[:len(base.Scenarios)-1]
+
+	d, err := Compare(base, &trimmed, DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Errorf("trimmed diff has %d metric regressions, want 0", d.Regressions)
+	}
+	if d.MissingCount != 1 || !d.HasRegressions() {
+		t.Errorf("missing=%d HasRegressions=%v, want 1/true", d.MissingCount, d.HasRegressions())
+	}
+
+	tol := DefaultTolerance()
+	tol.AllowMissing = true
+	d, err = Compare(base, &trimmed, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasRegressions() {
+		t.Error("AllowMissing diff still gates")
+	}
+}
+
+// TestLatencyFloor: micro-latency jitter under the floor is informational
+// even at a huge ratio.
+func TestLatencyFloor(t *testing.T) {
+	mk := func(p95 int64) *Report {
+		return &Report{Schema: SchemaVersion, Scenarios: []Scenario{{
+			Name:      "micro/x",
+			Kind:      "micro",
+			LatencyUS: map[string]Quantiles{obs.WalFsyncUS: {Count: 10, P95: p95}},
+		}}}
+	}
+	d, err := Compare(mk(20), mk(400), DefaultTolerance()) // 20x growth, both < 500us
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := findDelta(t, d, "micro/x", obs.WalFsyncUS+"/p95"); dl.Verdict != VerdictInfo {
+		t.Errorf("sub-floor 20x growth verdict = %s, want info", dl.Verdict)
+	}
+	d, err = Compare(mk(600), mk(6000), DefaultTolerance()) // 10x growth above floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := findDelta(t, d, "micro/x", obs.WalFsyncUS+"/p95"); dl.Verdict != VerdictRegression {
+		t.Errorf("above-floor 10x growth verdict = %s, want regression", dl.Verdict)
+	}
+}
+
+// TestStageFloor mirrors TestLatencyFloor for fail-over stage durations.
+func TestStageFloor(t *testing.T) {
+	mk := func(sec float64) *Report {
+		return &Report{Schema: SchemaVersion, Scenarios: []Scenario{{
+			Name:         "failover/x",
+			Kind:         "failover",
+			StageSeconds: map[string]float64{"recovery": sec},
+		}}}
+	}
+	d, err := Compare(mk(0.001), mk(0.04), DefaultTolerance()) // 40x, both < 0.05s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := findDelta(t, d, "failover/x", "stage/recovery"); dl.Verdict != VerdictInfo {
+		t.Errorf("sub-floor stage growth verdict = %s, want info", dl.Verdict)
+	}
+	d, err = Compare(mk(0.1), mk(1.0), DefaultTolerance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl := findDelta(t, d, "failover/x", "stage/recovery"); dl.Verdict != VerdictRegression {
+		t.Errorf("above-floor stage growth verdict = %s, want regression", dl.Verdict)
+	}
+}
+
+// TestSchemaMismatchRefused: the comparator refuses cross-version diffs.
+func TestSchemaMismatchRefused(t *testing.T) {
+	a := &Report{Schema: SchemaVersion}
+	b := &Report{Schema: SchemaVersion + 1}
+	if _, err := Compare(a, b, DefaultTolerance()); err == nil {
+		t.Error("Compare accepted mismatched schema versions")
+	}
+}

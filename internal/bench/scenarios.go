@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dmv/internal/exec"
+	"dmv/internal/experiments"
+	"dmv/internal/heap"
+	"dmv/internal/obs"
+	"dmv/internal/replica"
+	"dmv/internal/tpcw"
+	"dmv/internal/transport"
+	"dmv/internal/value"
+	"dmv/internal/wal"
+)
+
+// --- tpcw-scaling: Figure 3 WIPS grid ----------------------------------------
+
+// TPCWScenarios converts Figure-3 rows into schema scenarios, one per
+// mix×config cell ("tpcw/<mix>/<config>"). WIPS is the primary
+// regression-gated metric; speedup, abort rates by cause, and txn-latency
+// quantiles ride along. cmd/tpcw-bench reuses this for its -json output so
+// the two emitters cannot drift.
+func TPCWScenarios(d experiments.Durations, rows []experiments.Fig3Row) []Scenario {
+	out := make([]Scenario, 0, len(rows))
+	for _, r := range rows {
+		s := Scenario{
+			Name:            fmt.Sprintf("tpcw/%s/%s", r.Mix, r.Config),
+			Kind:            "tpcw",
+			Seed:            d.Seed,
+			DurationSeconds: d.Measure.Seconds(),
+			WIPS:            r.WIPS,
+			Values: map[string]float64{
+				"speedup": r.Speedup,
+			},
+		}
+		if r.Config != "innodb" {
+			s.Values["abort_pct"] = r.AbortPct
+		}
+		if len(r.Aborts) > 0 {
+			s.Aborts = r.Aborts
+		}
+		if r.TxnLatency.Count > 0 {
+			s.LatencyUS = map[string]obs.HistSummary{obs.SchedTxnUS: r.TxnLatency}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// runTPCWScaling wraps experiments.Figure3 over the configured mixes and
+// tier sizes, including the stand-alone InnoDB baseline rows.
+func runTPCWScaling(cfg Config, seed int64) ([]Scenario, error) {
+	d := cfg.durations(seed)
+	opts := experiments.DefaultFig3Opts(d)
+	opts.SlaveCounts = cfg.SlaveCounts
+	opts.Mixes = cfg.Mixes
+	rows, err := experiments.Figure3(opts)
+	if err != nil {
+		return nil, err
+	}
+	return TPCWScenarios(d, rows), nil
+}
+
+// --- failover suites: Figures 4 & 5 stage timings ----------------------------
+
+// FailoverScenario folds one fail-over experiment result into a scenario:
+// stage durations from the cluster's obs event timeline plus the robust
+// throughput metrics around the fault. cmd/failover-bench reuses this for
+// its -json output.
+func FailoverScenario(name string, d experiments.Durations, r *experiments.FailoverResult) Scenario {
+	s := Scenario{
+		Name:            name,
+		Kind:            "failover",
+		Seed:            d.Seed,
+		DurationSeconds: d.Measure.Seconds(),
+		StageSeconds:    map[string]float64{},
+		Values: map[string]float64{
+			"baseline_wips":  r.Baseline,
+			"dip_wips":       r.DipMin,
+			"postfault_wips": r.PostMean,
+			"recovery_sec":   r.Recovery.Seconds(),
+		},
+	}
+	for stage, dur := range r.Stages {
+		s.StageSeconds[stage] = dur.Seconds()
+	}
+	if r.TxnLatency.Count > 0 {
+		s.LatencyUS = map[string]obs.HistSummary{obs.SchedTxnUS: r.TxnLatency}
+	}
+	return s
+}
+
+// runFailoverStaleSpare wraps experiments.Figure5DMV: kill the master with
+// a stale spare standing by; recovery, migration, and spare-activation
+// stage durations come off the obs timeline.
+func runFailoverStaleSpare(cfg Config, seed int64) ([]Scenario, error) {
+	d := cfg.durations(seed)
+	r, err := experiments.Figure5DMV(tpcw.FailoverScale(), d)
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{FailoverScenario("failover/fig5-dmv-stale", d, r)}, nil
+}
+
+// runFailoverReintegration wraps experiments.Figure4: kill the master,
+// reboot it after a compressed downtime, reintegrate via page-delta
+// migration; restart and reintegration stages come off the obs timeline.
+func runFailoverReintegration(cfg Config, seed int64) ([]Scenario, error) {
+	d := cfg.durations(seed)
+	downtime := d.Measure / 4 // compressed stand-in for the reboot, as in failover-bench
+	r, err := experiments.Figure4(tpcw.FailoverScale(), d, downtime)
+	if err != nil {
+		return nil, err
+	}
+	return []Scenario{FailoverScenario("failover/fig4-reintegration", d, r)}, nil
+}
+
+// --- wal-fsync micro ----------------------------------------------------------
+
+// runWALFsync measures the durable-append path: SyncAlways group commit,
+// one Append+WaitDurable per iteration, latency from dmv_wal_fsync_us. The
+// record payload is seeded noise so compression or dedup in the filesystem
+// cannot flatter the numbers.
+func runWALFsync(cfg Config, seed int64) ([]Scenario, error) {
+	iters := cfg.iterations(4096, 1024, 32)
+	dir, err := os.MkdirTemp("", "dmv-bench-wal-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	reg := obs.New()
+	w, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncAlways, Obs: reg})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, 128)
+	for i := 0; i < iters; i++ {
+		rng.Read(payload)
+		seq, err := w.Append(payload)
+		if err != nil {
+			_ = w.Close()
+			return nil, err
+		}
+		if err := w.WaitDurable(seq); err != nil {
+			_ = w.Close()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	snap := reg.Snapshot()
+	return []Scenario{{
+		Name:      "micro/wal-fsync",
+		LatencyUS: map[string]obs.HistSummary{obs.WalFsyncUS: snap.Summary(obs.WalFsyncUS)},
+		Values: map[string]float64{
+			"appends":        float64(iters),
+			"payload_bytes":  float64(len(payload)),
+			"appended_bytes": float64(snap.Counter(obs.WalBytes)),
+		},
+	}}, nil
+}
+
+// --- transport-rpc micro ------------------------------------------------------
+
+// runTransportRPC measures the gob/net/rpc commit path over loopback TCP:
+// each iteration is one ping plus one remote update transaction
+// (TxBegin/TxExec/TxCommit) against a single promoted node, latency from
+// the client-side dmv_transport_rpc_us histogram. This is the baseline the
+// planned binary wire protocol must beat.
+func runTransportRPC(cfg Config, seed int64) ([]Scenario, error) {
+	iters := cfg.iterations(2048, 512, 32)
+	const rows = 64
+	e := heap.NewEngine(heap.Options{PageCap: 8})
+	if err := exec.ExecDDL(e, `CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(32))`); err != nil {
+		return nil, err
+	}
+	tid, _ := e.TableID("kv")
+	load := make([]value.Row, 0, rows)
+	for i := 1; i <= rows; i++ {
+		load = append(load, value.Row{value.NewInt(int64(i)), value.NewString("init")})
+	}
+	if err := e.Load(tid, load); err != nil {
+		return nil, err
+	}
+	node := replica.NewNode(replica.Options{ID: "bench", Engine: e})
+	if err := node.Promote([]int{0}); err != nil {
+		return nil, err
+	}
+	srv, err := transport.ServeNode(node, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	reg := obs.New()
+	peer, err := transport.DialNodeOpts("bench", srv.Addr(), transport.ClientOptions{Obs: reg, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < iters; i++ {
+		if err := peer.Ping(); err != nil {
+			return nil, err
+		}
+		txID, err := peer.TxBegin(false, nil, obs.TraceContext{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := peer.TxExec(txID, `UPDATE kv SET v = ? WHERE k = ?`,
+			[]value.Value{value.NewString("bench"), value.NewInt(int64(i%rows + 1))}); err != nil {
+			return nil, err
+		}
+		if _, err := peer.TxCommit(txID); err != nil {
+			return nil, err
+		}
+	}
+	snap := reg.Snapshot()
+	sum := snap.Summary(obs.TransportRPCUS)
+	return []Scenario{{
+		Name:      "micro/transport-rpc",
+		LatencyUS: map[string]obs.HistSummary{obs.TransportRPCUS: sum},
+		Values: map[string]float64{
+			"iterations": float64(iters),
+			"rpc_calls":  float64(sum.Count),
+		},
+	}}, nil
+}

@@ -1,0 +1,208 @@
+// Package bench is the machine-readable perf-trajectory subsystem: a
+// registry of measurement scenarios wrapping the existing experiment
+// drivers (TPC-W scaling, fail-over stage timings, WAL fsync and transport
+// RPC micro-benchmarks), a versioned JSON report schema persisted as
+// BENCH_<pr>.json at the repository root, and a comparator that diffs two
+// reports scenario-by-scenario under per-metric tolerance bands so a perf
+// claim — or a silent regression — shows up as a number, not prose.
+//
+// The report files form the repository's perf trajectory: one per PR that
+// changes performance, committed alongside the change. cmd/dmv-bench is the
+// driver; `make bench-json` and the check.sh smoke leg are the entry
+// points.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+
+	"dmv/internal/obs"
+)
+
+// Quantiles is the latency-summary block of the schema (count, mean,
+// p50/p95/p99 in the histogram's unit — microseconds for every catalogue
+// histogram). It is obs.HistSummary: the schema serializes the exact
+// summaries the observability plane computes, no translation layer.
+type Quantiles = obs.HistSummary
+
+// SchemaVersion is bumped whenever a field changes meaning or is removed;
+// adding fields is backward compatible and does not bump it. The comparator
+// refuses to diff reports with different schema versions.
+const SchemaVersion = 1
+
+// Report is one recorded bench run — the unit persisted as BENCH_<pr>.json.
+type Report struct {
+	// Schema is the report format version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// PR is the pull-request ordinal the report baselines (BENCH_%04d.json).
+	PR int `json:"pr"`
+	// Meta records everything needed to reproduce or discount the run.
+	Meta Meta `json:"meta"`
+	// Scenarios are the measured scenarios, sorted by name.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Meta is the run provenance block.
+type Meta struct {
+	// Seed is the root seed every scenario seed was derived from.
+	Seed int64 `json:"seed"`
+	// Commit is the git commit the run was taken at (empty if unknown).
+	Commit string `json:"commit,omitempty"`
+	// GoVersion/GOOS/GOARCH/GOMAXPROCS describe the host toolchain.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Mode is the duration envelope: "full", "quick", or "smoke".
+	Mode string `json:"mode"`
+	// WallSeconds is the total wall-clock duration of the run.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Scenario is one measured scenario. Which fields are populated depends on
+// the scenario kind; absent maps are omitted from the JSON.
+type Scenario struct {
+	// Name uniquely identifies the scenario across reports; the comparator
+	// matches old and new scenarios by it (e.g. "tpcw/shopping/dmv-2").
+	Name string `json:"name"`
+	// Kind groups scenarios: "tpcw", "failover", or "micro".
+	Kind string `json:"kind"`
+	// Seed is the scenario's derived seed (harness.DeriveSeed(root, name)).
+	Seed int64 `json:"seed"`
+	// DurationSeconds is the measured period (0 for count-bounded micros).
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// WIPS is throughput in web interactions per second (tpcw kind).
+	WIPS float64 `json:"wips,omitempty"`
+	// Aborts counts aborted transactions by cause, from the run's obs
+	// registry (keys are the names.go abort counter names).
+	Aborts map[string]int64 `json:"aborts,omitempty"`
+	// LatencyUS maps an obs histogram name to its quantile summary in
+	// microseconds (e.g. dmv_sched_txn_us, dmv_wal_fsync_us).
+	LatencyUS map[string]obs.HistSummary `json:"latency_us,omitempty"`
+	// StageSeconds maps fail-over stage labels (experiments.StageBreakdown
+	// naming) to their duration in seconds.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	// Values holds scalar extras (speedup, abort_pct, baseline_wips, ...).
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Marshal renders the report as stable, diff-friendly JSON: scenarios
+// sorted by name, struct fields in declaration order, map keys sorted
+// (encoding/json guarantees the latter), two-space indent, trailing
+// newline. Writing the same report twice yields identical bytes.
+func (r *Report) Marshal() ([]byte, error) {
+	sort.Slice(r.Scenarios, func(i, j int) bool { return r.Scenarios[i].Name < r.Scenarios[j].Name })
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile persists the report to path.
+func (r *Report) WriteFile(path string) error {
+	blob, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// Scenario returns the named scenario and whether it exists.
+func (r *Report) Scenario(name string) (Scenario, bool) {
+	for _, s := range r.Scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Load parses a report file, validating the schema version and the
+// invariants the comparator relies on (unique, sorted scenario names).
+func Load(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema version %d, this tool reads %d", path, r.Schema, SchemaVersion)
+	}
+	seen := make(map[string]bool, len(r.Scenarios))
+	for _, s := range r.Scenarios {
+		if s.Name == "" {
+			return nil, fmt.Errorf("%s: scenario with empty name", path)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("%s: duplicate scenario %q", path, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	sort.Slice(r.Scenarios, func(i, j int) bool { return r.Scenarios[i].Name < r.Scenarios[j].Name })
+	return &r, nil
+}
+
+// benchFileRE matches the trajectory files at the repository root.
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// FileName renders the canonical trajectory file name for a PR ordinal.
+func FileName(pr int) string { return fmt.Sprintf("BENCH_%04d.json", pr) }
+
+// PRFromFileName extracts the PR ordinal from a BENCH_%04d.json basename
+// (-1 if the name does not match).
+func PRFromFileName(name string) int {
+	m := benchFileRE.FindStringSubmatch(filepath.Base(name))
+	if m == nil {
+		return -1
+	}
+	var pr int
+	fmt.Sscanf(m[1], "%d", &pr)
+	return pr
+}
+
+// LatestBaseline returns the path of the highest-numbered BENCH_*.json in
+// dir with PR ordinal strictly below pr (pr < 0 means "any"). It returns
+// "" when no baseline exists — the first recorded run has nothing to diff
+// against.
+func LatestBaseline(dir string, pr int) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestPR := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		n := PRFromFileName(e.Name())
+		if n < 0 || (pr >= 0 && n >= pr) {
+			continue
+		}
+		if n > bestPR {
+			best, bestPR = filepath.Join(dir, e.Name()), n
+		}
+	}
+	return best, nil
+}
+
+// HostMeta fills the toolchain fields of a Meta from the running process.
+func HostMeta() Meta {
+	return Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRoundTripStable: Load -> Marshal -> Load -> Marshal yields identical
+// bytes, and those bytes match the checked-in golden file. This is the
+// diff-friendliness contract: re-recording an unchanged run produces an
+// empty git diff.
+func TestRoundTripStable(t *testing.T) {
+	path := filepath.Join("testdata", "BENCH_0006.json")
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, golden) {
+		t.Errorf("Marshal differs from the golden bytes:\n--- golden ---\n%s\n--- marshal ---\n%s", golden, a)
+	}
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, FileName(r.PR))
+	if err := r.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("second round trip changed the bytes")
+	}
+}
+
+// TestMarshalSortsScenarios: scenario order in memory does not leak into
+// the persisted form.
+func TestMarshalSortsScenarios(t *testing.T) {
+	r := &Report{Schema: SchemaVersion, Scenarios: []Scenario{
+		{Name: "b", Kind: "micro"},
+		{Name: "a", Kind: "micro"},
+	}}
+	blob, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai, bi := bytes.Index(blob, []byte(`"a"`)), bytes.Index(blob, []byte(`"b"`)); ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("scenarios not sorted in output (a at %d, b at %d)", ai, bi)
+	}
+}
+
+// TestLoadRejects: the loader refuses malformed reports instead of letting
+// the comparator chew on them.
+func TestLoadRejects(t *testing.T) {
+	write := func(t *testing.T, body string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "BENCH_0001.json")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"wrong schema":   `{"schema": 99, "pr": 1, "meta": {}, "scenarios": []}`,
+		"empty name":     `{"schema": 1, "pr": 1, "meta": {}, "scenarios": [{"name": "", "kind": "micro"}]}`,
+		"duplicate name": `{"schema": 1, "pr": 1, "meta": {}, "scenarios": [{"name": "x", "kind": "micro"}, {"name": "x", "kind": "micro"}]}`,
+		"not json":       `wips go brrr`,
+	}
+	for label, body := range cases {
+		if _, err := Load(write(t, body)); err == nil {
+			t.Errorf("Load accepted a report with %s", label)
+		}
+	}
+}
+
+// TestFileNameRoundTrip pins the trajectory-file naming convention.
+func TestFileNameRoundTrip(t *testing.T) {
+	if got := FileName(7); got != "BENCH_0007.json" {
+		t.Errorf("FileName(7) = %q", got)
+	}
+	if got := PRFromFileName("BENCH_0007.json"); got != 7 {
+		t.Errorf("PRFromFileName = %d, want 7", got)
+	}
+	if got := PRFromFileName("/some/dir/BENCH_0012.json"); got != 12 {
+		t.Errorf("PRFromFileName with dir = %d, want 12", got)
+	}
+	for _, bad := range []string{"BENCH_7.json", "bench_0007.json", "BENCH_0007.json.bak", "notes.md"} {
+		if got := PRFromFileName(bad); got != -1 {
+			t.Errorf("PRFromFileName(%q) = %d, want -1", bad, got)
+		}
+	}
+}
+
+// TestLatestBaseline: the newest strictly-older report wins; no baseline
+// means "", not an error.
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"BENCH_0003.json", "BENCH_0005.json", "BENCH_0007.json", "README.md"} {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_0005.json" {
+		t.Errorf("LatestBaseline(pr=7) = %q, want BENCH_0005.json", got)
+	}
+	got, err = LatestBaseline(dir, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_0007.json" {
+		t.Errorf("LatestBaseline(any) = %q, want BENCH_0007.json", got)
+	}
+	got, err = LatestBaseline(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("LatestBaseline(pr=3) = %q, want none", got)
+	}
+}

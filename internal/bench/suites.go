@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+
+	"dmv/internal/experiments"
+	"dmv/internal/harness"
+	"dmv/internal/tpcw"
+)
+
+// Mode is the duration envelope of a run.
+type Mode string
+
+// Run modes. Smoke exists so scripts/check.sh can validate the whole
+// pipeline (scenario planning, JSON emission, comparator) in seconds: only
+// the count-bounded micro suites run, and no perf assertion is made.
+const (
+	ModeFull  Mode = "full"  // FullDurations: the reference-run envelope
+	ModeQuick Mode = "quick" // QuickDurations: seconds per configuration
+	ModeSmoke Mode = "smoke" // micro suites only, tiny counts
+)
+
+// Config parameterizes one bench run.
+type Config struct {
+	// Seed is the root seed; every suite seed derives from it (default 7).
+	Seed int64
+	// PR stamps the report (BENCH_%04d.json ordinal).
+	PR int
+	// Mode selects the duration envelope (default ModeQuick).
+	Mode Mode
+	// Filter, when non-nil, restricts the plan to matching suite names.
+	Filter *regexp.Regexp
+	// MeasureOverride replaces the mode's measured period per scenario run
+	// (0 = the mode default). Warmup and fault offsets keep their mode
+	// values; they are part of the experiment shape, not its length.
+	MeasureOverride time.Duration
+	// Clock paces the workload runs (nil = harness.RealClock).
+	Clock harness.Clock
+	// SlaveCounts are the DMV tier sizes for the scaling suite
+	// (default 1, 2, 4 — three tier sizes per mix).
+	SlaveCounts []int
+	// Mixes are the TPC-W mixes for the scaling suite (default all three).
+	Mixes []tpcw.Mix
+	// Commit stamps the report's provenance block (may be empty).
+	Commit string
+	// Logf, when non-nil, receives progress lines during a run.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Mode == "" {
+		c.Mode = ModeQuick
+	}
+	if len(c.SlaveCounts) == 0 {
+		c.SlaveCounts = []int{1, 2, 4}
+	}
+	if len(c.Mixes) == 0 {
+		c.Mixes = []tpcw.Mix{tpcw.BrowsingMix, tpcw.ShoppingMix, tpcw.OrderingMix}
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// durations maps the mode onto an experiments envelope, applying the seed,
+// clock, and measured-period override.
+func (c Config) durations(seed int64) experiments.Durations {
+	var d experiments.Durations
+	switch c.Mode {
+	case ModeFull:
+		d = experiments.FullDurations()
+	default:
+		d = experiments.QuickDurations()
+	}
+	if c.MeasureOverride > 0 {
+		// Scale the fault offset and timeline window with the measured
+		// period so the experiment keeps its shape (fault mid-run, ~same
+		// bucket count) instead of the fault sliding past the end.
+		ratio := float64(c.MeasureOverride) / float64(d.Measure)
+		d.Measure = c.MeasureOverride
+		d.FaultAt = time.Duration(float64(d.FaultAt) * ratio)
+		d.Window = time.Duration(float64(d.Window) * ratio)
+		if d.Window < 50*time.Millisecond {
+			d.Window = 50 * time.Millisecond
+		}
+	}
+	d.Seed = seed
+	d.Clock = c.Clock
+	return d
+}
+
+// iterations scales a count-bounded micro suite to the mode.
+func (c Config) iterations(full, quick, smoke int) int {
+	switch c.Mode {
+	case ModeFull:
+		return full
+	case ModeSmoke:
+		return smoke
+	default:
+		return quick
+	}
+}
+
+// Suite is one registered measurement driver. A suite emits one or more
+// scenarios per run (the scaling suite emits a whole mix×config grid).
+type Suite struct {
+	// Name identifies the suite in plans and -run filters.
+	Name string
+	// Kind groups the suite's scenarios ("tpcw", "failover", "micro").
+	Kind string
+	// Desc is the one-line description shown by -list.
+	Desc string
+	// InSmoke marks suites cheap and deterministic enough for the check.sh
+	// smoke leg (count-bounded micros; never the workload-driven suites).
+	InSmoke bool
+	// Run executes the suite under the derived seed.
+	Run func(cfg Config, seed int64) ([]Scenario, error)
+}
+
+// Suites returns the registry in fixed order. The order is part of the
+// smoke-determinism contract: plans list suites exactly as declared here.
+func Suites() []Suite {
+	return []Suite{
+		{
+			Name:    "tpcw-scaling",
+			Kind:    "tpcw",
+			Desc:    "TPC-W WIPS per mix x tier size vs stand-alone InnoDB (Figure 3)",
+			InSmoke: false,
+			Run:     runTPCWScaling,
+		},
+		{
+			Name:    "failover-stale-spare",
+			Kind:    "failover",
+			Desc:    "master kill onto a stale spare: stage timings + throughput dip (Figure 5)",
+			InSmoke: false,
+			Run:     runFailoverStaleSpare,
+		},
+		{
+			Name:    "failover-reintegration",
+			Kind:    "failover",
+			Desc:    "master kill, reboot, page-delta reintegration: stage timings (Figure 4)",
+			InSmoke: false,
+			Run:     runFailoverReintegration,
+		},
+		{
+			Name:    "wal-fsync",
+			Kind:    "micro",
+			Desc:    "group-commit WAL append+WaitDurable latency (dmv_wal_fsync_us)",
+			InSmoke: true,
+			Run:     runWALFsync,
+		},
+		{
+			Name:    "transport-rpc",
+			Kind:    "micro",
+			Desc:    "loopback-TCP RPC round-trip latency (dmv_transport_rpc_us)",
+			InSmoke: true,
+			Run:     runTransportRPC,
+		},
+	}
+}
+
+// Planned is one suite scheduled for a run, with its derived seed.
+type Planned struct {
+	Suite Suite
+	Seed  int64
+}
+
+// Plan resolves the configuration into the ordered suite list that Run
+// would execute, with per-suite seeds derived from the root. Planning is a
+// pure function of the configuration: same config, same plan — the
+// property the smoke-determinism test pins down.
+func Plan(cfg Config) []Planned {
+	cfg = cfg.withDefaults()
+	var out []Planned
+	for _, s := range Suites() {
+		if cfg.Mode == ModeSmoke && !s.InSmoke {
+			continue
+		}
+		if cfg.Filter != nil && !cfg.Filter.MatchString(s.Name) {
+			continue
+		}
+		out = append(out, Planned{Suite: s, Seed: harness.DeriveSeed(cfg.Seed, s.Name)})
+	}
+	return out
+}
+
+// NewReport builds an empty report shell with host provenance, for
+// emitters that run their own scenarios (cmd/tpcw-bench, cmd/failover-bench
+// with -json) instead of the suite runner.
+func NewReport(pr int, mode Mode, seed int64) *Report {
+	meta := HostMeta()
+	meta.Seed = seed
+	meta.Mode = string(mode)
+	return &Report{Schema: SchemaVersion, PR: pr, Meta: meta}
+}
+
+// Run executes the planned suites and assembles the report. Suites run
+// sequentially — they each saturate the host's cores by design, so
+// overlapping them would corrupt every number.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	plan := Plan(cfg)
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("bench: no suites match the configuration")
+	}
+	meta := HostMeta()
+	meta.Seed = cfg.Seed
+	meta.Commit = cfg.Commit
+	meta.Mode = string(cfg.Mode)
+	rep := &Report{Schema: SchemaVersion, PR: cfg.PR, Meta: meta}
+	start := time.Now()
+	for _, p := range plan {
+		cfg.logf("suite %s (seed %d)", p.Suite.Name, p.Seed)
+		scs, err := p.Suite.Run(cfg, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: suite %s: %w", p.Suite.Name, err)
+		}
+		for i := range scs {
+			scs[i].Kind = p.Suite.Kind
+			scs[i].Seed = p.Seed
+		}
+		rep.Scenarios = append(rep.Scenarios, scs...)
+	}
+	rep.Meta.WallSeconds = time.Since(start).Seconds()
+	return rep, nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+)
+
+// TestPlanDeterministic: planning is a pure function of the configuration —
+// the property the check.sh smoke leg's double-plan comparison relies on.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Mode: ModeSmoke}
+	a, b := Plan(cfg), Plan(cfg)
+	if !reflect.DeepEqual(planKey(a), planKey(b)) {
+		t.Errorf("two plans of one config differ:\n%v\n%v", planKey(a), planKey(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("smoke plan is empty")
+	}
+	for _, p := range a {
+		if !p.Suite.InSmoke {
+			t.Errorf("smoke plan includes non-smoke suite %s", p.Suite.Name)
+		}
+		if p.Seed == 0 {
+			t.Errorf("suite %s got the zero seed", p.Suite.Name)
+		}
+	}
+}
+
+// planKey reduces a plan to its comparable identity (name, seed) pairs.
+func planKey(plan []Planned) [][2]any {
+	out := make([][2]any, 0, len(plan))
+	for _, p := range plan {
+		out = append(out, [2]any{p.Suite.Name, p.Seed})
+	}
+	return out
+}
+
+// TestPlanSeedsDiffer: distinct suites and distinct roots derive distinct
+// seeds, so no two scenarios ever share a random stream by accident.
+func TestPlanSeedsDiffer(t *testing.T) {
+	full := Plan(Config{Seed: 7, Mode: ModeQuick})
+	seen := map[int64]string{}
+	for _, p := range full {
+		if prev, dup := seen[p.Seed]; dup {
+			t.Errorf("suites %s and %s derived the same seed %d", prev, p.Suite.Name, p.Seed)
+		}
+		seen[p.Seed] = p.Suite.Name
+	}
+	other := Plan(Config{Seed: 8, Mode: ModeQuick})
+	for i := range full {
+		if full[i].Seed == other[i].Seed {
+			t.Errorf("suite %s derived the same seed under roots 7 and 8", full[i].Suite.Name)
+		}
+	}
+}
+
+// TestPlanFilter: -run restricts the plan by suite name.
+func TestPlanFilter(t *testing.T) {
+	plan := Plan(Config{Seed: 7, Filter: regexp.MustCompile(`^wal-`)})
+	if len(plan) != 1 || plan[0].Suite.Name != "wal-fsync" {
+		t.Errorf("filtered plan = %v, want just wal-fsync", planKey(plan))
+	}
+}
+
+// TestSmokeRunDeterministicScenarioSet: two smoke runs under one seed emit
+// the identical scenario set with identical seeds (the measured numbers
+// vary, the identity must not).
+func TestSmokeRunDeterministicScenarioSet(t *testing.T) {
+	cfg := Config{Seed: 7, Mode: ModeSmoke}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := scenarioIdentity(a), scenarioIdentity(b)
+	if !reflect.DeepEqual(ka, kb) {
+		t.Errorf("smoke scenario sets differ across runs:\n%v\n%v", ka, kb)
+	}
+	if len(a.Scenarios) == 0 {
+		t.Fatal("smoke run emitted no scenarios")
+	}
+	for _, s := range a.Scenarios {
+		if len(s.LatencyUS) == 0 {
+			t.Errorf("smoke scenario %s has no latency summaries", s.Name)
+		}
+	}
+}
+
+// scenarioIdentity reduces a report to (name, kind, seed) triples.
+func scenarioIdentity(r *Report) [][3]any {
+	out := make([][3]any, 0, len(r.Scenarios))
+	for _, s := range r.Scenarios {
+		out = append(out, [3]any{s.Name, s.Kind, s.Seed})
+	}
+	return out
+}
+
+// TestMeasureOverrideKeepsShape: shrinking the measured period drags the
+// fault offset and timeline window with it, so the fault still lands inside
+// the run instead of sliding past its end.
+func TestMeasureOverrideKeepsShape(t *testing.T) {
+	cfg := Config{Seed: 7, Mode: ModeQuick, MeasureOverride: 1_000_000_000}.withDefaults() // 1s
+	d := cfg.durations(42)
+	if d.Measure != cfg.MeasureOverride {
+		t.Errorf("Measure = %v, want the override", d.Measure)
+	}
+	if d.FaultAt >= d.Measure {
+		t.Errorf("FaultAt %v not inside the measured period %v", d.FaultAt, d.Measure)
+	}
+	if d.Window <= 0 {
+		t.Errorf("Window collapsed to %v", d.Window)
+	}
+	if d.Seed != 42 {
+		t.Errorf("Seed = %d, want 42", d.Seed)
+	}
+}

@@ -33,6 +33,22 @@ type Durations struct {
 	Window  time.Duration
 	FaultAt time.Duration // offset into the measured period
 	Clients int
+	// Seed drives every per-client random stream of the run (0 = the
+	// harness default). The bench subsystem derives one per scenario so a
+	// recorded BENCH_*.json names the exact seed that produced it.
+	Seed int64
+	// Clock paces warmups, measurement windows, and fault timing
+	// (nil = harness.RealClock). Injecting a test clock keeps experiment
+	// pacing out of chaos-schedule entropy.
+	Clock harness.Clock
+}
+
+// clock returns the configured pacing clock, defaulting to wall time.
+func (d Durations) clock() harness.Clock {
+	if d.Clock != nil {
+		return d.Clock
+	}
+	return harness.RealClock{}
 }
 
 // QuickDurations is used by `go test -bench` (seconds per figure).
@@ -150,6 +166,8 @@ func Figure3(opts Fig3Opts) ([]Fig3Row, error) {
 			Duration: opts.Dur.Measure,
 			Warmup:   opts.Dur.Warmup,
 			Window:   opts.Dur.Window,
+			Seed:     opts.Dur.Seed,
+			Clock:    opts.Dur.Clock,
 		}
 		base := &harness.RunResult{}
 		if len(opts.RampSteps) > 0 {
@@ -191,6 +209,8 @@ func Figure3(opts Fig3Opts) ([]Fig3Row, error) {
 				Duration: opts.Dur.Measure,
 				Warmup:   opts.Dur.Warmup,
 				Window:   opts.Dur.Window,
+				Seed:     opts.Dur.Seed,
+				Clock:    opts.Dur.Clock,
 			}
 			res := &harness.RunResult{}
 			if len(opts.RampSteps) > 0 {
@@ -417,7 +437,7 @@ func runDMVFailover(name string, scale tpcw.Scale, fc dmvFailoverConfig, d Durat
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		time.Sleep(d.Warmup + d.FaultAt)
+		d.clock().Sleep(d.Warmup + d.FaultAt)
 		fault(c)
 	}()
 	res := harness.Run(harness.RunConfig{
@@ -427,6 +447,8 @@ func runDMVFailover(name string, scale tpcw.Scale, fc dmvFailoverConfig, d Durat
 		Duration: d.Measure,
 		Warmup:   d.Warmup,
 		Window:   d.Window,
+		Seed:     d.Seed,
+		Clock:    d.Clock,
 	})
 	<-done
 	r := analyze(name, res, d.Window, d.FaultAt, c.Events())
@@ -451,7 +473,7 @@ func Figure4(scale tpcw.Scale, d Durations, downtime time.Duration) (*FailoverRe
 		killed = c.MasterID(0)
 		_ = c.Kill(killed)
 		go func() {
-			time.Sleep(downtime)
+			d.clock().Sleep(downtime)
 			_ = c.Restart(killed)
 		}()
 	})
@@ -505,7 +527,7 @@ func Figure5InnoDB(scale tpcw.Scale, d Durations) (*FailoverResult, error) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		time.Sleep(d.Warmup + d.FaultAt)
+		d.clock().Sleep(d.Warmup + d.FaultAt)
 		tier.KillActive(1)
 	}()
 	res := harness.Run(harness.RunConfig{
@@ -515,6 +537,8 @@ func Figure5InnoDB(scale tpcw.Scale, d Durations) (*FailoverResult, error) {
 		Duration: d.Measure,
 		Warmup:   d.Warmup,
 		Window:   d.Window,
+		Seed:     d.Seed,
+		Clock:    d.Clock,
 	})
 	<-done
 	out := analyze("fig5-innodb-stale", res, d.Window, d.FaultAt, nil)
@@ -645,6 +669,8 @@ func AblationVersionAffinity(scale tpcw.Scale, d Durations) (withPct, withoutPct
 			Duration: d.Measure,
 			Warmup:   d.Warmup,
 			Window:   d.Window,
+			Seed:     d.Seed,
+			Clock:    d.Clock,
 		})
 		st := c.Scheduler().Stats()
 		reads := st.ReadTxns.Load() + st.VersionAborts.Load()
@@ -730,9 +756,9 @@ func AblationConflictClasses(_ tpcw.Scale, d Durations) (single, multi float64, 
 				}
 			}(w)
 		}
-		time.Sleep(d.Warmup)
+		d.clock().Sleep(d.Warmup)
 		committed.Store(0)
-		time.Sleep(d.Measure)
+		d.clock().Sleep(d.Measure)
 		total := committed.Load()
 		close(stop)
 		workers.Wait()

@@ -1,0 +1,34 @@
+package harness
+
+// DeriveSeed maps a root seed and a scenario name to a stable per-scenario
+// seed. The bench subsystem derives every scenario's seed from one
+// user-supplied root so that (a) two runs with the same root seed plan the
+// identical seed set — the determinism the smoke-mode test asserts — and
+// (b) scenarios never share a seed, which would correlate their random
+// streams. FNV-1a folds the name, splitmix64 decorrelates the result; both
+// are fixed algorithms, so derived seeds are portable across hosts and Go
+// versions.
+func DeriveSeed(root int64, name string) int64 {
+	// FNV-1a over the scenario name.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	// splitmix64 finalizer over root ⊕ name-hash.
+	z := uint64(root) ^ h
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Seeds of 0 mean "use the default" to several consumers (harness.Run,
+	// transport backoff); avoid handing one out.
+	if z == 0 {
+		z = 1
+	}
+	return int64(z)
+}

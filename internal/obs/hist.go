@@ -105,13 +105,14 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 }
 
 // HistSummary carries the standard latency quantiles derived from the
-// bucket layout, for exposition and dashboards.
+// bucket layout, for exposition and dashboards. The JSON field names are
+// part of the BENCH_*.json schema (internal/bench), so they are stable.
 type HistSummary struct {
-	Count int64
-	Mean  float64
-	P50   int64
-	P95   int64
-	P99   int64
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
 }
 
 // Summary computes count, mean, and p50/p95/p99 in one pass over the

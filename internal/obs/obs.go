@@ -196,6 +196,11 @@ type Snapshot struct {
 // Counter returns the snapshotted counter value (0 if absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
+// Summary returns the quantile summary of the snapshotted histogram under
+// name (the zero HistSummary if absent). Bench reporting reads latency
+// quantiles through this single accessor.
+func (s Snapshot) Summary(name string) HistSummary { return s.Histograms[name].Summary() }
+
 // Snapshot captures every metric. The handle set is frozen under the
 // registry mutex; atomic values are then loaded and gauge callbacks
 // evaluated with no registry lock held, so callbacks may take their own
