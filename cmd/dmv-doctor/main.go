@@ -1,0 +1,262 @@
+// Command dmv-doctor is the post-mortem analyzer for flight-recorder
+// dumps. A dump is written by the flight recorder (internal/obs/flight)
+// when an anomaly trigger fires — fail-over start, suspicion escalation,
+// backend quarantine, WAL sticky-fatal, commit-uncertain — and contains
+// the recent ring of every reachable node: trace spans, timeline events,
+// metric deltas, and health transitions, each stamped by the recorder's
+// clock.
+//
+// dmv-doctor stitches the per-node rings into one merged causal timeline
+// anchored at the trigger, renders per-stage span timings and the
+// cross-node trace that was in flight, and summarizes each node's runtime
+// health at dump time.
+//
+// Usage:
+//
+//	dmv-doctor dump.json...          render the post-mortem report
+//	dmv-doctor -check dump.json...   validate only: parse each dump and
+//	                                 print "ok: <file>: trigger <cause>"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate dumps and print one ok-line per file (exit 1 on any failure)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dmv-doctor [-check] <flight-dump.json>...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		d, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmv-doctor: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		if *check {
+			fmt.Printf("ok: %s: trigger %s node=%s\n", path, d.Trigger.Cause, d.Trigger.Node)
+			continue
+		}
+		Render(os.Stdout, path, d)
+	}
+	os.Exit(exit)
+}
+
+func load(path string) (flight.Dump, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return flight.Dump{}, err
+	}
+	d, err := flight.Parse(blob)
+	if err != nil {
+		return flight.Dump{}, err
+	}
+	if d.Trigger.Cause == "" {
+		return flight.Dump{}, fmt.Errorf("dump has no trigger cause")
+	}
+	if len(d.Nodes) == 0 {
+		return flight.Dump{}, fmt.Errorf("dump has no node rings")
+	}
+	return d, nil
+}
+
+// Render writes the full post-mortem report for one dump. The output is a
+// pure function of the dump contents (no wall-clock reads), so rendering a
+// recorded dump is reproducible — the golden test depends on this.
+func Render(w io.Writer, path string, d flight.Dump) {
+	fmt.Fprintf(w, "flight dump: %s (schema %d)\n", path, d.Schema)
+	fmt.Fprintf(w, "trigger: %s node=%s detail=%q\n", d.Trigger.Cause, orDash(d.Trigger.Node), d.Trigger.Detail)
+	fmt.Fprintf(w, "origin: %s  nodes: %d\n", d.Meta.Origin, len(d.Nodes))
+	for _, pe := range d.Meta.PeerErrors {
+		fmt.Fprintf(w, "  peer error: %s\n", pe)
+	}
+	fmt.Fprintln(w)
+
+	for _, nd := range d.Nodes {
+		rt := nd.Runtime
+		fmt.Fprintf(w, "node %-12s %4d entries (%d dropped)  runtime: %d goroutines, %.1f MiB heap, gc %dus, sched-p99 %dus\n",
+			nd.Node, len(nd.Entries), nd.Dropped,
+			rt.Goroutines, float64(rt.HeapBytes)/(1<<20), rt.GCPauseLastUS, rt.SchedLatP99US)
+	}
+	fmt.Fprintln(w)
+
+	renderTimeline(w, d)
+	renderStages(w, d)
+	renderTrace(w, d)
+}
+
+type timedEntry struct {
+	node string
+	e    flight.Entry
+}
+
+// mergedEntries flattens every node ring into one list sorted by the
+// recorder timestamp, breaking ties by node then ring sequence so the
+// order is total and deterministic.
+func mergedEntries(d flight.Dump) []timedEntry {
+	var all []timedEntry
+	for _, nd := range d.Nodes {
+		for _, e := range nd.Entries {
+			all = append(all, timedEntry{node: nd.Node, e: e})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i].e, all[j].e
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if all[i].node != all[j].node {
+			return all[i].node < all[j].node
+		}
+		return a.Seq < b.Seq
+	})
+	return all
+}
+
+func renderTimeline(w io.Writer, d flight.Dump) {
+	fmt.Fprintln(w, "timeline (ms relative to trigger):")
+	for _, te := range mergedEntries(d) {
+		off := float64(te.e.TS-d.Trigger.TS) / 1e6
+		fmt.Fprintf(w, "  %+9.2f  [%-7s] %-12s %s\n", off, te.e.Kind, te.node, describe(te.e))
+	}
+	fmt.Fprintln(w)
+}
+
+func describe(e flight.Entry) string {
+	switch e.Kind {
+	case flight.KindHealth:
+		h := e.Health
+		return fmt.Sprintf("%s: %s -> %s", h.Node, orDash(h.From), h.To)
+	case flight.KindTrigger:
+		s := e.Cause
+		if e.Node != "" {
+			s += " node=" + e.Node
+		}
+		if e.Detail != "" {
+			s += " (" + e.Detail + ")"
+		}
+		return s
+	case flight.KindEvent:
+		ev := e.Event
+		s := ev.Kind
+		if ev.Node != "" {
+			s += " node=" + ev.Node
+		}
+		if ev.Detail != "" {
+			s += " " + ev.Detail
+		}
+		if ev.Duration > 0 {
+			s += fmt.Sprintf(" (%s)", ev.Duration)
+		}
+		return s
+	case flight.KindSpan:
+		sp := e.Span
+		s := fmt.Sprintf("span %s trace=%d outcome=%s total=%s", sp.Kind, sp.TraceID, orDash(sp.Outcome), sp.Total)
+		if sp.Cause != "" {
+			s += " cause=" + sp.Cause
+		}
+		return s
+	case flight.KindDelta:
+		keys := make([]string, 0, len(e.Deltas))
+		for k := range e.Deltas {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s%+d", k, e.Deltas[k]))
+		}
+		return strings.Join(parts, " ")
+	default:
+		return e.Kind
+	}
+}
+
+// renderStages prints per-stage timings for every span retained in the
+// rings that carries stage marks, most recent last.
+func renderStages(w io.Writer, d flight.Dump) {
+	var spans []timedEntry
+	for _, te := range mergedEntries(d) {
+		if te.e.Kind == flight.KindSpan && te.e.Span != nil && len(te.e.Span.Stages) > 0 {
+			spans = append(spans, te)
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "stage timings:")
+	for _, te := range spans {
+		sp := te.e.Span
+		fmt.Fprintf(w, "  %s (trace %d, node %s) total %s:\n", sp.Kind, sp.TraceID, te.node, sp.Total)
+		for _, st := range sp.Stages {
+			fmt.Fprintf(w, "    %-20s +%s\n", st.Name, st.Offset)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// renderTrace stitches the spans of the most recent root trace across all
+// node rings (obs.Stitch orders them causally) so the cross-process
+// transaction that was in flight at the trigger reads as one tree.
+func renderTrace(w io.Writer, d flight.Dump) {
+	var spans []obs.Span
+	for _, nd := range d.Nodes {
+		for _, e := range nd.Entries {
+			if e.Kind == flight.KindSpan && e.Span != nil {
+				spans = append(spans, *e.Span)
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+	var best obs.Span
+	for _, sp := range spans {
+		if sp.ParentID == 0 && sp.TraceID != 0 && sp.Start.After(best.Start) {
+			best = sp
+		}
+	}
+	if best.TraceID == 0 {
+		return
+	}
+	stitched := obs.Stitch(spans, best.TraceID)
+	if len(stitched) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "stitched trace %d (%d spans):\n", best.TraceID, len(stitched))
+	depth := map[uint64]int{}
+	for _, sp := range stitched {
+		dpt := 0
+		if pd, ok := depth[sp.ParentID]; ok && sp.ParentID != 0 {
+			dpt = pd + 1
+		}
+		depth[sp.SpanID] = dpt
+		out := sp.Outcome
+		if sp.Cause != "" {
+			out += "/" + sp.Cause
+		}
+		fmt.Fprintf(w, "  %s%-14s node=%-10s %-16s %s\n",
+			strings.Repeat("  ", dpt), sp.Kind, sp.Node, orDash(out), sp.Total.Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -25,6 +25,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/replica"
 	"dmv/internal/simdisk"
 	"dmv/internal/tpcw"
@@ -52,12 +53,25 @@ func run() error {
 		pageCap    = flag.Int("page-cap", 64, "rows per page")
 		metrics    = flag.String("metrics-addr", "", "serve /metrics, /trace, /timeline on this address (empty = off)")
 		ackTimeout = flag.Duration("ack-timeout", 0, "bound on each subscriber's write-set ack during broadcast (0 = wait forever)")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof/ on the metrics address")
+		flightDir  = flag.String("flight-dir", "", "write anomaly-triggered flight dumps to this directory (empty = ring only, served to the scheduler over FlightDump)")
+		flightSamp = flag.Duration("flight-sample", time.Second, "runtime-health sample period for the flight recorder (0 = off)")
 	)
 	flag.Parse()
 
 	var reg *obs.Registry
+	var rec *flight.Recorder
 	if *metrics != "" {
 		reg = obs.New()
+		// Always-on flight recorder: the bounded ring costs a few hundred
+		// entries of memory and is served to the scheduler's anomaly dumps
+		// via the FlightDump RPC even when this node never writes a dump
+		// itself (-flight-dir empty).
+		rec = flight.New(flight.Options{Node: *id, Reg: reg, Dir: *flightDir})
+		defer rec.Close()
+		if *flightSamp > 0 {
+			rec.StartSampler(*flightSamp)
+		}
 	}
 	var disk *simdisk.Disk
 	opts := heap.Options{PageCap: *pageCap, Obs: reg, NodeID: *id}
@@ -86,7 +100,7 @@ func run() error {
 
 	node := replica.NewNode(replica.Options{
 		ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir, CheckpointSync: *ckptSync, Obs: reg,
-		AckTimeout: *ackTimeout,
+		AckTimeout: *ackTimeout, Flight: rec,
 	})
 	if reg != nil {
 		// The scheduler derives per-table version lag from the ObsSnapshot
@@ -106,12 +120,16 @@ func run() error {
 	}
 	defer srv.Close()
 	if reg != nil {
-		mln, err := obs.Serve(*metrics, reg)
+		mln, err := obs.ServeWith(*metrics, reg, obs.ServeOptions{Pprof: *pprofOn})
 		if err != nil {
 			return err
 		}
 		defer mln.Close()
-		log.Printf("metrics on http://%s/metrics (also /trace, /timeline)", mln.Addr())
+		extra := ""
+		if *pprofOn {
+			extra = ", /debug/pprof/"
+		}
+		log.Printf("metrics on http://%s/metrics (also /trace, /timeline%s)", mln.Addr(), extra)
 	}
 	log.Printf("node %s serving on %s (slave role; scheduler assigns masters)", *id, srv.Addr())
 

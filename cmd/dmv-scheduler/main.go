@@ -27,6 +27,7 @@ import (
 
 	"dmv/internal/harness"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/persist"
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
@@ -76,6 +77,9 @@ func run() error {
 		walDir     = flag.String("wal-dir", "", "append committed update queries to a crash-durable WAL in this directory (empty = off)")
 		walFlush   = flag.String("wal-flush", "always", "WAL fsync policy: always (group commit), interval, never")
 		walEvery   = flag.Duration("wal-flush-interval", 5*time.Millisecond, "background fsync period for -wal-flush=interval")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof/ on the metrics address")
+		flightDir  = flag.String("flight-dir", "flight", "write anomaly-triggered cluster flight dumps here (empty = off)")
+		flightSamp = flag.Duration("flight-sample", time.Second, "runtime-health sample period for the flight recorder (0 = off)")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
@@ -88,11 +92,20 @@ func run() error {
 	}
 
 	var reg *obs.Registry
+	var rec *flight.Recorder
 	agg := &obs.Aggregator{}
 	if *metrics != "" {
 		reg = obs.New()
 		obs.RegisterIdentity(reg, "scheduler", time.Now())
-		mln, err := obs.ServeCluster(*metrics, reg, agg.Current)
+		// The scheduler's recorder is the dump coordinator: on an anomaly
+		// trigger it freezes its own ring, gathers every node's ring over
+		// the FlightDump RPC, and writes one cluster-wide dump file.
+		rec = flight.New(flight.Options{Node: "scheduler", Reg: reg, Dir: *flightDir})
+		defer rec.Close()
+		if *flightSamp > 0 {
+			rec.StartSampler(*flightSamp)
+		}
+		mln, err := obs.ServeWith(*metrics, reg, obs.ServeOptions{Cluster: agg.Current, Pprof: *pprofOn})
 		if err != nil {
 			return err
 		}
@@ -133,6 +146,14 @@ func run() error {
 		addrs[id] = addr
 		slaves = append(slaves, s)
 	}
+	if rec != nil {
+		peers := make([]flight.Peer, 0, 1+len(slaves))
+		peers = append(peers, master)
+		for _, s := range slaves {
+			peers = append(peers, s)
+		}
+		rec.SetPeers(peers)
+	}
 
 	// The scheduler is configured from the TPC-W schema; table ids are the
 	// schema creation order, identical on every node.
@@ -160,6 +181,7 @@ func run() error {
 			Policy:        policy,
 			FlushInterval: *walEvery,
 			Obs:           reg,
+			Flight:        rec,
 		})
 		if lerr != nil {
 			return fmt.Errorf("wal: %w", lerr)
@@ -167,8 +189,9 @@ func run() error {
 		log.Printf("wal: %s recovered %d records (base %d, %d torn bytes truncated), policy %s",
 			*walDir, len(rlog.Records), rlog.Base, rlog.TruncatedBytes, policy)
 		tier := persist.NewTier(persist.Options{
-			Log: rlog,
-			Obs: reg,
+			Log:    rlog,
+			Obs:    reg,
+			Flight: rec,
 			OnError: func(err error) {
 				log.Printf("wal: durability error: %v", err)
 			},
@@ -182,6 +205,7 @@ func run() error {
 		Seed:            *seed,
 		Obs:             reg,
 		OnCommit:        onCommit,
+		Flight:          rec,
 	}, len(names), tableID)
 	if err != nil {
 		return err
@@ -216,6 +240,7 @@ func run() error {
 	// quarantined out of read placement, recovered suspects rejoin, and a
 	// dead master triggers the commit-fenced fail-over.
 	ht := newHealthTracker(reg, *suspectAt, *deadAt)
+	ht.flight = rec
 	stopMon := make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(*heartbeat)
@@ -393,6 +418,7 @@ const (
 // ladder, and each state change is exported on the node-health gauge.
 type healthTracker struct {
 	reg          *obs.Registry
+	flight       *flight.Recorder // nil-safe; records transitions + suspicion triggers
 	suspectAfter int
 	deadAfter    int
 
@@ -425,26 +451,33 @@ func (h *healthTracker) probe(p replica.Peer) transition {
 		if h.state[id] == "suspect" {
 			h.state[id] = ""
 			h.setGauge(id, "")
+			h.flight.RecordHealth(id, "suspect", "healthy")
 			return transitionClear
 		}
 		return transitionNone
 	case errors.Is(err, replica.ErrPeerTimeout):
 		h.misses[id]++
 		if h.misses[id] >= h.deadAfter {
+			from := h.state[id]
 			h.state[id] = "dead"
 			h.setGauge(id, "dead")
+			h.flight.RecordHealth(id, from, "dead")
 			return transitionDead
 		}
 		if h.misses[id] >= h.suspectAfter && h.state[id] == "" {
 			h.state[id] = "suspect"
 			h.setGauge(id, "suspect")
+			h.flight.RecordHealth(id, "healthy", "suspect")
+			h.flight.Trigger(flight.CauseSuspicion, id, "probe misses reached suspect threshold")
 			return transitionSuspect
 		}
 		return transitionNone
 	default:
 		// The node itself answered that it is down: fail-stop, no ladder.
+		from := h.state[id]
 		h.state[id] = "dead"
 		h.setGauge(id, "dead")
+		h.flight.RecordHealth(id, from, "dead")
 		return transitionDead
 	}
 }

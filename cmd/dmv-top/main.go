@@ -76,7 +76,8 @@ func render(cs obs.ClusterSnapshot) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dmv cluster  @%s  frontier=%v\n\n",
 		time.Unix(cs.TakenUnix, 0).Format("15:04:05"), cs.Frontier)
-	fmt.Fprintf(&b, "%-10s %-8s %-8s %10s %10s %10s\n", "NODE", "ROLE", "HEALTH", "LAG", "BACKLOG", "UPTIME")
+	fmt.Fprintf(&b, "%-10s %-8s %-8s %10s %10s %10s  %-24s %6s\n",
+		"NODE", "ROLE", "HEALTH", "LAG", "BACKLOG", "UPTIME", "RUNTIME", "FLIGHT")
 	for _, n := range cs.Nodes {
 		var lag uint64
 		for _, l := range n.Lag {
@@ -90,7 +91,10 @@ func render(cs obs.ClusterSnapshot) string {
 		if health == "" {
 			health = "healthy"
 		}
-		fmt.Fprintf(&b, "%-10s %-8s %-8s %10d %10d %10s\n", n.Node, n.Role, health, lag, n.PendingMods, up)
+		fmt.Fprintf(&b, "%-10s %-8s %-8s %10d %10d %10s  %-24s %6d\n",
+			n.Node, n.Role, health, lag, n.PendingMods, up,
+			runtimeCell(cs.Merged, n.Node),
+			cs.Merged.Counters[obs.Labeled(obs.FlightDumps, "node", n.Node)])
 	}
 
 	b.WriteString("\ncounters:\n")
@@ -113,6 +117,19 @@ func render(cs obs.ClusterSnapshot) string {
 	}
 	fmt.Fprintf(&b, "\n%d spans in trace ring (GET /stitch for the latest stitched trace)\n", len(cs.Spans))
 	return b.String()
+}
+
+// runtimeCell summarizes one node's runtime-health gauges (exported by the
+// flight recorder's sampler) as "g=<goroutines> h=<heap MiB> gc=<last
+// pause>", or "-" when the node runs without a sampler.
+func runtimeCell(m obs.Snapshot, node string) string {
+	g, ok := m.Gauges[obs.Labeled(obs.RuntimeGoroutines, "node", node)]
+	if !ok {
+		return "-"
+	}
+	heap := m.Gauges[obs.Labeled(obs.RuntimeHeapBytes, "node", node)]
+	gc := m.Gauges[obs.Labeled(obs.RuntimeGCPauseLastUS, "node", node)]
+	return fmt.Sprintf("g=%d h=%.1fM gc=%dus", int64(g), heap/(1<<20), int64(gc))
 }
 
 // pick returns the sorted names with any of the prefixes (the scheduler and

@@ -118,6 +118,13 @@ var DefaultConfig = &Config{
 		"dmv/internal/obs.Tracer.mu":     levelObs,
 		"dmv/internal/obs.Timeline.mu":   levelObs,
 		"dmv/internal/obs.Aggregator.mu": levelObs,
+
+		// flight recorder: ring appends and trigger enqueues share the obs
+		// band so any subsystem may call them under its own locks. Dump
+		// assembly (registry snapshot + peer RPCs) runs only on the
+		// recorder's worker goroutine with neither lock held.
+		"dmv/internal/obs/flight.Recorder.mu":      levelObs,
+		"dmv/internal/obs/flight.Recorder.peersMu": levelObs,
 	},
 	Callees: map[string]int{
 		// Cross-package entry points that acquire locks internally; calling
@@ -160,5 +167,16 @@ var DefaultConfig = &Config{
 		"dmv/internal/obs.Timeline.OnEvent":   levelObs,
 		"dmv/internal/obs.Timeline.Start":     levelObs,
 		"dmv/internal/obs.Stage.End":          levelObs,
+
+		// flight recorder entry points: Trigger/Record* touch only the
+		// recorder's own obs-band state, so they are safe under anything
+		// (fail-over fires Trigger while holding the commit fence).
+		// NodeDump snapshots the registry, so like Registry.Snapshot it
+		// carries the cluster level and must not run under subsystem locks.
+		"dmv/internal/obs/flight.Recorder.Trigger":      levelObs,
+		"dmv/internal/obs/flight.Recorder.RecordSpan":   levelObs,
+		"dmv/internal/obs/flight.Recorder.RecordEvent":  levelObs,
+		"dmv/internal/obs/flight.Recorder.RecordHealth": levelObs,
+		"dmv/internal/obs/flight.Recorder.NodeDump":     levelCluster,
 	},
 }

@@ -17,6 +17,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
@@ -140,6 +141,12 @@ type Config struct {
 	// registry's timeline, and the node buffer caches are exported as
 	// gauges. Nil disables metrics (the event timeline still works).
 	Obs *obs.Registry
+	// Flight, when set, is the cluster's flight recorder: the failure
+	// detector records health transitions into it and fail-over start /
+	// suspicion escalation fire anomaly dumps. One recorder serves the
+	// whole in-process cluster (the multiprocess deployment runs one per
+	// daemon instead).
+	Flight *flight.Recorder
 }
 
 // EventKind classifies cluster events. It aliases string so event kinds
@@ -905,11 +912,14 @@ func (c *Cluster) applyHealth(id string, act healthAction) {
 		c.setHealthGauge(id, healthSuspect)
 		c.eachSched(func(s *scheduler.Scheduler) { s.SetQuarantined(id, true) })
 		c.emit(Event{Kind: EventNodeSuspect, Node: id})
+		c.cfg.Flight.RecordHealth(id, "healthy", healthSuspect)
+		c.cfg.Flight.Trigger(flight.CauseSuspicion, id, "probe misses reached SuspectAfter")
 	case actClear:
 		c.metFalseSuspicions.Inc()
 		c.setHealthGauge(id, "")
 		c.eachSched(func(s *scheduler.Scheduler) { s.SetQuarantined(id, false) })
 		c.emit(Event{Kind: EventNodeCleared, Node: id})
+		c.cfg.Flight.RecordHealth(id, healthSuspect, "healthy")
 		// While suspect the node may have missed write-sets (a master
 		// abandons acks at the deadline); close the gap with the
 		// incremental page-delta path — no full state transfer.

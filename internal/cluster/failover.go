@@ -6,6 +6,7 @@ import (
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
+	"dmv/internal/obs/flight"
 	"dmv/internal/replica"
 	"dmv/internal/scheduler"
 	"dmv/internal/vclock"
@@ -65,6 +66,8 @@ func (c *Cluster) confirmDead(id string) {
 
 	c.setHealthGauge(id, healthDead)
 	c.emit(Event{Kind: EventNodeFailed, Node: id})
+	c.cfg.Flight.RecordHealth(id, healthSuspect, healthDead)
+	c.cfg.Flight.Trigger(flight.CauseFailover, id, "node confirmed dead, reconfiguring")
 	if gray {
 		// The fence proper is the fenced flag; the node-side cleanup runs
 		// asynchronously because a stalled node may sit on these calls.

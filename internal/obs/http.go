@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 )
 
@@ -61,8 +62,33 @@ func (r *Registry) HandlerWithCluster(fetch func() ClusterSnapshot) http.Handler
 	return r.handler(fetch)
 }
 
+// ServeOptions configure ServeWith beyond the bare registry endpoints.
+type ServeOptions struct {
+	// Cluster, if non-nil, adds the /cluster aggregation endpoint (see
+	// HandlerWithCluster).
+	Cluster func() ClusterSnapshot
+	// Pprof mounts the stdlib net/http/pprof handlers under /debug/pprof/
+	// on the same mux, so CPU/heap profiles are grabbable from the metrics
+	// port during bench runs. Off by default: the profile endpoints can
+	// stall the process (CPU profiling) and leak internals, so daemons
+	// gate them behind an explicit -pprof flag.
+	Pprof bool
+}
+
 func (r *Registry) handler(fetch func() ClusterSnapshot) http.Handler {
+	return r.handlerWith(ServeOptions{Cluster: fetch})
+}
+
+func (r *Registry) handlerWith(o ServeOptions) http.Handler {
+	fetch := o.Cluster
 	mux := http.NewServeMux()
+	if o.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		r.WriteText(w)
@@ -145,6 +171,11 @@ func Serve(addr string, r *Registry) (net.Listener, error) {
 // scheduler's scrape loop supplies fetch, usually Aggregator.Current).
 func ServeCluster(addr string, r *Registry, fetch func() ClusterSnapshot) (net.Listener, error) {
 	return serve(addr, r.HandlerWithCluster(fetch))
+}
+
+// ServeWith is Serve with explicit options (cluster endpoint, pprof).
+func ServeWith(addr string, r *Registry, o ServeOptions) (net.Listener, error) {
+	return serve(addr, r.handlerWith(o))
 }
 
 func serve(addr string, h http.Handler) (net.Listener, error) {

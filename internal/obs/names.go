@@ -111,6 +111,26 @@ const (
 	TransportRedials     = "dmv_transport_redials_total"      // client reconnects after a broken rpc.Client
 	TransportRPCUS       = "dmv_transport_rpc_us"             // client-observed per-call latency (incl. timeouts)
 
+	// --- obs self-observation ------------------------------------------------
+
+	ObsRingDropped = "dmv_obs_ring_dropped_total" // labeled counter: entries evicted from a bounded ring (ring="trace"|"timeline"|"flight")
+
+	// --- runtime health (per-process, sampled via runtime/metrics) ----------
+
+	RuntimeGoroutines    = "dmv_runtime_goroutines"           // labeled gauge: live goroutines per node
+	RuntimeHeapBytes     = "dmv_runtime_heap_bytes"           // labeled gauge: live heap object bytes per node
+	RuntimeGCPauseLastUS = "dmv_runtime_gc_pause_last_us"     // labeled gauge: most recent GC stop-the-world pause
+	RuntimeSchedLatP99US = "dmv_runtime_sched_latency_p99_us" // labeled gauge: p99 goroutine scheduling latency
+	RuntimeGCPauseUS     = "dmv_runtime_gc_pause_us"          // histogram: GC stop-the-world pauses observed by the sampler
+
+	// --- flight recorder (anomaly-triggered cluster dumps) ------------------
+
+	FlightDumps      = "dmv_flight_dumps_total"              // labeled counter: cluster dumps written, per origin node
+	FlightDumpErrors = "dmv_flight_dump_errors_total"        // dump serialization/write failures
+	FlightTriggers   = "dmv_flight_triggers_total"           // anomaly triggers accepted
+	FlightSuppressed = "dmv_flight_triggers_suppressed_total" // triggers dropped by cooldown or full queue
+	FlightPeerErrors = "dmv_flight_peer_errors_total"        // peer ring gathers that failed or timed out
+
 	// --- innodb-like on-disk baseline ---------------------------------------
 
 	InnoCommits          = "dmv_inno_commits_total"        // tier update commits (write-all)

@@ -99,9 +99,10 @@ type Registry struct {
 }
 
 // New returns an empty registry with a tracer of DefaultTraceCap spans and
-// a fresh timeline.
+// a fresh timeline. Ring evictions in both are counted under
+// dmv_obs_ring_dropped_total, labeled by ring.
 func New() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters: make(map[string]*Counter, 32),
 		gauges:   make(map[string]*Gauge, 8),
 		hists:    make(map[string]*Histogram, 16),
@@ -109,6 +110,9 @@ func New() *Registry {
 		tracer:   NewTracer(DefaultTraceCap),
 		timeline: NewTimeline(),
 	}
+	r.tracer.setDrops(r.Counter(Labeled(ObsRingDropped, "ring", "trace")))
+	r.timeline.setDrops(r.Counter(Labeled(ObsRingDropped, "ring", "timeline")))
+	return r
 }
 
 // Counter returns the counter registered under name, creating it on first

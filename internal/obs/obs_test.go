@@ -131,8 +131,20 @@ func TestConcurrentRecordSnapshot(t *testing.T) {
 	if got := r.Tracer().Total(); got != workers*per {
 		t.Fatalf("spans recorded = %d, want %d", got, workers*per)
 	}
-	if got := len(r.Timeline().Events()); got != workers*per {
-		t.Fatalf("timeline events = %d, want %d", got, workers*per)
+	// The timeline is bounded: every record is counted, retention caps at
+	// DefaultTimelineCap and the overflow shows on the eviction counter.
+	if got := r.Timeline().Total(); got != workers*per {
+		t.Fatalf("timeline total = %d, want %d", got, workers*per)
+	}
+	wantRetained := workers * per
+	if wantRetained > DefaultTimelineCap {
+		wantRetained = DefaultTimelineCap
+	}
+	if got := len(r.Timeline().Events()); got != wantRetained {
+		t.Fatalf("timeline events = %d, want %d", got, wantRetained)
+	}
+	if got := snap.Counter(Labeled(ObsRingDropped, "ring", "timeline")); got != int64(workers*per-wantRetained) {
+		t.Fatalf("timeline drops = %d, want %d", got, workers*per-wantRetained)
 	}
 }
 

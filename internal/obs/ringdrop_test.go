@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTraceRingDropCounter: wrapping the span ring increments the labeled
+// eviction counter instead of losing spans silently.
+func TestTraceRingDropCounter(t *testing.T) {
+	t.Parallel()
+	r := New()
+	const extra = 25
+	for i := 0; i < DefaultTraceCap+extra; i++ {
+		r.Tracer().Begin("read").Finish("commit", "")
+	}
+	if got := r.Counter(Labeled(ObsRingDropped, "ring", "trace")).Load(); got != extra {
+		t.Fatalf("trace drop counter = %d, want %d", got, extra)
+	}
+	if got := r.Tracer().Total(); got != DefaultTraceCap+extra {
+		t.Fatalf("tracer total = %d, want %d", got, DefaultTraceCap+extra)
+	}
+}
+
+// TestTimelineRingBoundedWithDropCounter: the timeline no longer grows
+// without bound; evictions are counted and retention keeps the most recent
+// events, oldest first.
+func TestTimelineRingBoundedWithDropCounter(t *testing.T) {
+	t.Parallel()
+	r := New()
+	const extra = 40
+	for i := 0; i < DefaultTimelineCap+extra; i++ {
+		r.Timeline().Record(Event{Kind: "tick", Detail: fmt.Sprintf("%d", i)})
+	}
+	if got := r.Counter(Labeled(ObsRingDropped, "ring", "timeline")).Load(); got != extra {
+		t.Fatalf("timeline drop counter = %d, want %d", got, extra)
+	}
+	evs := r.Timeline().Events()
+	if len(evs) != DefaultTimelineCap {
+		t.Fatalf("retained %d events, want %d", len(evs), DefaultTimelineCap)
+	}
+	if got, want := evs[0].Detail, fmt.Sprintf("%d", extra); got != want {
+		t.Fatalf("oldest retained event = %q, want %q", got, want)
+	}
+	if got, want := evs[len(evs)-1].Detail, fmt.Sprintf("%d", DefaultTimelineCap+extra-1); got != want {
+		t.Fatalf("newest retained event = %q, want %q", got, want)
+	}
+	if got := r.Timeline().Total(); got != DefaultTimelineCap+extra {
+		t.Fatalf("timeline total = %d, want %d", got, DefaultTimelineCap+extra)
+	}
+	// The drop counter is exported on /metrics via the ordinary snapshot.
+	if got := r.Snapshot().Counter(Labeled(ObsRingDropped, "ring", "timeline")); got != extra {
+		t.Fatalf("snapshot drop counter = %d, want %d", got, extra)
+	}
+}

@@ -17,24 +17,36 @@ type Event struct {
 	Duration time.Duration
 }
 
-// Timeline is an append-only log of cluster lifecycle events with
-// subscription hooks. A nil Timeline no-ops. Hooks are invoked after the
-// timeline lock is released (obs locks are the innermost band of the lock
-// hierarchy, so a hook that takes other locks must not run under mu);
+// DefaultTimelineCap bounds the number of retained timeline events. The
+// timeline used to grow without bound; it is now a ring so a long-lived
+// daemon cannot leak memory through lifecycle events, and evictions are
+// counted (dmv_obs_ring_dropped_total{ring="timeline"}) instead of silent.
+const DefaultTimelineCap = 1024
+
+// Timeline is a bounded log of cluster lifecycle events with subscription
+// hooks: the most recent DefaultTimelineCap events are retained, older ones
+// are evicted and counted. A nil Timeline no-ops. Hooks are invoked after
+// the timeline lock is released (obs locks are the innermost band of the
+// lock hierarchy, so a hook that takes other locks must not run under mu);
 // under heavy concurrency a hook may therefore observe events slightly out
 // of append order.
 type Timeline struct {
 	mu     sync.Mutex
-	events []Event       // guarded by mu
+	events []Event       // guarded by mu; grows to cap then becomes a ring
+	next   int           // guarded by mu; overwrite cursor once at cap
+	total  uint64        // guarded by mu; events ever recorded
+	cap    int           // immutable after NewTimeline
 	hooks  []func(Event) // guarded by mu
+	drops  *Counter      // ring-wrap evictions (nil-safe; wired by Registry)
 }
 
-// NewTimeline returns an empty timeline.
+// NewTimeline returns an empty timeline retaining DefaultTimelineCap events.
 func NewTimeline() *Timeline {
-	return &Timeline{}
+	return &Timeline{cap: DefaultTimelineCap}
 }
 
-// Record appends an event, stamping Time if unset, and invokes hooks.
+// Record appends an event, stamping Time if unset, and invokes hooks. Once
+// the retention cap is reached the oldest event is evicted (and counted).
 func (t *Timeline) Record(ev Event) {
 	if t == nil {
 		return
@@ -43,7 +55,14 @@ func (t *Timeline) Record(ev Event) {
 		ev.Time = time.Now()
 	}
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	t.total++
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.drops.Inc()
+		t.events[t.next] = ev
+		t.next = (t.next + 1) % t.cap
+	}
 	hooks := t.hooks
 	t.mu.Unlock()
 	for _, fn := range hooks {
@@ -51,14 +70,38 @@ func (t *Timeline) Record(ev Event) {
 	}
 }
 
-// Events returns a copy of the recorded events in append order.
+// Events returns a copy of the retained events, oldest first.
 func (t *Timeline) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Total returns the number of events ever recorded, including evicted ones.
+func (t *Timeline) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// setDrops wires the ring-eviction counter; called once by the owning
+// Registry before the timeline is shared.
+func (t *Timeline) setDrops(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.drops = c
 }
 
 // OnEvent registers a hook called for every subsequently recorded event.

@@ -121,10 +121,12 @@ func (sp *Span) Finish(outcome, cause string) {
 
 // Tracer keeps the most recent spans in a bounded ring buffer.
 type Tracer struct {
-	mu   sync.Mutex
-	ring []Span // guarded by mu
-	next int    // guarded by mu
-	seq  uint64 // guarded by mu
+	mu    sync.Mutex
+	ring  []Span        // guarded by mu
+	next  int           // guarded by mu
+	seq   uint64        // guarded by mu
+	hooks []func(Span)  // guarded by mu; invoked after unlock
+	drops *Counter      // ring-wrap overwrites (nil-safe; wired by Registry)
 }
 
 // NewTracer returns a tracer retaining the last capacity spans.
@@ -169,11 +171,42 @@ func (t *Tracer) BeginChild(kind string, tc TraceContext) *Span {
 func (t *Tracer) record(sp Span) {
 	sp.tracer = nil
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	sp.ID = t.seq
 	t.seq++
+	if !t.ring[t.next].Start.IsZero() {
+		// The slot already holds a span: this write evicts it. Count the
+		// eviction so ring wrap is visible in /metrics instead of silent.
+		t.drops.Inc()
+	}
 	t.ring[t.next] = sp
 	t.next = (t.next + 1) % len(t.ring)
+	hooks := t.hooks
+	t.mu.Unlock()
+	for _, fn := range hooks {
+		fn(sp)
+	}
+}
+
+// OnSpan registers a hook invoked (outside the tracer lock) for every span
+// published to the ring. Used by the flight recorder to shadow recent spans.
+func (t *Tracer) OnSpan(fn func(Span)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hooks = append(t.hooks, fn)
+}
+
+// setDrops wires the ring-eviction counter; called once by the owning
+// Registry before the tracer is shared.
+func (t *Tracer) setDrops(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.drops = c
 }
 
 // Total returns the number of spans ever recorded (including evicted ones).

@@ -12,6 +12,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
 	"dmv/internal/wal"
@@ -57,6 +58,11 @@ type DurableConfig struct {
 	SegmentBytes int
 	// Obs, if non-nil, receives the WAL metrics.
 	Obs *obs.Registry
+	// Flight, if non-nil, is notified (as a wal-sticky-fatal anomaly
+	// trigger) when the opened WAL enters its sticky-fatal state, so a
+	// durability loss dumps the cluster's flight rings while the evidence
+	// is still in them.
+	Flight *flight.Recorder
 }
 
 // RecoveredLog is an opened durable query log: the live WAL plus whatever
@@ -110,6 +116,10 @@ func (r *RecoveredLog) MinApplied() (int, string) {
 // checkpoint manifests. Close the returned log's WAL via Tier.Close once
 // it is handed to a tier.
 func OpenLog(cfg DurableConfig) (*RecoveredLog, error) {
+	var onFatal func(error)
+	if fr := cfg.Flight; fr != nil {
+		onFatal = func(err error) { fr.Trigger(flight.CauseWALFatal, "", err.Error()) }
+	}
 	w, rec, err := wal.Open(wal.Options{
 		Dir:           cfg.Dir,
 		FS:            cfg.FS,
@@ -117,6 +127,7 @@ func OpenLog(cfg DurableConfig) (*RecoveredLog, error) {
 		FlushInterval: cfg.FlushInterval,
 		SegmentBytes:  cfg.SegmentBytes,
 		Obs:           cfg.Obs,
+		OnFatal:       onFatal,
 	})
 	if err != nil {
 		return nil, err

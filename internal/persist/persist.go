@@ -28,6 +28,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/scheduler"
 	"dmv/internal/simdisk"
 	"dmv/internal/wal"
@@ -88,6 +89,7 @@ type Tier struct {
 	backs   []*Backend
 	done    chan struct{}
 	onError func(error)
+	flight  *flight.Recorder // nil-safe anomaly trigger sink
 
 	wal       *wal.WAL // nil for a memory-only tier
 	dir       string
@@ -122,6 +124,10 @@ type Options struct {
 	// (log entries not yet applied by the slowest backend) and per-backend
 	// quarantine gauges.
 	Obs *obs.Registry
+	// Flight, if non-nil, receives a backend-quarantine anomaly trigger
+	// whenever an apply error (or a base mismatch at construction) freezes
+	// a backend, enqueueing a cluster-wide flight dump.
+	Flight *flight.Recorder
 }
 
 // NewTier starts the tier's applier.
@@ -131,6 +137,7 @@ func NewTier(opts Options) *Tier {
 		backs:     opts.Backends,
 		done:      make(chan struct{}),
 		onError:   opts.OnError,
+		flight:    opts.Flight,
 		ckptEvery: opts.CheckpointEvery,
 	}
 	if l := opts.Log; l != nil {
@@ -163,6 +170,7 @@ func NewTier(opts Options) *Tier {
 			if t.onError != nil {
 				t.onError(fmt.Errorf("persist: backend %s applied %d < log base %d: %w", b.ID, b.applied, t.base, ErrLogTruncated))
 			}
+			t.flight.Trigger(flight.CauseQuarantine, b.ID, fmt.Sprintf("applied %d below recovered log base %d", b.applied, t.base))
 		}
 		b.mu.Unlock()
 	}
@@ -334,6 +342,7 @@ func (t *Tier) applier() {
 					if t.onError != nil {
 						t.onError(fmt.Errorf("persist: backend %s txn %d quarantined: %w", b.ID, idx, err))
 					}
+					t.flight.Trigger(flight.CauseQuarantine, b.ID, fmt.Sprintf("apply error at txn %d: %v", idx, err))
 					break
 				}
 				t.applied.Inc()

@@ -21,6 +21,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/page"
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
@@ -164,6 +165,10 @@ type Options struct {
 	// aborts, write-set traffic, broadcast latency). The per-node Stats
 	// counters are kept regardless; the registry aggregates across nodes.
 	Obs *obs.Registry
+	// Flight, if non-nil, is the node's flight recorder: its ring is served
+	// to peers via the FlightDump RPC when an anomaly dump is assembled
+	// anywhere in the cluster.
+	Flight *flight.Recorder
 }
 
 // Node is one DMV database replica.
@@ -220,6 +225,9 @@ type Node struct {
 	// roleGauge is the node's labeled dmv_node_role gauge (nil without a
 	// registry); updated on every role transition.
 	roleGauge *obs.Gauge
+
+	// flight is the node's optional flight recorder (nil-safe).
+	flight *flight.Recorder
 
 	stats Stats
 	met   nodeMetrics
@@ -307,6 +315,7 @@ func NewNode(opts Options) *Node {
 		n.roleGauge.Set(obs.RoleValue(RoleSlave.String()))
 		obs.RegisterIdentity(reg, opts.ID, n.started)
 	}
+	n.flight = opts.Flight
 	n.cpDir = opts.CheckpointDir
 	n.cpSync = opts.CheckpointSync
 	n.alive.Store(true)
@@ -982,6 +991,20 @@ func (n *Node) ObsSnapshot() (obs.NodeSnapshot, error) {
 		Snap:        n.reg.Snapshot(),
 		Spans:       n.reg.Tracer().Dump(),
 	}, nil
+}
+
+// FlightDump freezes the node's flight-recorder ring for a cluster-wide
+// anomaly dump (served over transport as the FlightDump RPC). A node with
+// no recorder contributes an identity-only fragment rather than an error,
+// so a cluster with partial flight wiring still dumps.
+func (n *Node) FlightDump() (flight.NodeDump, error) {
+	if err := n.check(); err != nil {
+		return flight.NodeDump{}, err
+	}
+	if n.flight == nil {
+		return flight.NodeDump{Node: n.id}, nil
+	}
+	return n.flight.NodeDump(), nil
 }
 
 // --- buffer-cache warm-up ---------------------------------------------------

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/replica"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -84,6 +85,10 @@ type Options struct {
 	// exposition and tracing are off). Peer schedulers sharing one registry
 	// share one set of counters — the cluster-wide view.
 	Obs *obs.Registry
+	// Flight, if non-nil, receives anomaly triggers from the scheduler:
+	// fail-over start and commit-uncertain outcomes enqueue cluster-wide
+	// flight dumps.
+	Flight *flight.Recorder
 }
 
 // Stats are cumulative scheduler counters, backed by the metrics registry
@@ -169,7 +174,8 @@ type Scheduler struct {
 
 	stats  *Stats
 	met    schedMetrics
-	tracer *obs.Tracer // nil unless Options.Obs was set
+	tracer *obs.Tracer      // nil unless Options.Obs was set
+	flight *flight.Recorder // nil-safe anomaly trigger sink
 }
 
 // schedMetrics holds the registry handles beyond the public Stats set.
@@ -221,6 +227,7 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 			takeovers:        reg.Counter(obs.SchedTakeovers),
 		},
 		tracer: opts.Obs.Tracer(), // nil when Obs is nil: spans cost nothing
+		flight: opts.Flight,
 	}
 	if len(opts.Classes) == 0 {
 		opts.Classes = []ConflictClass{{Name: "all"}}
@@ -663,6 +670,11 @@ func (s *Scheduler) reportFailure(id string) {
 func (s *Scheduler) FailoverMaster(ci int, survivors []replica.Peer) (replica.Peer, error) {
 	s.BlockCommits()
 	defer s.UnblockCommits()
+
+	// Anomaly: fail-over is starting. The flight trigger only touches the
+	// recorder's innermost-band state, so firing it under the commit fence
+	// is safe; the dump itself is assembled asynchronously.
+	s.flight.Trigger(flight.CauseFailover, "", fmt.Sprintf("master fail-over, class %d, %d survivors", ci, len(survivors)))
 
 	// Rollback point: the highest version any client has seen acknowledged.
 	lastSeen := s.Latest()

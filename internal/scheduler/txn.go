@@ -8,6 +8,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/page"
 	"dmv/internal/replica"
 	"dmv/internal/value"
@@ -284,6 +285,7 @@ func (t *Txn) Commit() error {
 			// fail-over discard erases it; if the master survives, the
 			// caller must reconcile. Either way, a blind retry is unsafe.
 			s.reportFailure(t.peer.ID())
+			s.flight.Trigger(flight.CauseCommitUncertain, t.peer.ID(), err.Error())
 			return fmt.Errorf("%w: %v", ErrCommitUncertain, err)
 		}
 		if errors.Is(err, replica.ErrNodeDown) {

@@ -26,6 +26,7 @@ import (
 	"dmv/internal/exec"
 	"dmv/internal/heap"
 	"dmv/internal/obs"
+	"dmv/internal/obs/flight"
 	"dmv/internal/page"
 	"dmv/internal/replica"
 	"dmv/internal/simdisk"
@@ -334,6 +335,22 @@ func (s *NodeService) ObsSnapshot(_ struct{}, reply *ObsSnapshotReply) error {
 	return nil
 }
 
+// FlightDumpReply carries the node's frozen flight-recorder ring for a
+// cluster-wide anomaly dump.
+type FlightDumpReply struct {
+	ND flight.NodeDump
+	Status
+}
+
+// FlightDump serves the node's flight-recorder fragment to a peer
+// assembling a cluster-wide anomaly dump.
+func (s *NodeService) FlightDump(_ struct{}, reply *FlightDumpReply) error {
+	nd, err := s.node.FlightDump()
+	reply.ND = nd
+	reply.set(err)
+	return nil
+}
+
 // SetSubscribers re-points the node's replication stream at the given peer
 // addresses (id -> address). A master node dials each subscriber itself.
 func (s *NodeService) SetSubscribers(addrs map[string]string, reply *Status) error {
@@ -563,6 +580,7 @@ type RemoteNode struct {
 }
 
 var _ replica.Peer = (*RemoteNode)(nil)
+var _ flight.Peer = (*RemoteNode)(nil)
 
 // DialNode connects to a node served by ServeNode with default options.
 func DialNode(id, addr string) (*RemoteNode, error) {
@@ -947,6 +965,19 @@ func (n *RemoteNode) ObsSnapshot() (obs.NodeSnapshot, error) {
 		return obs.NodeSnapshot{}, err
 	}
 	return reply.NS, reply.Err()
+}
+
+// FlightDump fetches the remote node's flight-recorder fragment (not part
+// of replica.Peer; the flight recorder's dump worker reaches it through the
+// flight.Peer interface). A pure read, so transient transport failures
+// retry; the CallTimeout deadline bounds the gather even when the peer is
+// partitioned away.
+func (n *RemoteNode) FlightDump() (flight.NodeDump, error) {
+	var reply FlightDumpReply
+	if err := n.callIdem("Node.FlightDump", struct{}{}, &reply, n.opts.CallTimeout); err != nil {
+		return flight.NodeDump{}, err
+	}
+	return reply.ND, reply.Err()
 }
 
 // SetSubscribers re-points the remote node's replication stream.

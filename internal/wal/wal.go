@@ -163,6 +163,11 @@ type Options struct {
 	// Obs, if non-nil, receives the WAL metrics (fsync latency, appended
 	// bytes, live segment count, recovery truncation).
 	Obs *obs.Registry
+	// OnFatal, if non-nil, is invoked exactly once, from its own goroutine,
+	// when the WAL enters its sticky-fatal state (a failed fsync or append
+	// write). The callback may take arbitrary locks — it runs outside the
+	// WAL mutex — so anomaly reporters (the flight recorder) can hook here.
+	OnFatal func(error)
 }
 
 // Recovery reports what Open found on disk.
@@ -216,6 +221,7 @@ type WAL struct {
 	closed      bool          // guarded by mu
 	stop        chan struct{} // closes the interval flusher
 	done        chan struct{} // flusher exited
+	onFatal     func(error)   // immutable after Open; fired once on the nil->err transition
 
 	metFsyncUS  *obs.Histogram
 	metBytes    *obs.Counter
@@ -243,6 +249,7 @@ func Open(opts Options) (*WAL, Recovery, error) {
 		segBytes:    int64(opts.SegmentBytes),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+		onFatal:     opts.OnFatal,
 		metFsyncUS:  opts.Obs.Histogram(obs.WalFsyncUS),
 		metBytes:    opts.Obs.Counter(obs.WalBytes),
 		metTruncate: opts.Obs.Counter(obs.WalRecoveryTruncated),
@@ -536,7 +543,7 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	if _, err := w.f.Write(frame); err != nil {
 		// A partial frame write leaves a torn tail exactly like a crash
 		// would; recovery truncates it. The record is not acknowledged.
-		w.err = fmt.Errorf("wal: append: %w", err)
+		w.setFatalLocked(fmt.Errorf("wal: append: %w", err))
 		w.cond.Broadcast()
 		return 0, w.err
 	}
@@ -614,7 +621,7 @@ func (w *WAL) syncToLocked(seq uint64) error {
 			w.mu.Lock()
 			w.syncing = false
 			if err != nil {
-				w.err = fmt.Errorf("wal: fsync: %w", err)
+				w.setFatalLocked(fmt.Errorf("wal: fsync: %w", err))
 			} else if target > w.synced {
 				w.synced = target
 			}
@@ -622,6 +629,20 @@ func (w *WAL) syncToLocked(seq uint64) error {
 			continue
 		}
 		w.cond.Wait()
+	}
+}
+
+// setFatalLocked records the WAL's sticky fatal error on the first
+// nil->non-nil transition and dispatches the OnFatal notification from its
+// own goroutine (the callback may take locks well above the WAL's band).
+// Callers hold w.mu. A later fatal never overwrites the first.
+func (w *WAL) setFatalLocked(err error) {
+	if w.err != nil {
+		return
+	}
+	w.err = err
+	if w.onFatal != nil {
+		go w.onFatal(err)
 	}
 }
 

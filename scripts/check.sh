@@ -50,6 +50,18 @@ go test -race -count=1 \
 	-run 'TestCrashRecoveryNoAckedCommitLoss|TestSeededCrashDeterminism|TestMidLogCorruptionDetected|TestApplyErrorQuarantinesBackend|TestLogTruncationBoundsMemory|TestConcurrentTierOps' \
 	./internal/persist/
 
+echo "==> flight-recorder leg (anomaly-triggered cluster dump + dmv-doctor post-mortem)"
+# The seeded partitioned-master chaos run must emit a cluster-wide flight
+# dump; dmv-doctor -check re-parses the artifact and names the fail-over
+# trigger, closing the loop from anomaly to post-mortem.
+flight_dir=$(mktemp -d)
+trap 'rm -f "$vet_json"; rm -rf "$flight_dir"' EXIT
+DMV_FLIGHT_DIR="$flight_dir" go test -tags dmvdebug -race -count=1 \
+	-run 'TestFlightDumpOnPartitionedFailover' ./internal/transport/
+ls "$flight_dir"/run1/flight-*.json >/dev/null 2>&1 || { echo "flight leg: no dump written" >&2; exit 1; }
+go run ./cmd/dmv-doctor -check "$flight_dir"/run1/flight-*-failover-start.json | grep -q 'failover-start' \
+	|| { echo "flight leg: dmv-doctor did not identify the fail-over trigger" >&2; exit 1; }
+
 echo "==> go test -race"
 go test -race -count=1 ./...
 
