@@ -56,6 +56,7 @@ func run() error {
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof/ on the metrics address")
 		flightDir  = flag.String("flight-dir", "", "write anomaly-triggered flight dumps to this directory (empty = ring only, served to the scheduler over FlightDump)")
 		flightSamp = flag.Duration("flight-sample", time.Second, "runtime-health sample period for the flight recorder (0 = off)")
+		deadlineD  = flag.Duration("deadline-default", 0, "deadline applied to transactions that arrive without one (0 = unbounded); expired sessions abandon queued statements and commit entry, never a commit in flight")
 	)
 	flag.Parse()
 
@@ -100,7 +101,7 @@ func run() error {
 
 	node := replica.NewNode(replica.Options{
 		ID: *id, Engine: eng, Disk: disk, CheckpointDir: *ckptDir, CheckpointSync: *ckptSync, Obs: reg,
-		AckTimeout: *ackTimeout, Flight: rec,
+		AckTimeout: *ackTimeout, Flight: rec, DefaultDeadline: *deadlineD,
 	})
 	if reg != nil {
 		// The scheduler derives per-table version lag from the ObsSnapshot

@@ -80,6 +80,9 @@ func run() error {
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof/ on the metrics address")
 		flightDir  = flag.String("flight-dir", "flight", "write anomaly-triggered cluster flight dumps here (empty = off)")
 		flightSamp = flag.Duration("flight-sample", time.Second, "runtime-health sample period for the flight recorder (0 = off)")
+		admitQ     = flag.Int("admit-queue", 0, "admission-control slots per conflict class (0 = off); queued arrivals beyond 4x this are fast-rejected")
+		admitTgt   = flag.Duration("admit-target-sojourn", 5*time.Millisecond, "CoDel target queue sojourn; sustained waits above it for an interval engage shed mode")
+		deadlineD  = flag.Duration("deadline-default", 0, "deadline attached to driven transactions lacking one (0 = none)")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
@@ -206,6 +209,10 @@ func run() error {
 		Obs:             reg,
 		OnCommit:        onCommit,
 		Flight:          rec,
+		Admission: scheduler.AdmissionOptions{
+			Slots:         *admitQ,
+			TargetSojourn: *admitTgt,
+		},
 	}, len(names), tableID)
 	if err != nil {
 		return err
@@ -325,7 +332,7 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown mix %q", *drive)
 	}
-	store := schedStore{sched: sched}
+	store := schedStore{sched: sched, deadline: *deadlineD}
 	w := tpcw.NewWorkload(store, tpcw.Scale{Items: *items, Customers: *customers})
 	log.Printf("driving %s mix with %d clients for %s", mix.Name, *clients, *duration)
 	res := harness.Run(harness.RunConfig{
@@ -503,12 +510,17 @@ func (h *healthTracker) healthOf(id string) string {
 
 // schedStore adapts the scheduler to the TPC-W workload interface.
 type schedStore struct {
-	sched *scheduler.Scheduler
+	sched    *scheduler.Scheduler
+	deadline time.Duration // -deadline-default: attached to every driven txn
 }
 
 // Run implements tpcw.Store.
 func (s schedStore) Run(readOnly bool, tables []string, fn func(tpcw.Querier) error) error {
-	return s.sched.Run(scheduler.TxnSpec{ReadOnly: readOnly, Tables: tables}, func(tx *scheduler.Txn) error {
+	spec := scheduler.TxnSpec{ReadOnly: readOnly, Tables: tables}
+	if s.deadline > 0 {
+		spec.Deadline = time.Now().Add(s.deadline)
+	}
+	return s.sched.Run(spec, func(tx *scheduler.Txn) error {
 		return fn(tx)
 	})
 }

@@ -39,6 +39,7 @@ func run() error {
 
 	client := &http.Client{Timeout: 2 * time.Second}
 	url := "http://" + *addr + "/cluster"
+	var prev *admitFrame
 	for {
 		cs, err := fetch(client, url)
 		if err != nil {
@@ -47,7 +48,7 @@ func run() error {
 			}
 			fmt.Printf("dmv-top: %v (retrying)\n", err)
 		} else {
-			frame := render(cs)
+			frame := render(cs, &prev)
 			if *once {
 				fmt.Print(frame)
 				return nil
@@ -72,10 +73,51 @@ func fetch(c *http.Client, url string) (obs.ClusterSnapshot, error) {
 	return cs, json.NewDecoder(resp.Body).Decode(&cs)
 }
 
-func render(cs obs.ClusterSnapshot) string {
+// admitFrame is the previous frame's admission counters, kept so the ADMIT
+// column can show rates (counter deltas over the refresh period) instead of
+// lifetime totals.
+type admitFrame struct {
+	admitted, shed int64
+	at             time.Time
+}
+
+// admissionLine renders the scheduler's admission-control state: the ADMIT
+// column (admitted/shed per second since the last frame) and the QUEUE
+// column (current depth, p95 sojourn, shed-mode flag). Empty when admission
+// control is disabled (no admission metrics exported).
+func admissionLine(cs obs.ClusterSnapshot, prev **admitFrame) string {
+	admitted, okA := cs.Merged.Counters[obs.SchedAdmitAdmitted]
+	shed := cs.Merged.Counters[obs.SchedAdmitShed]
+	if !okA && shed == 0 {
+		return ""
+	}
+	now := time.Unix(cs.TakenUnix, 0)
+	admitRate, shedRate := "-", "-"
+	if p := *prev; p != nil {
+		if dt := now.Sub(p.at).Seconds(); dt > 0 {
+			admitRate = fmt.Sprintf("%.1f/s", float64(admitted-p.admitted)/dt)
+			shedRate = fmt.Sprintf("%.1f/s", float64(shed-p.shed)/dt)
+		}
+	}
+	*prev = &admitFrame{admitted: admitted, shed: shed, at: now}
+	depth := int64(cs.Merged.Gauges[obs.SchedAdmitQueueDepth])
+	var p95 int64
+	if h, ok := cs.Merged.Histograms[obs.SchedAdmitSojournUS]; ok {
+		p95 = h.Summary().P95
+	}
+	mode := ""
+	if cs.Merged.Gauges[obs.SchedAdmitShedding] > 0 {
+		mode = "  [SHEDDING]"
+	}
+	return fmt.Sprintf("admission  ADMIT %s shed %s  QUEUE depth=%d p95-sojourn=%dus%s\n\n",
+		admitRate, shedRate, depth, p95, mode)
+}
+
+func render(cs obs.ClusterSnapshot, prev **admitFrame) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dmv cluster  @%s  frontier=%v\n\n",
 		time.Unix(cs.TakenUnix, 0).Format("15:04:05"), cs.Frontier)
+	b.WriteString(admissionLine(cs, prev))
 	fmt.Fprintf(&b, "%-10s %-8s %-8s %10s %10s %10s  %-24s %6s\n",
 		"NODE", "ROLE", "HEALTH", "LAG", "BACKLOG", "UPTIME", "RUNTIME", "FLIGHT")
 	for _, n := range cs.Nodes {

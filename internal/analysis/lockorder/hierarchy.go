@@ -71,6 +71,11 @@ var DefaultConfig = &Config{
 		"dmv/internal/scheduler.replicaState.verMu":    levelScheduler + 2,
 		"dmv/internal/scheduler.Scheduler.rngMu":       levelScheduler + 3,
 		"dmv/internal/scheduler.Scheduler.stmtMu":      levelScheduler + 3,
+		// Admission queue: entered before any routing state on the begin
+		// path and never held across a replica call; waiter wakeups, gauge
+		// writes, timeline events, and flight triggers all fire after
+		// unlock, so only obs-band locks may nest inside it.
+		"dmv/internal/scheduler.Admitter.mu": levelScheduler + 4,
 
 		// replica. TxCommit fixes the order session.mu -> commitMu ->
 		// (broadcast) subsMu; sessMu is released before any session.mu is

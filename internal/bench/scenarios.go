@@ -118,6 +118,57 @@ func runFailoverReintegration(cfg Config, seed int64) ([]Scenario, error) {
 	return []Scenario{FailoverScenario("failover/fig4-reintegration", d, r)}, nil
 }
 
+// --- overload-openloop: admission-control stampede sweep ----------------------
+
+// OverloadScenarios converts one sweep result into schema scenarios, one
+// per arm×multiplier cell ("overload/<arm>/x<mult>"). Goodput rides in the
+// WIPS slot so the comparator's throughput tolerance gates it; shed rate,
+// deadline expiries, and admitted-latency quantiles ride along. A
+// "overload/plateau" scenario records the closed-loop anchor.
+func OverloadScenarios(d experiments.Durations, r *experiments.OverloadResult) []Scenario {
+	out := []Scenario{{
+		Name:            "overload/plateau",
+		Kind:            "overload",
+		Seed:            d.Seed,
+		DurationSeconds: d.Measure.Seconds(),
+		WIPS:            r.PlateauGoodput,
+	}}
+	for _, arm := range []experiments.OverloadArm{r.Admit, r.NoAdmit} {
+		for _, p := range arm.Points {
+			s := Scenario{
+				Name:            fmt.Sprintf("overload/%s/x%.1f", arm.Name, p.Multiplier),
+				Kind:            "overload",
+				Seed:            d.Seed,
+				DurationSeconds: d.Measure.Seconds(),
+				WIPS:            p.Open.Goodput,
+				Values: map[string]float64{
+					"offered_rate":     p.OfferedRate,
+					"goodput":          p.Open.Goodput,
+					"shed_rate":        p.Open.ShedRate,
+					"deadline_expired": float64(p.Open.Expired),
+					"errors":           float64(p.Open.Errors),
+					"p95_admitted_us":  float64(p.Open.P95Latency.Microseconds()),
+					"p50_admitted_us":  float64(p.Open.P50Latency.Microseconds()),
+				},
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runOverloadOpenLoop wraps experiments.OverloadSweep: measure the
+// closed-loop plateau, then offer 0.5x, 1x, and 2x of it open-loop with and
+// without the admission queue.
+func runOverloadOpenLoop(cfg Config, seed int64) ([]Scenario, error) {
+	d := cfg.durations(seed)
+	r, err := experiments.OverloadSweep(experiments.OverloadOpts{Dur: d})
+	if err != nil {
+		return nil, err
+	}
+	return OverloadScenarios(d, r), nil
+}
+
 // --- wal-fsync micro ----------------------------------------------------------
 
 // runWALFsync measures the durable-append path: SyncAlways group commit,
@@ -205,7 +256,7 @@ func runTransportRPC(cfg Config, seed int64) ([]Scenario, error) {
 		if err := peer.Ping(); err != nil {
 			return nil, err
 		}
-		txID, err := peer.TxBegin(false, nil, obs.TraceContext{})
+		txID, err := peer.TxBegin(false, nil, 0, obs.TraceContext{})
 		if err != nil {
 			return nil, err
 		}

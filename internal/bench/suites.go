@@ -152,6 +152,13 @@ func Suites() []Suite {
 			Run:     runFailoverReintegration,
 		},
 		{
+			Name:    "overload-openloop",
+			Kind:    "overload",
+			Desc:    "open-loop stampede sweep: goodput/shed/latency vs offered load, admission on & off",
+			InSmoke: false,
+			Run:     runOverloadOpenLoop,
+		},
+		{
 			Name:    "wal-fsync",
 			Kind:    "micro",
 			Desc:    "group-commit WAL append+WaitDurable latency (dmv_wal_fsync_us)",

@@ -113,6 +113,15 @@ type Config struct {
 	// OverloadWindow is how long the overload must persist before a spare
 	// is activated (default 250ms).
 	OverloadWindow time.Duration
+	// Admission configures the primary scheduler's bounded admission queue
+	// (Slots == 0 disables). Under overload the queue sheds work at begin
+	// with ErrOverloaded instead of letting latency collapse, and its
+	// pressure signal feeds spare activation alongside OverloadThreshold.
+	Admission scheduler.AdmissionOptions
+	// DefaultDeadline is applied by every node to transactions that carry
+	// no caller deadline (0 = unbounded). Expired sessions abandon queued
+	// statements and commit entry, never a commit already in flight.
+	DefaultDeadline time.Duration
 	// VersionAffinity enables same-version scheduling (default on; the
 	// ablation turns it off).
 	NoVersionAffinity bool
@@ -291,7 +300,7 @@ func New(cfg Config) (*Cluster, error) {
 	// cfg.PeerSchedulers standbys sharing the same topology.
 	ref := nodes[0].Engine()
 	for si := 0; si <= cfg.PeerSchedulers; si++ {
-		sched, err := scheduler.New(scheduler.Options{
+		opts := scheduler.Options{
 			Classes:         cfg.Classes,
 			VersionAffinity: !cfg.NoVersionAffinity,
 			MaxRetries:      cfg.MaxRetries,
@@ -300,7 +309,15 @@ func New(cfg Config) (*Cluster, error) {
 			OnPeerFailure:   func(id string) { go c.handleFailure(id) },
 			Seed:            cfg.Seed + int64(si),
 			Obs:             cfg.Obs,
-		}, ref.NumTables(), ref.TableID)
+			Flight:          cfg.Flight,
+		}
+		if si == 0 {
+			// Only the primary admits traffic; standbys must not count
+			// occupancy they never see, or a take-over would inherit a
+			// queue full of ghosts.
+			opts.Admission = cfg.Admission
+		}
+		sched, err := scheduler.New(opts, ref.NumTables(), ref.TableID)
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +390,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.wg.Add(1)
 		go c.indexGCLoop()
 	}
-	if cfg.OverloadThreshold > 0 {
+	if cfg.OverloadThreshold > 0 || cfg.Admission.Slots > 0 {
 		c.wg.Add(1)
 		go c.overloadLoop()
 	}
@@ -420,6 +437,7 @@ func (c *Cluster) buildNode(id string) (*replica.Node, error) {
 		ServicePerStmt:       c.cfg.StatementService,
 		ServiceWidth:         c.cfg.ServiceWidth,
 		UpdateServicePerStmt: c.cfg.UpdateStatementService,
+		DefaultDeadline:      c.cfg.DefaultDeadline,
 		Obs:                  c.cfg.Obs,
 	})
 	c.mu.Lock()
@@ -1009,14 +1027,22 @@ func (c *Cluster) overloadLoop() {
 		case <-c.stop:
 			return
 		case <-ticker.C:
-			if c.Scheduler().AvgOutstanding() > c.cfg.OverloadThreshold {
+			sched := c.Scheduler()
+			hot := c.cfg.OverloadThreshold > 0 && sched.AvgOutstanding() > c.cfg.OverloadThreshold
+			// A saturated admission queue is the earlier signal: it fills
+			// before latency shows in AvgOutstanding, so spares come up
+			// while the queue is still absorbing the burst.
+			if sched.AdmissionPressure() >= 1 {
+				hot = true
+			}
+			if hot {
 				over += tick
 			} else {
 				over = 0
 			}
 			if over >= window {
 				over = 0
-				if len(c.Scheduler().Spares()) > 0 {
+				if len(sched.Spares()) > 0 {
 					c.emit(Event{Kind: EventOverload, Detail: "activating spare"})
 					c.activateSpare()
 				}

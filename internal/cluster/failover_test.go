@@ -172,7 +172,7 @@ func TestSchedulerFailoverToPeer(t *testing.T) {
 	// Leave an orphaned update transaction open on the master (the failed
 	// scheduler's in-flight work), holding page locks.
 	master, _ := c.Node(c.MasterID(0))
-	orphan, err := master.TxBegin(false, nil, obs.TraceContext{})
+	orphan, err := master.TxBegin(false, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// overloadSim is the shared heavy-traffic configuration: ~2x the service
+// capacity of 2 servers at 3ms mean service (~666/s), with bursts and a
+// caller deadline — the stampede shape the admission queue exists for.
+func overloadSim(seed int64) SimConfig {
+	return SimConfig{
+		Rate:        1300,
+		Duration:    10 * time.Second,
+		Seed:        seed,
+		Servers:     2,
+		Service:     3 * time.Millisecond,
+		QueueCap:    8,
+		Target:      5 * time.Millisecond,
+		Interval:    100 * time.Millisecond,
+		Deadline:    500 * time.Millisecond,
+		BurstEvery:  4 * time.Second,
+		BurstLen:    time.Second,
+		BurstFactor: 3,
+	}
+}
+
+// TestSimulateOpenLoopDeterminism: the simulation is a pure function of its
+// seed — two runs of the identical config produce bit-identical results.
+// This is the property that lets the overload smoke leg pin exact numbers,
+// and it holds only because scheduler.CoDel takes explicit timestamps
+// instead of reading the wall clock.
+func TestSimulateOpenLoopDeterminism(t *testing.T) {
+	a := SimulateOpenLoop(overloadSim(42))
+	b := SimulateOpenLoop(overloadSim(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n  a = %+v\n  b = %+v", a, b)
+	}
+	// A different seed must actually change the trajectory, or the equality
+	// above is vacuous.
+	c := SimulateOpenLoop(overloadSim(43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical results: %+v", a)
+	}
+}
+
+// TestSimulateOpenLoopOverload: at 2x saturation the model must shed rather
+// than collapse — bounded queue, bounded admitted latency, shed mode
+// actually engaging, and goodput near capacity.
+func TestSimulateOpenLoopOverload(t *testing.T) {
+	cfg := overloadSim(42)
+	r := SimulateOpenLoop(cfg)
+	if r.Offered == 0 || r.Done == 0 {
+		t.Fatalf("degenerate run: %+v", r)
+	}
+	if r.Shed == 0 {
+		t.Fatalf("2x overload shed nothing: %+v", r)
+	}
+	if r.ShedOn == 0 {
+		t.Fatalf("CoDel shed mode never engaged: %+v", r)
+	}
+	if r.MaxQueue > cfg.QueueCap {
+		t.Fatalf("queue grew past its cap: depth %d > %d", r.MaxQueue, cfg.QueueCap)
+	}
+	// Bounded admitted latency: p95 stays within queue-cap x service of the
+	// service time itself, far under the 500ms caller deadline.
+	bound := time.Duration(cfg.QueueCap+1) * cfg.Service * 4
+	if r.P95Latency > bound {
+		t.Fatalf("admitted p95 %v exceeds bound %v: %+v", r.P95Latency, bound, r)
+	}
+	// Goodput holds near capacity (2 servers / 3ms = ~666/s) instead of
+	// collapsing under the excess offered load.
+	capacity := float64(cfg.Servers) / cfg.Service.Seconds()
+	if r.Goodput < 0.5*capacity {
+		t.Fatalf("goodput %f collapsed below half of capacity %f", r.Goodput, capacity)
+	}
+}
+
+// TestSimulateOpenLoopLightLoad: well under saturation nothing sheds and
+// latency sits near the bare service time.
+func TestSimulateOpenLoopLightLoad(t *testing.T) {
+	cfg := overloadSim(42)
+	cfg.Rate = 100 // ~15% of capacity
+	cfg.BurstEvery = 0
+	r := SimulateOpenLoop(cfg)
+	if r.Shed != 0 {
+		t.Fatalf("light load shed %d arrivals: %+v", r.Shed, r)
+	}
+	if r.Expired != 0 {
+		t.Fatalf("light load expired %d arrivals: %+v", r.Expired, r)
+	}
+	if r.ShedOn != 0 {
+		t.Fatalf("CoDel engaged under light load: %+v", r)
+	}
+	if r.P95Latency > 10*cfg.Service {
+		t.Fatalf("light-load p95 %v is not near the service time %v", r.P95Latency, cfg.Service)
+	}
+}

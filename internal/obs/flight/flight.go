@@ -47,6 +47,7 @@ const (
 	CauseQuarantine      = "backend-quarantine"   // persistence tier quarantined a diverging backend
 	CauseWALFatal        = "wal-sticky-fatal"     // WAL entered its sticky-fatal state (fsync failure)
 	CauseCommitUncertain = "commit-uncertain"     // TxCommit outcome unknown (peer timeout mid-commit)
+	CauseOverload        = "sustained-overload"   // admission control entered CoDel shed mode
 )
 
 // Defaults.

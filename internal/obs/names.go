@@ -32,6 +32,15 @@ const (
 	SchedVersionWaitUS    = "dmv_sched_version_wait_us"           // reader stalls waiting for any replica to reach its version
 	SchedTakeovers        = "dmv_sched_takeovers_total"           // master take-overs executed by this scheduler
 
+	// --- scheduler admission control (bounded queue in front of begin) ------
+
+	SchedAdmitAdmitted     = "dmv_sched_admit_admitted_total"     // transactions admitted past the bounded queue
+	SchedAdmitShed         = "dmv_sched_admit_shed_total"         // transactions fast-rejected with ErrOverloaded
+	SchedAdmitQueueDepth   = "dmv_sched_admit_queue_depth"        // occupancy across all admission classes (gauge)
+	SchedAdmitSojournUS    = "dmv_sched_admit_sojourn_us"         // queue sojourn time of admitted transactions
+	SchedAdmitShedding     = "dmv_sched_admit_shedding"           // gauge: 1 while CoDel shed mode is active
+	SchedDeadlineAbandoned = "dmv_sched_deadline_abandoned_total" // transactions abandoned pre-commit at the caller's deadline
+
 	// --- replica (one DMV node) ---------------------------------------------
 
 	NodeReadTxns          = "dmv_node_read_txns_total"              // read transactions executed across nodes
@@ -111,6 +120,8 @@ const (
 	TransportRedials     = "dmv_transport_redials_total"      // client reconnects after a broken rpc.Client
 	TransportRPCUS       = "dmv_transport_rpc_us"             // client-observed per-call latency (incl. timeouts)
 
+	TransportRetryBudgetExhausted = "dmv_transport_retry_budget_exhausted_total" // idempotent retry loops stopped by the elapsed-time budget
+
 	// --- obs self-observation ------------------------------------------------
 
 	ObsRingDropped = "dmv_obs_ring_dropped_total" // labeled counter: entries evicted from a bounded ring (ring="trace"|"timeline"|"flight")
@@ -125,11 +136,11 @@ const (
 
 	// --- flight recorder (anomaly-triggered cluster dumps) ------------------
 
-	FlightDumps      = "dmv_flight_dumps_total"              // labeled counter: cluster dumps written, per origin node
-	FlightDumpErrors = "dmv_flight_dump_errors_total"        // dump serialization/write failures
-	FlightTriggers   = "dmv_flight_triggers_total"           // anomaly triggers accepted
+	FlightDumps      = "dmv_flight_dumps_total"               // labeled counter: cluster dumps written, per origin node
+	FlightDumpErrors = "dmv_flight_dump_errors_total"         // dump serialization/write failures
+	FlightTriggers   = "dmv_flight_triggers_total"            // anomaly triggers accepted
 	FlightSuppressed = "dmv_flight_triggers_suppressed_total" // triggers dropped by cooldown or full queue
-	FlightPeerErrors = "dmv_flight_peer_errors_total"        // peer ring gathers that failed or timed out
+	FlightPeerErrors = "dmv_flight_peer_errors_total"         // peer ring gathers that failed or timed out
 
 	// --- innodb-like on-disk baseline ---------------------------------------
 

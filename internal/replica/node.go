@@ -45,6 +45,13 @@ var (
 	// ErrVersionConflict mirrors the storage-level version-inconsistency
 	// abort at the replication API boundary so remote callers can match it.
 	ErrVersionConflict = page.ErrVersionConflict
+	// ErrDeadlineExpired reports work abandoned because the caller's
+	// deadline passed before it started: the session began, executed, or
+	// reached commit entry after the client had already given up. It is
+	// never raised once commit work has started — a commit either runs to
+	// completion or fails for its own reasons (the ErrCommitUncertain
+	// discipline stays authoritative for lost commit replies).
+	ErrDeadlineExpired = errors.New("replica: caller deadline expired before work started")
 )
 
 // Role is a node's current replication role.
@@ -86,8 +93,11 @@ type Peer interface {
 
 	// Transaction sessions. tc is the scheduler-side trace context; the
 	// node records its server-side work as child spans under it (zero
-	// context = untraced).
-	TxBegin(readOnly bool, version vclock.Vector, tc obs.TraceContext) (uint64, error)
+	// context = untraced). deadline is the caller's remaining time budget
+	// (0 = none): the node abandons queued statements and commit entry —
+	// never commit work already started — once it elapses, so load from
+	// callers that have given up stops consuming server capacity.
+	TxBegin(readOnly bool, version vclock.Vector, deadline time.Duration, tc obs.TraceContext) (uint64, error)
 	TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error)
 	TxCommit(txID uint64) (vclock.Vector, error)
 	TxRollback(txID uint64) error
@@ -161,6 +171,11 @@ type Options struct {
 	// leave a zero-length or torn checkpoint behind the new name. Off by
 	// default to keep the fast path for in-process experiments.
 	CheckpointSync bool
+	// DefaultDeadline bounds sessions whose TxBegin carried no deadline:
+	// the node behaves as if every such client asked for this budget. Zero
+	// leaves legacy sessions unbounded (cmd/dmv-node exposes it as
+	// -deadline-default).
+	DefaultDeadline time.Duration
 	// Obs, if non-nil, receives cluster-wide node metrics (transactions,
 	// aborts, write-set traffic, broadcast latency). The per-node Stats
 	// counters are kept regardless; the registry aggregates across nodes.
@@ -219,6 +234,10 @@ type Node struct {
 	svcPerUpd time.Duration
 	svcSem    chan struct{}
 
+	// defaultDeadline bounds sessions that arrive without a caller deadline
+	// (immutable after NewNode; zero = unbounded).
+	defaultDeadline time.Duration
+
 	started time.Time
 	reg     *obs.Registry
 	tracer  *obs.Tracer
@@ -268,6 +287,13 @@ type session struct {
 	stmts  int            // guarded by mu; update-transaction statements, charged at commit
 	done   bool           // guarded by mu
 	sp     *obs.Span      // guarded by mu; server-side child span (nil when untraced)
+	expiry time.Time      // guarded by mu; caller's give-up time (zero = unbounded)
+}
+
+// expiredLocked reports whether the caller's deadline has passed. Must be
+// called with s.mu held.
+func (s *session) expiredLocked() bool {
+	return !s.expiry.IsZero() && time.Now().After(s.expiry)
 }
 
 // NewNode returns a live node in the slave role.
@@ -282,6 +308,8 @@ func NewNode(opts Options) *Node {
 		ackTimeout:    opts.AckTimeout,
 		sessions:      make(map[uint64]*session, 16),
 		stmts:         make(map[string]*exec.Prepared, 64),
+
+		defaultDeadline: opts.DefaultDeadline,
 	}
 	if opts.ServicePerStmt > 0 {
 		width := opts.ServiceWidth
@@ -588,11 +616,22 @@ func (n *Node) shipTo(p Peer, ws *heap.WriteSet) {
 // child span ("replica-read" on a slave, "master-commit" on a master) that
 // lives until commit/rollback; the update transaction additionally carries
 // the child's context into its write-set so ship/apply work chains onto it.
-func (n *Node) TxBegin(readOnly bool, version vclock.Vector, tc obs.TraceContext) (uint64, error) {
+func (n *Node) TxBegin(readOnly bool, version vclock.Vector, deadline time.Duration, tc obs.TraceContext) (uint64, error) {
 	if err := n.check(); err != nil {
 		return 0, err
 	}
+	if deadline < 0 {
+		// The caller gave up before the request arrived: refuse to open a
+		// session at all rather than doing work nobody is waiting for.
+		return 0, fmt.Errorf("%w: begin on %s", ErrDeadlineExpired, n.id)
+	}
+	if deadline == 0 {
+		deadline = n.defaultDeadline
+	}
 	s := &session{}
+	if deadline > 0 {
+		s.expiry = time.Now().Add(deadline)
+	}
 	if readOnly {
 		s.readTx = n.eng.BeginRead(version)
 		n.stats.ReadTxns.Add(1)
@@ -653,6 +692,25 @@ func (n *Node) AdoptTrace(txID uint64, tc obs.TraceContext) {
 	}
 }
 
+// RefreshDeadline re-arms an open session's expiry from a freshly
+// propagated remaining budget (the transport repeats the caller's budget on
+// every statement and at commit, so one slow statement cannot strand the
+// session on a stale expiry). No-op for unknown or finished sessions.
+func (n *Node) RefreshDeadline(txID uint64, remaining time.Duration) {
+	if remaining <= 0 {
+		return
+	}
+	s, err := n.session(txID)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.expiry = time.Now().Add(remaining)
+	}
+	s.mu.Unlock()
+}
+
 func (n *Node) session(id uint64) (*session, error) {
 	n.sessMu.Lock()
 	defer n.sessMu.Unlock()
@@ -704,6 +762,11 @@ func (n *Node) TxExec(txID uint64, stmt string, params []value.Value) (*exec.Res
 	if s.done {
 		return nil, fmt.Errorf("%w: %d on %s (aborted)", ErrNoSession, txID, n.id)
 	}
+	if s.expiredLocked() {
+		// The caller already gave up on this session; executing the
+		// statement would burn a service slot for a reply nobody reads.
+		return nil, fmt.Errorf("%w: exec %d on %s", ErrDeadlineExpired, txID, n.id)
+	}
 	var tx heap.Txn
 	if s.readTx != nil {
 		tx = s.readTx
@@ -751,6 +814,17 @@ func (n *Node) TxCommit(txID uint64) (vclock.Vector, error) {
 	defer s.mu.Unlock()
 	if s.done {
 		return nil, fmt.Errorf("%w: %d on %s (aborted)", ErrNoSession, txID, n.id)
+	}
+	// Deadline check at commit ENTRY only — before any commit work starts.
+	// Once the broadcast below begins there is no further deadline check:
+	// a commit runs to completion or fails on its own terms, so a caller
+	// deadline can never manufacture a half-committed transaction (the
+	// ErrCommitUncertain discipline stays the only ambiguity).
+	if s.upTx != nil && s.expiredLocked() {
+		s.done = true
+		s.sp.Finish("abort", "deadline-expired")
+		_ = s.upTx.Rollback()
+		return nil, fmt.Errorf("%w: commit entry %d on %s", ErrDeadlineExpired, txID, n.id)
 	}
 	s.done = true
 	if s.readTx != nil {

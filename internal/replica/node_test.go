@@ -39,7 +39,7 @@ func newNodeWithData(t *testing.T, id string, disk *simdisk.Disk) *Node {
 
 func commitKV(t *testing.T, n *Node, k, v int64) {
 	t.Helper()
-	id, err := n.TxBegin(false, nil, obs.TraceContext{})
+	id, err := n.TxBegin(false, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin: %v", err)
 	}
@@ -54,13 +54,13 @@ func commitKV(t *testing.T, n *Node, k, v int64) {
 
 func TestUpdateRequiresMasterRole(t *testing.T) {
 	n := newNodeWithData(t, "n", nil)
-	if _, err := n.TxBegin(false, nil, obs.TraceContext{}); !errors.Is(err, ErrNotMaster) {
+	if _, err := n.TxBegin(false, nil, 0, obs.TraceContext{}); !errors.Is(err, ErrNotMaster) {
 		t.Fatalf("err = %v, want ErrNotMaster", err)
 	}
 	if err := n.Promote(nil); err != nil {
 		t.Fatalf("promote: %v", err)
 	}
-	if _, err := n.TxBegin(false, nil, obs.TraceContext{}); err != nil {
+	if _, err := n.TxBegin(false, nil, 0, obs.TraceContext{}); err != nil {
 		t.Fatalf("after promote: %v", err)
 	}
 	role, _ := n.Role()
@@ -75,7 +75,7 @@ func TestKillFailsEverything(t *testing.T) {
 	if err := n.Ping(); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("ping = %v", err)
 	}
-	if _, err := n.TxBegin(true, nil, obs.TraceContext{}); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.TxBegin(true, nil, 0, obs.TraceContext{}); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("begin = %v", err)
 	}
 	if err := n.ReceiveWriteSet(&heap.WriteSet{}); !errors.Is(err, ErrNodeDown) {
@@ -131,7 +131,7 @@ func TestJoinBuffering(t *testing.T) {
 
 	// The joiner serves a consistent read at the master's latest vector.
 	mv, _ := master.MaxVersions()
-	id, err := joiner.TxBegin(true, mv, obs.TraceContext{})
+	id, err := joiner.TxBegin(true, mv, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestWarmPagesAndResidentPages(t *testing.T) {
 	spare := newNodeWithData(t, "sp", spareDisk)
 
 	// Touch some pages via reads.
-	id, _ := n.TxBegin(true, nil, obs.TraceContext{})
+	id, _ := n.TxBegin(true, nil, 0, obs.TraceContext{})
 	if _, err := n.TxExec(id, `SELECT COUNT(*) FROM kv`, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if err := n.Promote(nil); err != nil {
 		t.Fatal(err)
 	}
-	id, err := n.TxBegin(false, nil, obs.TraceContext{})
+	id, err := n.TxBegin(false, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestBroadcastReportsDeadPeer(t *testing.T) {
 	}
 	// The live subscriber received the write-set.
 	mv, _ := master.MaxVersions()
-	id, _ := live.TxBegin(true, mv, obs.TraceContext{})
+	id, _ := live.TxBegin(true, mv, 0, obs.TraceContext{})
 	res, err := live.TxExec(id, `SELECT v FROM kv WHERE k = 3`, nil)
 	if err != nil || res.Rows[0][0].AsInt() != 30 {
 		t.Fatalf("live read = %v, %v", res, err)

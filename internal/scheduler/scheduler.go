@@ -78,6 +78,10 @@ type Options struct {
 	// OnPeerFailure, if non-nil, is told about replicas that failed a call;
 	// the cluster layer reconfigures.
 	OnPeerFailure func(peerID string)
+	// Admission configures the bounded admission queue in front of
+	// transaction begin (per-class occupancy slots, CoDel shed law). The
+	// zero value (Slots <= 0) disables admission control entirely.
+	Admission AdmissionOptions
 	// Seed seeds the spare-routing RNG (0 = fixed default).
 	Seed int64
 	// Obs receives the scheduler's metrics and per-transaction trace
@@ -176,17 +180,22 @@ type Scheduler struct {
 	met    schedMetrics
 	tracer *obs.Tracer      // nil unless Options.Obs was set
 	flight *flight.Recorder // nil-safe anomaly trigger sink
+
+	// admit is the bounded admission queue gating begin (nil = admission
+	// control disabled).
+	admit *Admitter
 }
 
 // schedMetrics holds the registry handles beyond the public Stats set.
 type schedMetrics struct {
-	abortNodeDown    *obs.Counter
-	abortPeerTimeout *obs.Counter
-	retriesExhausted *obs.Counter
-	pickWaitUS       *obs.Histogram
-	txnUS            *obs.Histogram
-	versionWaitUS    *obs.Histogram
-	takeovers        *obs.Counter
+	abortNodeDown     *obs.Counter
+	abortPeerTimeout  *obs.Counter
+	retriesExhausted  *obs.Counter
+	pickWaitUS        *obs.Histogram
+	txnUS             *obs.Histogram
+	versionWaitUS     *obs.Histogram
+	takeovers         *obs.Counter
+	deadlineAbandoned *obs.Counter
 }
 
 // New builds a scheduler over the given schema tables. numTables sizes the
@@ -218,13 +227,14 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 			Failovers:     reg.Counter(obs.SchedFailovers),
 		},
 		met: schedMetrics{
-			abortNodeDown:    reg.Counter(obs.SchedAbortNodeDown),
-			abortPeerTimeout: reg.Counter(obs.SchedAbortPeerTimeout),
-			retriesExhausted: reg.Counter(obs.SchedRetriesExhausted),
-			pickWaitUS:       reg.Histogram(obs.SchedPickWaitUS),
-			txnUS:            reg.Histogram(obs.SchedTxnUS),
-			versionWaitUS:    reg.Histogram(obs.SchedVersionWaitUS),
-			takeovers:        reg.Counter(obs.SchedTakeovers),
+			abortNodeDown:     reg.Counter(obs.SchedAbortNodeDown),
+			abortPeerTimeout:  reg.Counter(obs.SchedAbortPeerTimeout),
+			retriesExhausted:  reg.Counter(obs.SchedRetriesExhausted),
+			pickWaitUS:        reg.Histogram(obs.SchedPickWaitUS),
+			txnUS:             reg.Histogram(obs.SchedTxnUS),
+			versionWaitUS:     reg.Histogram(obs.SchedVersionWaitUS),
+			takeovers:         reg.Counter(obs.SchedTakeovers),
+			deadlineAbandoned: reg.Counter(obs.SchedDeadlineAbandoned),
 		},
 		tracer: opts.Obs.Tracer(), // nil when Obs is nil: spans cost nothing
 		flight: opts.Flight,
@@ -248,7 +258,28 @@ func New(opts Options, numTables int, tableID func(string) (int, bool)) (*Schedu
 		}
 		s.classes = append(s.classes, cs)
 	}
+	if opts.Admission.Slots > 0 {
+		// One admission class per conflict class plus the shared read class;
+		// the admitter derives its RNG from the scheduler seed so retry-after
+		// hints are reproducible under a fixed seed.
+		s.admit = newAdmitter(opts.Admission, len(s.classes), seed, reg, reg.Timeline(), opts.Flight)
+	}
 	return s, nil
+}
+
+// Admitter returns the admission queue, or nil when admission control is
+// disabled (tests and the overload experiments reach the CoDel state
+// through it).
+func (s *Scheduler) Admitter() *Admitter { return s.admit }
+
+// AdmissionPressure reports the admission queue's occupancy in [0, 1]
+// (0 when admission control is disabled). The cluster's overload loop
+// feeds it into spare activation alongside AvgOutstanding.
+func (s *Scheduler) AdmissionPressure() float64 {
+	if s.admit == nil {
+		return 0
+	}
+	return s.admit.Pressure()
 }
 
 // Stats exposes the counters.

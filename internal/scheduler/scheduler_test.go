@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dmv/internal/exec"
 	"dmv/internal/heap"
@@ -43,7 +44,7 @@ func (f *fakePeer) ResidentPages(int) ([]simdisk.PageKey, error) { return nil, n
 func (f *fakePeer) DeltaSince(heap.PageVersionMap, vclock.Vector) ([]page.Image, error) {
 	return nil, nil
 }
-func (f *fakePeer) TxBegin(readOnly bool, _ vclock.Vector, _ obs.TraceContext) (uint64, error) {
+func (f *fakePeer) TxBegin(readOnly bool, _ vclock.Vector, _ time.Duration, _ obs.TraceContext) (uint64, error) {
 	if f.failTx != nil {
 		return 0, f.failTx
 	}

@@ -51,7 +51,7 @@ func TestSchedulerTakeOver(t *testing.T) {
 			t.Fatalf("commit %d: %v", i, err)
 		}
 	}
-	openID, err := master.TxBegin(false, nil, obs.TraceContext{})
+	openID, err := master.TxBegin(false, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,13 @@ import (
 type TxnSpec struct {
 	ReadOnly bool
 	Tables   []string
+	// Deadline, when non-zero, is the caller's give-up time. The scheduler
+	// abandons the transaction — in the admission queue, between retries,
+	// and at commit entry — once it passes, and propagates the remaining
+	// budget to the executing replica so server-side work stops too. Work
+	// is never abandoned mid-commit: a commit that has started follows the
+	// ErrCommitUncertain discipline exclusively.
+	Deadline time.Time
 }
 
 // Txn is a running transaction bound to one replica. Statements execute on
@@ -38,6 +45,8 @@ type Txn struct {
 	version  vclock.Vector
 	logged   []LoggedStmt
 	done     bool
+	deadline time.Time // caller's give-up time (zero = unbounded)
+	release  func()    // admission slot release (nil without admission control)
 }
 
 // Version returns the version vector the transaction was tagged with
@@ -95,7 +104,9 @@ func (s *Scheduler) isUpdateStmt(stmt string) bool {
 // peer deadlines before any commit was attempted) or on the same master
 // (deadlock timeouts). An uncertain commit is explicitly NOT retryable:
 // the update may already be applied, and replaying it could double its
-// effect.
+// effect. Overload rejects and expired deadlines are likewise final — the
+// whole point of shedding is that the scheduler stops spending capacity on
+// that caller; the retry-after hint tells the client when to come back.
 func retryable(err error) bool {
 	if errors.Is(err, ErrCommitUncertain) {
 		return false
@@ -113,6 +124,10 @@ func causeOf(err error) string {
 		return ""
 	case errors.Is(err, ErrCommitUncertain):
 		return "commit-uncertain"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, replica.ErrDeadlineExpired):
+		return "deadline-expired"
 	case errors.Is(err, page.ErrVersionConflict):
 		return "version-conflict"
 	case errors.Is(err, heap.ErrLockTimeout):
@@ -135,6 +150,16 @@ func causeOf(err error) string {
 func (s *Scheduler) Run(spec TxnSpec, fn func(tx *Txn) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
+		if !spec.Deadline.IsZero() && time.Now().After(spec.Deadline) {
+			// The caller gave up; retrying on their behalf would be pure
+			// wasted capacity during exactly the overloads that cause
+			// deadline misses.
+			s.met.deadlineAbandoned.Inc()
+			if lastErr != nil {
+				return fmt.Errorf("%w: gave up after %d attempts: %v", replica.ErrDeadlineExpired, attempt, lastErr)
+			}
+			return fmt.Errorf("%w: before first attempt", replica.ErrDeadlineExpired)
+		}
 		err := s.runOnce(spec, fn)
 		if err == nil {
 			return nil
@@ -201,9 +226,45 @@ func (s *Scheduler) runOnce(spec TxnSpec, fn func(tx *Txn) error) error {
 // semantics on top.
 func (s *Scheduler) Begin(spec TxnSpec) (*Txn, error) { return s.begin(spec, nil) }
 
+// remainingBudget converts the spec deadline into the duration budget the
+// replica call carries (0 = unbounded; an error when already expired).
+func (s *Scheduler) remainingBudget(deadline time.Time) (time.Duration, error) {
+	if deadline.IsZero() {
+		return 0, nil
+	}
+	left := time.Until(deadline)
+	if left <= 0 {
+		s.met.deadlineAbandoned.Inc()
+		return 0, fmt.Errorf("%w: expired before session begin", replica.ErrDeadlineExpired)
+	}
+	return left, nil
+}
+
 // begin implements Begin, annotating the optional trace span with the
-// lifecycle stages (version tagging, replica selection, session begin).
+// lifecycle stages (admission, version tagging, replica selection, session
+// begin). When admission control is enabled the bounded queue is the very
+// first gate: an overloaded scheduler rejects here, in microseconds, before
+// any version tagging or replica work is spent on the doomed transaction.
 func (s *Scheduler) begin(spec TxnSpec, sp *obs.Span) (*Txn, error) {
+	var release func()
+	if s.admit != nil {
+		class := s.admit.readClass()
+		if !spec.ReadOnly {
+			class = s.classFor(spec.Tables)
+		}
+		rel, err := s.admit.Admit(class, spec.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		release = rel
+		sp.Mark("admit")
+	}
+	fail := func(err error) (*Txn, error) {
+		if release != nil {
+			release()
+		}
+		return nil, err
+	}
 	if spec.ReadOnly {
 		v := s.merged.Latest()
 		if sp != nil {
@@ -213,43 +274,52 @@ func (s *Scheduler) begin(spec TxnSpec, sp *obs.Span) (*Txn, error) {
 		rep := s.pickReader(v)
 		sp.Mark("pick")
 		if rep == nil {
-			return nil, ErrNoReplicas
+			return fail(ErrNoReplicas)
 		}
 		sp.SetReplica(rep.peer.ID())
-		id, err := rep.peer.TxBegin(true, v, sp.Context())
+		budget, err := s.remainingBudget(spec.Deadline)
+		if err != nil {
+			rep.outstanding.Add(-1)
+			return fail(err)
+		}
+		id, err := rep.peer.TxBegin(true, v, budget, sp.Context())
 		if err != nil {
 			rep.outstanding.Add(-1) // pickReader incremented under its lock
 			if errors.Is(err, replica.ErrNodeDown) {
 				s.reportFailure(rep.peer.ID())
 			}
-			return nil, err
+			return fail(err)
 		}
 		sp.Mark("begin")
-		return &Txn{sched: s, peer: rep.peer, rep: rep, id: id, readOnly: true, version: v}, nil
+		return &Txn{sched: s, peer: rep.peer, rep: rep, id: id, readOnly: true, version: v, deadline: spec.Deadline, release: release}, nil
 	}
 	ci := s.classFor(spec.Tables)
 	master := s.Master(ci)
 	if master == nil {
-		return nil, ErrNoReplicas
+		return fail(ErrNoReplicas)
 	}
 	sp.SetReplica(master.ID())
-	id, err := master.TxBegin(false, nil, sp.Context())
+	budget, err := s.remainingBudget(spec.Deadline)
+	if err != nil {
+		return fail(err)
+	}
+	id, err := master.TxBegin(false, nil, budget, sp.Context())
 	if err != nil {
 		if errors.Is(err, replica.ErrPeerTimeout) {
 			// No commit was attempted, so the retry is safe; the report
 			// feeds the failure detector, which decides whether the master
 			// is gray-failed or merely slow.
 			s.reportFailure(master.ID())
-			return nil, err
+			return fail(err)
 		}
 		if errors.Is(err, replica.ErrNodeDown) || errors.Is(err, replica.ErrNotMaster) {
 			s.reportFailure(master.ID())
-			return nil, fmt.Errorf("%w: master %s unavailable", replica.ErrNodeDown, master.ID())
+			return fail(fmt.Errorf("%w: master %s unavailable", replica.ErrNodeDown, master.ID()))
 		}
-		return nil, err
+		return fail(err)
 	}
 	sp.Mark("begin")
-	return &Txn{sched: s, peer: master, id: id}, nil
+	return &Txn{sched: s, peer: master, id: id, deadline: spec.Deadline, release: release}, nil
 }
 
 // Commit finishes the session. Update commits report the new version vector
@@ -259,7 +329,19 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	t.done = true
+	if t.release != nil {
+		defer t.release()
+	}
 	s := t.sched
+	if !t.readOnly && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		// Commit-entry check: the caller's deadline lapsed before any commit
+		// work began, so aborting here is unconditionally safe. Once the
+		// commit RPC is issued, only the ErrCommitUncertain discipline below
+		// applies — a deadline never interrupts a commit in flight.
+		s.met.deadlineAbandoned.Inc()
+		_ = t.peer.TxRollback(t.id)
+		return fmt.Errorf("%w: abandoned at commit entry", replica.ErrDeadlineExpired)
+	}
 	if t.readOnly {
 		defer t.rep.outstanding.Add(-1)
 		if _, err := t.peer.TxCommit(t.id); err != nil {
@@ -313,6 +395,9 @@ func (t *Txn) Rollback() error {
 		return nil
 	}
 	t.done = true
+	if t.release != nil {
+		defer t.release()
+	}
 	if t.rep != nil {
 		defer t.rep.outstanding.Add(-1)
 	}

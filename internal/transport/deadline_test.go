@@ -79,7 +79,7 @@ func TestStalledPeerDeadline(t *testing.T) {
 
 	// Non-idempotent path (single attempt, CallTimeout).
 	start = time.Now()
-	_, err = rn.TxBegin(true, nil, obs.TraceContext{})
+	_, err = rn.TxBegin(true, nil, 0, obs.TraceContext{})
 	elapsed = time.Since(start)
 	if !errors.Is(err, replica.ErrPeerTimeout) {
 		t.Fatalf("TxBegin against stalled peer: err=%v, want ErrPeerTimeout", err)
@@ -90,6 +90,48 @@ func TestStalledPeerDeadline(t *testing.T) {
 
 	if got := reg.Snapshot().Counters[obs.TransportRPCTimeouts]; got < 2 {
 		t.Fatalf("timeout counter = %d, want >= 2", got)
+	}
+}
+
+// TestRetryBudgetExhausted: attempt counts alone are not a bound — against
+// a peer that times out every attempt, a generous attempt limit would burn
+// attempts x timeout of wall clock. The elapsed-time retry budget must cut
+// the loop off near the budget, well before the attempts run out, and count
+// the exhaustion on its metric.
+func TestRetryBudgetExhausted(t *testing.T) {
+	lis := stalledListener(t)
+
+	const budget = 250 * time.Millisecond
+	reg := obs.New()
+	rn, err := DialNodeOpts("stalled", lis.Addr().String(), ClientOptions{
+		PingTimeout:   40 * time.Millisecond,
+		CallTimeout:   40 * time.Millisecond,
+		RetryAttempts: 1000, // would be ~40s of retries without the budget
+		RetryBudget:   budget,
+		Obs:           reg,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	start := time.Now()
+	err = rn.Ping()
+	elapsed := time.Since(start)
+	if !errors.Is(err, replica.ErrPeerTimeout) {
+		t.Fatalf("Ping against stalled peer: err=%v, want ErrPeerTimeout", err)
+	}
+	// The loop may finish the attempt in flight when the budget trips, so
+	// allow one extra attempt's timeout on top of the budget itself.
+	if elapsed > 3*budget {
+		t.Fatalf("Ping took %v, want near the %v retry budget", elapsed, budget)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.TransportRetryBudgetExhausted]; got < 1 {
+		t.Fatalf("budget-exhausted counter = %d, want >= 1", got)
+	}
+	if got := snap.Counters[obs.TransportRPCRetries]; got < 1 {
+		t.Fatalf("retry counter = %d, want >= 1 (budget must trip after retrying, not instead of it)", got)
 	}
 }
 

@@ -213,7 +213,7 @@ func runFlightScenario(t *testing.T, seed int64, dir string) (chain []string, ac
 	}
 	acked = ackedN.Load()
 
-	txID, err := newMaster.TxBegin(true, nil, obs.TraceContext{})
+	txID, err := newMaster.TxBegin(true, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("audit begin: %v", err)
 	}

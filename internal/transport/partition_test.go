@@ -208,7 +208,7 @@ func runPartitionScenario(t *testing.T, seed int64) (timeline []string, acked in
 	acked = ackedN.Load()
 
 	// Audit the surviving state on the new master.
-	txID, err := newMaster.TxBegin(true, nil, obs.TraceContext{})
+	txID, err := newMaster.TxBegin(true, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("audit begin: %v", err)
 	}

@@ -34,7 +34,8 @@ import (
 	"dmv/internal/vclock"
 )
 
-// error codes carried in RPC replies.
+// error codes carried in RPC replies. New codes append after errOther so a
+// mixed-version cluster never re-reads an old code as a different sentinel.
 const (
 	errNone = iota
 	errNodeDown
@@ -43,6 +44,7 @@ const (
 	errLockTimeout
 	errPeerTimeout
 	errOther
+	errDeadlineExpired
 )
 
 func encodeErr(err error) (int, string) {
@@ -62,6 +64,8 @@ func encodeErr(err error) (int, string) {
 		return errVersionConflict, err.Error()
 	case errors.Is(err, heap.ErrLockTimeout):
 		return errLockTimeout, err.Error()
+	case errors.Is(err, replica.ErrDeadlineExpired):
+		return errDeadlineExpired, err.Error()
 	default:
 		return errOther, err.Error()
 	}
@@ -81,6 +85,8 @@ func decodeErr(code int, msg string) error {
 		return fmt.Errorf("%w: %s", heap.ErrLockTimeout, msg)
 	case errPeerTimeout:
 		return fmt.Errorf("%w: %s", replica.ErrPeerTimeout, msg)
+	case errDeadlineExpired:
+		return fmt.Errorf("%w: %s", replica.ErrDeadlineExpired, msg)
 	default:
 		return errors.New(msg)
 	}
@@ -100,11 +106,15 @@ func (s *Status) set(err error) { s.Code, s.Msg = encodeErr(err) }
 func (s Status) Err() error { return decodeErr(s.Code, s.Msg) }
 
 // BeginArgs opens a transaction session. Trace is the scheduler-side span
-// context; the node records its work as child spans under it.
+// context; the node records its work as child spans under it. DeadlineUS is
+// the caller's remaining time budget in microseconds (0 = none): a duration
+// rather than an absolute time, so client and server clocks never have to
+// agree.
 type BeginArgs struct {
-	ReadOnly bool
-	Version  vclock.Vector
-	Trace    obs.TraceContext
+	ReadOnly   bool
+	Version    vclock.Vector
+	DeadlineUS int64
+	Trace      obs.TraceContext
 }
 
 // BeginReply returns the session id.
@@ -116,17 +126,29 @@ type BeginReply struct {
 // ExecArgs executes one statement in a session. Trace repeats the session's
 // trace context on every statement so a session opened untraced (or by an
 // older client) can still adopt the trace mid-flight.
+// DeadlineUS, when positive, refreshes the session's remaining budget
+// (microseconds left as of this statement), keeping the server-side expiry
+// honest across long sessions.
 type ExecArgs struct {
-	TxID   uint64
-	Stmt   string
-	Params []value.Value
-	Trace  obs.TraceContext
+	TxID       uint64
+	Stmt       string
+	Params     []value.Value
+	DeadlineUS int64
+	Trace      obs.TraceContext
 }
 
 // ExecReply returns the statement result.
 type ExecReply struct {
 	Result *exec.Result
 	Status
+}
+
+// CommitArgs commits a session. DeadlineUS, when positive, is the caller's
+// remaining budget at commit time; the node checks it once at commit entry
+// and never again (a started commit always runs to completion).
+type CommitArgs struct {
+	TxID       uint64
+	DeadlineUS int64
 }
 
 // CommitReply returns the commit version vector (updates only).
@@ -191,7 +213,7 @@ func (s *NodeService) ReceiveWriteSet(ws *heap.WriteSet, reply *Status) error {
 
 // TxBegin opens a session.
 func (s *NodeService) TxBegin(args BeginArgs, reply *BeginReply) error {
-	id, err := s.node.TxBegin(args.ReadOnly, args.Version, args.Trace)
+	id, err := s.node.TxBegin(args.ReadOnly, args.Version, time.Duration(args.DeadlineUS)*time.Microsecond, args.Trace)
 	reply.ID = id
 	reply.set(err)
 	return nil
@@ -202,6 +224,9 @@ func (s *NodeService) TxExec(args ExecArgs, reply *ExecReply) error {
 	if args.Trace.Valid() {
 		s.node.AdoptTrace(args.TxID, args.Trace)
 	}
+	if args.DeadlineUS > 0 {
+		s.node.RefreshDeadline(args.TxID, time.Duration(args.DeadlineUS)*time.Microsecond)
+	}
 	res, err := s.node.TxExec(args.TxID, args.Stmt, args.Params)
 	reply.Result = res
 	reply.set(err)
@@ -209,8 +234,11 @@ func (s *NodeService) TxExec(args ExecArgs, reply *ExecReply) error {
 }
 
 // TxCommit commits a session.
-func (s *NodeService) TxCommit(txID uint64, reply *CommitReply) error {
-	ver, err := s.node.TxCommit(txID)
+func (s *NodeService) TxCommit(args CommitArgs, reply *CommitReply) error {
+	if args.DeadlineUS > 0 {
+		s.node.RefreshDeadline(args.TxID, time.Duration(args.DeadlineUS)*time.Microsecond)
+	}
+	ver, err := s.node.TxCommit(args.TxID)
 	reply.Version = ver
 	reply.set(err)
 	return nil
@@ -483,6 +511,13 @@ const (
 	defaultRetries     = 2
 	defaultRetryBase   = 5 * time.Millisecond
 	defaultRetryCap    = 250 * time.Millisecond
+
+	// DefaultRetryBudget bounds the total elapsed time an idempotent call
+	// may spend across attempts and backoff sleeps. Attempt counts alone do
+	// not bound amplification when the cluster is overloaded — long calls
+	// that each burn their full deadline before failing still multiply load
+	// — so the budget caps attempts x elapsed, not just attempts.
+	DefaultRetryBudget = 30 * time.Second
 )
 
 // ClientOptions tunes a RemoteNode's dialing, deadlines, and retry policy.
@@ -502,6 +537,13 @@ type ClientOptions struct {
 	RetryAttempts int
 	RetryBase     time.Duration // backoff floor (default 5ms)
 	RetryCap      time.Duration // backoff ceiling (default 250ms)
+
+	// RetryBudget caps the total wall-clock a retry loop may consume across
+	// all attempts and backoff sleeps (default DefaultRetryBudget; <0
+	// disables). Exhaustions count on
+	// dmv_transport_retry_budget_exhausted_total so an overload amplified
+	// by client retries is visible, not silent.
+	RetryBudget time.Duration
 
 	// Seed drives the backoff jitter; 0 means a fixed default so tests are
 	// reproducible without configuration.
@@ -540,6 +582,12 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.RetryCap == 0 {
 		o.RetryCap = defaultRetryCap
 	}
+	switch {
+	case o.RetryBudget == 0:
+		o.RetryBudget = DefaultRetryBudget
+	case o.RetryBudget < 0:
+		o.RetryBudget = 0 // internal 0 = unbounded, mirroring the timeout knobs
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -548,10 +596,11 @@ func (o ClientOptions) withDefaults() ClientOptions {
 
 // clientMetrics are the nil-safe transport client instruments.
 type clientMetrics struct {
-	timeouts *obs.Counter
-	retries  *obs.Counter
-	redials  *obs.Counter
-	rpcUS    *obs.Histogram
+	timeouts        *obs.Counter
+	retries         *obs.Counter
+	redials         *obs.Counter
+	budgetExhausted *obs.Counter
+	rpcUS           *obs.Histogram
 }
 
 // RemoteNode is a replica.Peer backed by an RPC client; it reconnects
@@ -574,9 +623,12 @@ type RemoteNode struct {
 
 	// traces remembers each open session's trace context so TxExec can
 	// repeat it on every statement (see ExecArgs.Trace); entries are cleared
-	// at commit/rollback.
-	trMu   sync.Mutex
-	traces map[uint64]obs.TraceContext // guarded by trMu
+	// at commit/rollback. expiries likewise remembers each session's caller
+	// deadline so every statement and the commit re-propagate the remaining
+	// budget to the server.
+	trMu     sync.Mutex
+	traces   map[uint64]obs.TraceContext // guarded by trMu
+	expiries map[uint64]time.Time        // guarded by trMu
 }
 
 var _ replica.Peer = (*RemoteNode)(nil)
@@ -592,18 +644,20 @@ func DialNode(id, addr string) (*RemoteNode, error) {
 func DialNodeOpts(id, addr string, o ClientOptions) (*RemoteNode, error) {
 	o = o.withDefaults()
 	n := &RemoteNode{
-		id:     id,
-		addr:   addr,
-		opts:   o,
-		rng:    rand.New(rand.NewSource(o.Seed)),
-		traces: make(map[uint64]obs.TraceContext, 8),
+		id:       id,
+		addr:     addr,
+		opts:     o,
+		rng:      rand.New(rand.NewSource(o.Seed)),
+		traces:   make(map[uint64]obs.TraceContext, 8),
+		expiries: make(map[uint64]time.Time, 8),
 	}
 	if o.Obs != nil {
 		n.met = clientMetrics{
-			timeouts: o.Obs.Counter(obs.TransportRPCTimeouts),
-			retries:  o.Obs.Counter(obs.TransportRPCRetries),
-			redials:  o.Obs.Counter(obs.TransportRedials),
-			rpcUS:    o.Obs.Histogram(obs.TransportRPCUS),
+			timeouts:        o.Obs.Counter(obs.TransportRPCTimeouts),
+			retries:         o.Obs.Counter(obs.TransportRPCRetries),
+			redials:         o.Obs.Counter(obs.TransportRedials),
+			budgetExhausted: o.Obs.Counter(obs.TransportRetryBudgetExhausted),
+			rpcUS:           o.Obs.Histogram(obs.TransportRPCUS),
 		}
 	}
 	if _, err := n.conn(); err != nil {
@@ -707,10 +761,18 @@ func (n *RemoteNode) callOnce(method string, args, reply any, d time.Duration) e
 // transport-level failures are retried — an error decoded from the reply
 // means the peer executed the request and retrying would not change it.
 func (n *RemoteNode) callIdem(method string, args, reply any, d time.Duration) error {
+	start := time.Now()
 	sleep := n.opts.RetryBase
 	for attempt := 0; ; attempt++ {
 		err := n.callOnce(method, args, reply, d)
 		if err == nil || attempt >= n.opts.RetryAttempts || !transportFailure(err) {
+			return err
+		}
+		// Elapsed-time budget: attempt counts alone let slow failures
+		// (each burning a full deadline) amplify an overload; once the
+		// budget is spent the loop stops even with attempts remaining.
+		if n.opts.RetryBudget > 0 && time.Since(start)+sleep > n.opts.RetryBudget {
+			n.met.budgetExhausted.Inc()
 			return err
 		}
 		n.met.retries.Inc()
@@ -777,18 +839,31 @@ func (n *RemoteNode) ReceiveWriteSet(ws *heap.WriteSet) error {
 	return st.Err()
 }
 
-// TxBegin implements replica.Peer.
-func (n *RemoteNode) TxBegin(readOnly bool, version vclock.Vector, tc obs.TraceContext) (uint64, error) {
+// TxBegin implements replica.Peer. A positive deadline ships as the
+// remaining-budget microseconds and is remembered locally so TxExec and
+// TxCommit re-propagate what is left of it on every later call.
+func (n *RemoteNode) TxBegin(readOnly bool, version vclock.Vector, deadline time.Duration, tc obs.TraceContext) (uint64, error) {
 	var reply BeginReply
-	if err := n.call("Node.TxBegin", BeginArgs{ReadOnly: readOnly, Version: version, Trace: tc}, &reply); err != nil {
+	args := BeginArgs{ReadOnly: readOnly, Version: version, Trace: tc}
+	if deadline > 0 {
+		args.DeadlineUS = deadline.Microseconds()
+	} else if deadline < 0 {
+		args.DeadlineUS = -1
+	}
+	if err := n.call("Node.TxBegin", args, &reply); err != nil {
 		return 0, err
 	}
 	if err := reply.Err(); err != nil {
 		return reply.ID, err
 	}
-	if tc.Valid() {
+	if tc.Valid() || deadline > 0 {
 		n.trMu.Lock()
-		n.traces[reply.ID] = tc
+		if tc.Valid() {
+			n.traces[reply.ID] = tc
+		}
+		if deadline > 0 {
+			n.expiries[reply.ID] = time.Now().Add(deadline)
+		}
 		n.trMu.Unlock()
 	}
 	return reply.ID, nil
@@ -800,9 +875,26 @@ func (n *RemoteNode) traceOf(txID uint64) obs.TraceContext {
 	return n.traces[txID]
 }
 
+// remainingUS returns the session's leftover deadline budget in
+// microseconds (0 = unbounded, -1 = already expired).
+func (n *RemoteNode) remainingUS(txID uint64) int64 {
+	n.trMu.Lock()
+	exp, ok := n.expiries[txID]
+	n.trMu.Unlock()
+	if !ok {
+		return 0
+	}
+	left := time.Until(exp)
+	if left <= 0 {
+		return -1
+	}
+	return left.Microseconds()
+}
+
 func (n *RemoteNode) clearTrace(txID uint64) {
 	n.trMu.Lock()
 	delete(n.traces, txID)
+	delete(n.expiries, txID)
 	n.trMu.Unlock()
 }
 
@@ -810,17 +902,33 @@ func (n *RemoteNode) clearTrace(txID uint64) {
 func (n *RemoteNode) TxExec(txID uint64, stmt string, params []value.Value) (*exec.Result, error) {
 	var reply ExecReply
 	args := ExecArgs{TxID: txID, Stmt: stmt, Params: params, Trace: n.traceOf(txID)}
+	if us := n.remainingUS(txID); us < 0 {
+		// Saves the round trip: the server would refuse anyway.
+		return nil, fmt.Errorf("%w: exec %d on %s", replica.ErrDeadlineExpired, txID, n.id)
+	} else if us > 0 {
+		args.DeadlineUS = us
+	}
 	if err := n.call("Node.TxExec", args, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Result, reply.Err()
 }
 
-// TxCommit implements replica.Peer.
+// TxCommit implements replica.Peer. The deadline is checked here, before
+// the commit request is issued — once the RPC is on the wire the commit is
+// in flight and only ErrCommitUncertain semantics apply to its outcome.
 func (n *RemoteNode) TxCommit(txID uint64) (vclock.Vector, error) {
+	args := CommitArgs{TxID: txID}
+	if us := n.remainingUS(txID); us < 0 {
+		// Commit work has not started; abandoning here is safe and the
+		// server-side session is reaped by the caller's rollback.
+		return nil, fmt.Errorf("%w: commit %d on %s", replica.ErrDeadlineExpired, txID, n.id)
+	} else if us > 0 {
+		args.DeadlineUS = us
+	}
 	defer n.clearTrace(txID)
 	var reply CommitReply
-	if err := n.call("Node.TxCommit", txID, &reply); err != nil {
+	if err := n.call("Node.TxCommit", args, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Version, reply.Err()

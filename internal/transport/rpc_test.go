@@ -71,7 +71,7 @@ func TestRPCRoundTrip(t *testing.T) {
 	}
 
 	// Update through the remote master.
-	txID, err := mPeer.TxBegin(false, nil, obs.TraceContext{})
+	txID, err := mPeer.TxBegin(false, nil, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin: %v", err)
 	}
@@ -88,7 +88,7 @@ func TestRPCRoundTrip(t *testing.T) {
 	}
 
 	// Versioned read on the remote slave observes the replicated write.
-	rID, err := sPeer.TxBegin(true, ver, obs.TraceContext{})
+	rID, err := sPeer.TxBegin(true, ver, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("read begin: %v", err)
 	}
@@ -132,7 +132,7 @@ func TestRPCErrorIdentity(t *testing.T) {
 	}
 
 	// Update on a non-master must map to ErrNotMaster.
-	if _, err := peer.TxBegin(false, nil, obs.TraceContext{}); !errors.Is(err, replica.ErrNotMaster) {
+	if _, err := peer.TxBegin(false, nil, 0, obs.TraceContext{}); !errors.Is(err, replica.ErrNotMaster) {
 		t.Fatalf("err = %v, want ErrNotMaster", err)
 	}
 
@@ -170,7 +170,7 @@ func TestRPCVersionConflict(t *testing.T) {
 	}
 
 	commit := func(val string) []value.Value {
-		txID, err := master.TxBegin(false, nil, obs.TraceContext{})
+		txID, err := master.TxBegin(false, nil, 0, obs.TraceContext{})
 		if err != nil {
 			t.Fatalf("begin: %v", err)
 		}
@@ -189,14 +189,14 @@ func TestRPCVersionConflict(t *testing.T) {
 	v2, _ := master.MaxVersions()
 
 	// Materialize v2 on the slave, then ask for v1: version conflict.
-	r2, err := peer.TxBegin(true, v2, obs.TraceContext{})
+	r2, err := peer.TxBegin(true, v2, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin v2: %v", err)
 	}
 	if _, err := peer.TxExec(r2, `SELECT v FROM kv WHERE k = 1`, nil); err != nil {
 		t.Fatalf("read v2: %v", err)
 	}
-	r1, err := peer.TxBegin(true, v1, obs.TraceContext{})
+	r1, err := peer.TxBegin(true, v1, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("begin v1: %v", err)
 	}

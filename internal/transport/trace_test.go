@@ -65,7 +65,7 @@ func TestTracePropagation(t *testing.T) {
 	// Scheduler side: root span, its context rides the Begin RPC.
 	regSched := obs.New()
 	sp := regSched.Tracer().Begin("update")
-	txID, err := mPeer.TxBegin(false, nil, sp.Context())
+	txID, err := mPeer.TxBegin(false, nil, 0, sp.Context())
 	if err != nil {
 		t.Fatalf("begin: %v", err)
 	}
@@ -81,7 +81,7 @@ func TestTracePropagation(t *testing.T) {
 
 	// Slave read at the committed version: first touch of the page applies
 	// the buffered mods, recording the lazy-apply leg of the trace.
-	rID, err := sPeer.TxBegin(true, ver, obs.TraceContext{})
+	rID, err := sPeer.TxBegin(true, ver, 0, obs.TraceContext{})
 	if err != nil {
 		t.Fatalf("read begin: %v", err)
 	}

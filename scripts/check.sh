@@ -34,7 +34,7 @@ echo "==> faultnet chaos leg (seeded partitions, RPC deadlines, gray-failure det
 # byte-for-byte: rerun the named test with the same seed from the source.
 go test -race -count=1 ./internal/faultnet/
 go test -tags dmvdebug -race -count=1 \
-	-run 'TestPartitionedMasterFailover|TestStalledPeerDeadline|TestReconnectAfterConnDrop' \
+	-run 'TestPartitionedMasterFailover|TestStalledPeerDeadline|TestReconnectAfterConnDrop|TestRetryBudgetExhausted|TestOverloadDuringPartitionedFailover' \
 	./internal/transport/
 go test -tags dmvdebug -race -count=1 \
 	-run 'TestSuspectQuarantineAndClear|TestGrayMasterFailover|TestFailStopStillFast' \
@@ -61,6 +61,17 @@ DMV_FLIGHT_DIR="$flight_dir" go test -tags dmvdebug -race -count=1 \
 ls "$flight_dir"/run1/flight-*.json >/dev/null 2>&1 || { echo "flight leg: no dump written" >&2; exit 1; }
 go run ./cmd/dmv-doctor -check "$flight_dir"/run1/flight-*-failover-start.json | grep -q 'failover-start' \
 	|| { echo "flight leg: dmv-doctor did not identify the fail-over trigger" >&2; exit 1; }
+
+echo "==> overload leg (fixed-seed open-loop stampede: bounded p95 while shedding + overload dump)"
+# The stampede smoke offers ~3x a tiny tier's capacity open-loop: admitted
+# p95 must stay bounded while the excess sheds, and the shed-mode
+# transition must leave a sustained-overload flight dump that dmv-doctor
+# attributes to the admission trigger.
+DMV_FLIGHT_DIR="$flight_dir" go test -race -count=1 \
+	-run 'TestOverloadSmoke' ./internal/experiments/
+ls "$flight_dir"/overload/flight-*-sustained-overload.json >/dev/null 2>&1 || { echo "overload leg: no dump written" >&2; exit 1; }
+go run ./cmd/dmv-doctor -check "$flight_dir"/overload/flight-*-sustained-overload.json | grep -q 'sustained-overload' \
+	|| { echo "overload leg: dmv-doctor did not attribute the overload trigger" >&2; exit 1; }
 
 echo "==> go test -race"
 go test -race -count=1 ./...
