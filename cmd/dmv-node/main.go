@@ -57,6 +57,8 @@ func run() error {
 		flightDir  = flag.String("flight-dir", "", "write anomaly-triggered flight dumps to this directory (empty = ring only, served to the scheduler over FlightDump)")
 		flightSamp = flag.Duration("flight-sample", time.Second, "runtime-health sample period for the flight recorder (0 = off)")
 		deadlineD  = flag.Duration("deadline-default", 0, "deadline applied to transactions that arrive without one (0 = unbounded); expired sessions abandon queued statements and commit entry, never a commit in flight")
+		corruptIn  = flag.Duration("corrupt-after", 0, "flip one bit in one resident row this long after startup (scrub chaos demo; 0 = never)")
+		corruptSd  = flag.Int64("corrupt-seed", 1, "seed picking the victim page/row/bit for -corrupt-after")
 	)
 	flag.Parse()
 
@@ -133,6 +135,21 @@ func run() error {
 		log.Printf("metrics on http://%s/metrics (also /trace, /timeline%s)", mln.Addr(), extra)
 	}
 	log.Printf("node %s serving on %s (slave role; scheduler assigns masters)", *id, srv.Addr())
+
+	// Scripted divergence for the multi-process scrub demo: silently damage
+	// one row so the scheduler's next digest sweep has something real to
+	// detect, quarantine, and repair.
+	if *corruptIn > 0 {
+		timer := time.AfterFunc(*corruptIn, func() {
+			table, pg, rid, err := eng.CorruptRandomRow(*corruptSd)
+			if err != nil {
+				log.Printf("corrupt-after: %v", err)
+				return
+			}
+			log.Printf("corrupt-after: flipped a bit in table %d page %d row %d (seed %d)", table, pg, rid, *corruptSd)
+		})
+		defer timer.Stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

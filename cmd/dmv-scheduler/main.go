@@ -83,6 +83,8 @@ func run() error {
 		admitQ     = flag.Int("admit-queue", 0, "admission-control slots per conflict class (0 = off); queued arrivals beyond 4x this are fast-rejected")
 		admitTgt   = flag.Duration("admit-target-sojourn", 5*time.Millisecond, "CoDel target queue sojourn; sustained waits above it for an interval engage shed mode")
 		deadlineD  = flag.Duration("deadline-default", 0, "deadline attached to driven transactions lacking one (0 = none)")
+		scrubEvery = flag.Duration("scrub-interval", 0, "anti-entropy digest sweep period across all replicas (0 = off)")
+		scrubTabs  = flag.String("scrub-tables", "", "comma-separated TPC-W table names to scrub (empty = all)")
 	)
 	flag.Var(&slaveSpecs, "slave", "slave node as id=host:port (repeatable)")
 	flag.Parse()
@@ -289,6 +291,52 @@ func run() error {
 		}
 	}()
 	defer close(stopMon)
+
+	// Anti-entropy scrub: periodically digest every table on every slave
+	// against the master at a pinned frontier; a diverged slave is
+	// quarantined, repaired with the master's current pages, and verified
+	// before rejoining read placement (DESIGN.md §15).
+	if *scrubEvery > 0 {
+		var scrubIDs []int
+		if *scrubTabs != "" {
+			for _, name := range strings.Split(*scrubTabs, ",") {
+				id, ok := tableID(strings.TrimSpace(name))
+				if !ok {
+					return fmt.Errorf("-scrub-tables: unknown table %q", name)
+				}
+				scrubIDs = append(scrubIDs, id)
+			}
+		}
+		sc := sched.NewScrubber(scheduler.ScrubOptions{
+			Tables: scrubIDs,
+			OnDiverged: func(node string, mms []scheduler.ScrubMismatch) {
+				pages := 0
+				for _, mm := range mms {
+					pages += len(mm.Pages)
+				}
+				log.Printf("scrub: %s diverged (%d tables, %d pages); quarantined for repair", node, len(mms), pages)
+			},
+			OnRepaired: func(node string, pages int, took time.Duration, ok bool) {
+				if ok {
+					log.Printf("scrub: %s repaired (%d pages shipped in %s); quarantine lifted", node, pages, took.Round(time.Millisecond))
+				} else {
+					log.Printf("scrub: %s repair FAILED after %d pages; node stays quarantined", node, pages)
+				}
+			},
+		})
+		go func() {
+			ticker := time.NewTicker(*scrubEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopMon:
+					return
+				case <-ticker.C:
+					sc.Sweep()
+				}
+			}
+		}()
+	}
 
 	// Aggregation plane: scrape every node's registry over the ObsSnapshot
 	// RPC and merge into one labeled cluster snapshot served at /cluster.

@@ -113,11 +113,35 @@ func admissionLine(cs obs.ClusterSnapshot, prev **admitFrame) string {
 		admitRate, shedRate, depth, p95, mode)
 }
 
+// scrubLine renders the anti-entropy scrubber's state: sweeps completed,
+// divergences found, repairs verified (and failed), and the p95 sweep
+// latency. Empty until the first sweep runs (no scrub metrics exported).
+func scrubLine(cs obs.ClusterSnapshot) string {
+	sweeps, ok := cs.Merged.Counters[obs.ScrubSweeps]
+	if !ok {
+		return ""
+	}
+	var p95 int64
+	if h, hok := cs.Merged.Histograms[obs.ScrubSweepUS]; hok {
+		p95 = h.Summary().P95
+	}
+	line := fmt.Sprintf("scrub      SWEEPS %d p95=%dus  diverged=%d repaired=%d failed=%d",
+		sweeps, p95,
+		cs.Merged.Counters[obs.ScrubDivergences],
+		cs.Merged.Counters[obs.ScrubRepairs],
+		cs.Merged.Counters[obs.ScrubRepairFailures])
+	if skipped := cs.Merged.Counters[obs.ScrubSkipped]; skipped > 0 {
+		line += fmt.Sprintf(" skipped=%d", skipped)
+	}
+	return line + "\n\n"
+}
+
 func render(cs obs.ClusterSnapshot, prev **admitFrame) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dmv cluster  @%s  frontier=%v\n\n",
 		time.Unix(cs.TakenUnix, 0).Format("15:04:05"), cs.Frontier)
 	b.WriteString(admissionLine(cs, prev))
+	b.WriteString(scrubLine(cs))
 	fmt.Fprintf(&b, "%-10s %-8s %-8s %10s %10s %10s  %-24s %6s\n",
 		"NODE", "ROLE", "HEALTH", "LAG", "BACKLOG", "UPTIME", "RUNTIME", "FLIGHT")
 	for _, n := range cs.Nodes {

@@ -32,8 +32,12 @@ const (
 	levelTable     = 44 // per-table directory / row-location / allocator
 	levelIndex     = 48 // versioned secondary indexes
 	levelPage      = 50 // page latches (2PL; many held at once)
-	levelClock     = 60 // version clocks: innermost, held for a few loads
-	levelObs       = 70 // observability registry/tracer/timeline: innermost of
+	levelDisk      = 55 // simdisk buffer-cache state: the engine's access
+	// observer (Disk.PageAccess) fires under page latches (heap.tx.observe
+	// runs with the transaction's 2PL locks down), so the disk lock nests
+	// inside page and outside the clocks.
+	levelClock = 60 // version clocks: innermost, held for a few loads
+	levelObs   = 70 // observability registry/tracer/timeline: innermost of
 	// all — metric registration, span recording, and event appends may run
 	// with any other lock held, and obs code never calls back out under its
 	// own locks (timeline hooks fire after unlock; snapshot gauge callbacks
@@ -76,6 +80,11 @@ var DefaultConfig = &Config{
 		// writes, timeline events, and flight triggers all fire after
 		// unlock, so only obs-band locks may nest inside it.
 		"dmv/internal/scheduler.Admitter.mu": levelScheduler + 4,
+		// Scrubber sweep serialization: entered only from the cluster's
+		// scrub ticker with no locks held, and held across the whole sweep
+		// (routing-state reads, digest RPCs, quarantine flips), so it shares
+		// the scheduler band as an outermost scheduler-layer lock.
+		"dmv/internal/scheduler.Scrubber.mu": levelScheduler,
 
 		// replica. TxCommit fixes the order session.mu -> commitMu ->
 		// (broadcast) subsMu; sessMu is released before any session.mu is
@@ -114,6 +123,10 @@ var DefaultConfig = &Config{
 		// page latches
 		"dmv/internal/page.Page.mu": levelPage,
 
+		// simdisk buffer-cache model (see levelDisk: entered under page
+		// latches via the engine's access observer)
+		"dmv/internal/simdisk.Disk.mu": levelDisk,
+
 		// version clocks (leaves)
 		"dmv/internal/vclock.Clock.mu":  levelClock,
 		"dmv/internal/vclock.Merged.mu": levelClock,
@@ -150,6 +163,15 @@ var DefaultConfig = &Config{
 		"dmv/internal/heap.Engine.table":           levelEngine,
 		"dmv/internal/heap.Engine.allTables":       levelEngine,
 		"dmv/internal/heap.Engine.AppliedVersions": levelEngine,
+
+		// anti-entropy scrub entry points (DESIGN.md §15): each walks the
+		// catalog and takes table/page locks internally, so callers must
+		// hold nothing at or above the engine band.
+		"dmv/internal/heap.Engine.TableDigestAt":    levelEngine,
+		"dmv/internal/heap.Engine.PageImages":       levelEngine,
+		"dmv/internal/heap.Engine.RepairPages":      levelEngine,
+		"dmv/internal/heap.Engine.CorruptPage":      levelEngine,
+		"dmv/internal/heap.Engine.CorruptRandomRow": levelEngine,
 
 		// obs entry points: metric registration and hot-path recording take
 		// only obs locks, so they are safe under anything. Snapshot is the

@@ -113,6 +113,14 @@ type Config struct {
 	// OverloadWindow is how long the overload must persist before a spare
 	// is activated (default 250ms).
 	OverloadWindow time.Duration
+	// ScrubInterval runs the anti-entropy scrubber on this period (0 = off):
+	// every table's digest is cross-checked against its class master at a
+	// common pinned frontier, diverged nodes are quarantined out of read
+	// placement, repaired via changed-page shipping, and reintegrated
+	// (DESIGN.md §15).
+	ScrubInterval time.Duration
+	// ScrubTables restricts the sweep to these table ids (nil = all).
+	ScrubTables []int
 	// Admission configures the primary scheduler's bounded admission queue
 	// (Slots == 0 disables). Under overload the queue sheds work at begin
 	// with ErrOverloaded instead of letting latency collapse, and its
@@ -175,6 +183,8 @@ const (
 	EventOverload        EventKind = "overload"
 	EventNodeSuspect     EventKind = "node-suspect"
 	EventNodeCleared     EventKind = "node-cleared"
+	EventScrubDiverged   EventKind = "scrub-divergence"
+	EventScrubRepaired   EventKind = "scrub-repaired"
 )
 
 // Event is one reconfiguration event with its duration where applicable.
@@ -393,6 +403,10 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.OverloadThreshold > 0 || cfg.Admission.Slots > 0 {
 		c.wg.Add(1)
 		go c.overloadLoop()
+	}
+	if cfg.ScrubInterval > 0 {
+		c.wg.Add(1)
+		go c.scrubLoop()
 	}
 	go func() {
 		c.wg.Wait()

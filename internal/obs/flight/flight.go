@@ -48,6 +48,7 @@ const (
 	CauseWALFatal        = "wal-sticky-fatal"     // WAL entered its sticky-fatal state (fsync failure)
 	CauseCommitUncertain = "commit-uncertain"     // TxCommit outcome unknown (peer timeout mid-commit)
 	CauseOverload        = "sustained-overload"   // admission control entered CoDel shed mode
+	CauseDivergence      = "replica-divergence"   // anti-entropy scrub found a replica whose digest differs from the master
 )
 
 // Defaults.

@@ -92,6 +92,19 @@ const (
 	FailoverRestartUS       = "dmv_failover_restart_us"            // checkpoint restore + rejoin of a dead node
 	FailoverSpareUS         = "dmv_failover_spare_activation_us"   // whole spare activation (incl. migration)
 
+	// --- anti-entropy scrub (DESIGN.md §15) ---------------------------------
+
+	ScrubSweeps         = "dmv_scrub_sweeps_total"             // digest sweeps completed
+	ScrubTablesChecked  = "dmv_scrub_tables_checked_total"     // per-table digest comparisons performed
+	ScrubConflicts      = "dmv_scrub_frontier_conflicts_total" // digest attempts beaten by a racing commit (retried)
+	ScrubSkipped        = "dmv_scrub_tables_skipped_total"     // table checks abandoned after frontier retries or peer errors
+	ScrubDivergences    = "dmv_scrub_divergences_total"        // diverged (node, table) pairs detected
+	ScrubRepairs        = "dmv_scrub_repairs_total"            // diverged nodes repaired and verified
+	ScrubRepairFailures = "dmv_scrub_repair_failures_total"    // repair attempts that failed verification (node left quarantined)
+	ScrubRepairPages    = "dmv_scrub_repaired_pages_total"     // page images shipped during repair
+	ScrubSweepUS        = "dmv_scrub_sweep_us"                 // whole-sweep latency
+	ScrubRepairUS       = "dmv_scrub_repair_us"                // quarantine -> verified-repair latency
+
 	// --- persistence tier ----------------------------------------------------
 
 	PersistLogged      = "dmv_persist_logged_total"          // update transactions appended to the query log

@@ -23,6 +23,7 @@ import (
 	"dmv/internal/obs"
 	"dmv/internal/obs/flight"
 	"dmv/internal/page"
+	"dmv/internal/scrub"
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -116,6 +117,13 @@ type Peer interface {
 	DeltaSince(have heap.PageVersionMap, target vclock.Vector) ([]page.Image, error)
 	InstallDelta(images []page.Image) error
 	FinishJoin() error
+
+	// Anti-entropy scrub (DESIGN.md §15): a snapshot-consistent state
+	// digest at a pinned version, the healthy-donor side of changed-page
+	// repair, and the unconditional install on the diverged node.
+	Digest(table int, version uint64, withPages bool) (scrub.TableDigest, error)
+	PageImages(table int, pages []page.ID) ([]page.Image, error)
+	RepairPages(images []page.Image) error
 
 	// Buffer-cache warm-up (Section 4.5).
 	WarmPages(keys []simdisk.PageKey) error
@@ -1040,6 +1048,31 @@ func (n *Node) FinishJoin() error {
 	n.roleMu.Unlock()
 	n.noteRole(RoleSlave)
 	return nil
+}
+
+// Digest implements Peer: the node's snapshot-consistent state digest for
+// one table at the pinned version (DESIGN.md §15).
+func (n *Node) Digest(table int, version uint64, withPages bool) (scrub.TableDigest, error) {
+	if err := n.check(); err != nil {
+		return scrub.TableDigest{}, err
+	}
+	return n.eng.TableDigestAt(table, version, withPages)
+}
+
+// PageImages implements Peer (healthy-donor side of changed-page repair).
+func (n *Node) PageImages(table int, pages []page.ID) ([]page.Image, error) {
+	if err := n.check(); err != nil {
+		return nil, err
+	}
+	return n.eng.PageImages(table, pages)
+}
+
+// RepairPages implements Peer (diverged-node side of changed-page repair).
+func (n *Node) RepairPages(images []page.Image) error {
+	if err := n.check(); err != nil {
+		return err
+	}
+	return n.eng.RepairPages(images)
 }
 
 // --- observability ----------------------------------------------------------

@@ -13,6 +13,7 @@ import (
 	"dmv/internal/obs"
 	"dmv/internal/page"
 	"dmv/internal/replica"
+	"dmv/internal/scrub"
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -41,6 +42,11 @@ func (f *fakePeer) InstallDelta([]page.Image) error              { return nil }
 func (f *fakePeer) FinishJoin() error                            { return nil }
 func (f *fakePeer) WarmPages([]simdisk.PageKey) error            { return nil }
 func (f *fakePeer) ResidentPages(int) ([]simdisk.PageKey, error) { return nil, nil }
+func (f *fakePeer) Digest(table int, version uint64, _ bool) (scrub.TableDigest, error) {
+	return scrub.TableDigest{Table: table, Version: version}, nil
+}
+func (f *fakePeer) PageImages(int, []page.ID) ([]page.Image, error) { return nil, nil }
+func (f *fakePeer) RepairPages([]page.Image) error                  { return nil }
 func (f *fakePeer) DeltaSince(heap.PageVersionMap, vclock.Vector) ([]page.Image, error) {
 	return nil, nil
 }

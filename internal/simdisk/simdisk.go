@@ -13,6 +13,7 @@ package simdisk
 
 import (
 	"container/list"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,9 +51,10 @@ type PageKey struct {
 
 // Stats are cumulative counters, safe to read concurrently.
 type Stats struct {
-	Hits   atomic.Int64
-	Misses atomic.Int64
-	Fsyncs atomic.Int64
+	Hits        atomic.Int64
+	Misses      atomic.Int64
+	Fsyncs      atomic.Int64
+	Corruptions atomic.Int64 // seeded bit-flip injections fired (see SetBitFlip)
 }
 
 // Disk is a synthetic device with an LRU buffer cache. The zero value is not
@@ -67,6 +69,19 @@ type Disk struct {
 	pages    map[PageKey]*list.Element // value: PageKey
 	disabled bool
 
+	// Seeded corruption injection — the in-memory twin of
+	// faultdisk.SetBitFlip, kept API-parallel so chaos schedules compose:
+	// when armed (WithFaultSeed) each page access independently corrupts
+	// with probability bitFlipP, and every decision and victim pick draws
+	// from the one seeded rng so a schedule replays exactly from its seed.
+	// rng is the sole fault-entropy source; nil = disarmed. Written once at
+	// construction (WithFaultSeed) before the Disk is published and never
+	// reassigned, so the disarmed fast path may nil-check it without the
+	// lock; drawing from it always happens under mu.
+	rng       *rand.Rand
+	bitFlipP  float64                               // guarded by mu; per-access corruption probability
+	onCorrupt func(table int, pg int32, pick int64) // guarded by mu; fired after unlock — see OnCorrupt
+
 	stats Stats
 }
 
@@ -77,6 +92,13 @@ type Option func(*Disk)
 // sleeping).
 func WithSleeper(fn func(time.Duration)) Option {
 	return func(d *Disk) { d.sleep = fn }
+}
+
+// WithFaultSeed arms the disk's corruption injector with its sole entropy
+// source (the analogue of faultdisk.New's seed). Nothing corrupts until
+// SetBitFlip sets a positive probability.
+func WithFaultSeed(seed int64) Option {
+	return func(d *Disk) { d.rng = rand.New(rand.NewSource(seed)) }
 }
 
 // New returns a Disk with an LRU cache holding capacity pages. A capacity
@@ -101,9 +123,52 @@ func New(model CostModel, capacity int, opts ...Option) *Disk {
 // Stats exposes the counters.
 func (d *Disk) Stats() *Stats { return &d.stats }
 
+// SetBitFlip sets the per-access probability that a page access corrupts
+// the page, mirroring faultdisk.SetBitFlip. Requires WithFaultSeed; an
+// unarmed disk never corrupts regardless of p.
+func (d *Disk) SetBitFlip(p float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bitFlipP = p
+}
+
+// OnCorrupt installs the corruption sink: fn receives the accessed page and
+// a seeded pick value (feed it to heap.Engine.CorruptPage to flip an actual
+// bit). It is called after the disk lock is released but still on the
+// accessing goroutine, which may hold page latches — implementations that
+// mutate engine state must hand the work to another goroutine.
+func (d *Disk) OnCorrupt(fn func(table int, pg int32, pick int64)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onCorrupt = fn
+}
+
+// maybeCorrupt draws one corruption decision for this access from the
+// seeded rng; on a hit it burns a pick value and reports it to the sink.
+func (d *Disk) maybeCorrupt(table int, pg int32) {
+	if d.rng == nil {
+		// Armed only at construction (WithFaultSeed), never after, so the
+		// unarmed hot path stays lock-free.
+		return
+	}
+	d.mu.Lock()
+	if d.bitFlipP <= 0 || d.rng.Float64() >= d.bitFlipP {
+		d.mu.Unlock()
+		return
+	}
+	pick := d.rng.Int63()
+	fn := d.onCorrupt
+	d.mu.Unlock()
+	d.stats.Corruptions.Add(1)
+	if fn != nil {
+		fn(table, pg, pick)
+	}
+}
+
 // PageAccess records an access to (table, pg), charging the hit or miss
 // cost. It implements the storage engine's access-observer hook.
 func (d *Disk) PageAccess(table int, pg int32) {
+	d.maybeCorrupt(table, pg)
 	if d.disabled {
 		d.stats.Hits.Add(1)
 		return

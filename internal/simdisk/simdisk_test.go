@@ -122,3 +122,94 @@ func TestTablesShareCacheButNotKeys(t *testing.T) {
 		t.Fatal("page keys must be per table")
 	}
 }
+
+// corruptionEvents replays an identical access sequence against a disk and
+// returns every corruption the injector fired, in order.
+func corruptionEvents(seed int64, p float64, accesses int) []struct {
+	table int
+	pg    int32
+	pick  int64
+} {
+	var events []struct {
+		table int
+		pg    int32
+		pick  int64
+	}
+	d := New(CostModel{}, 0, WithFaultSeed(seed))
+	d.SetBitFlip(p)
+	d.OnCorrupt(func(table int, pg int32, pick int64) {
+		events = append(events, struct {
+			table int
+			pg    int32
+			pick  int64
+		}{table, pg, pick})
+	})
+	for i := 0; i < accesses; i++ {
+		d.PageAccess(i%3, int32(i%17))
+	}
+	return events
+}
+
+func TestBitFlipSameSeedSameSchedule(t *testing.T) {
+	a := corruptionEvents(42, 0.05, 2000)
+	b := corruptionEvents(42, 0.05, 2000)
+	if len(a) == 0 {
+		t.Fatal("injector fired no corruptions at p=0.05 over 2000 accesses")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d vs %d corruptions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if c := corruptionEvents(43, 0.05, 2000); len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced the identical schedule")
+		}
+	}
+}
+
+func TestBitFlipDisarmedAndZeroProbability(t *testing.T) {
+	// No WithFaultSeed: SetBitFlip must be inert.
+	d := New(CostModel{}, 0)
+	d.SetBitFlip(1)
+	fired := false
+	d.OnCorrupt(func(int, int32, int64) { fired = true })
+	for i := 0; i < 100; i++ {
+		d.PageAccess(0, int32(i))
+	}
+	if fired || d.Stats().Corruptions.Load() != 0 {
+		t.Fatal("unarmed disk corrupted")
+	}
+	// Armed but p=0: still inert.
+	d2 := New(CostModel{}, 0, WithFaultSeed(1))
+	d2.OnCorrupt(func(int, int32, int64) { fired = true })
+	for i := 0; i < 100; i++ {
+		d2.PageAccess(0, int32(i))
+	}
+	if fired || d2.Stats().Corruptions.Load() != 0 {
+		t.Fatal("p=0 disk corrupted")
+	}
+}
+
+func TestBitFlipCountsCorruptions(t *testing.T) {
+	d := New(CostModel{}, 0, WithFaultSeed(7))
+	d.SetBitFlip(1) // every access corrupts
+	n := 0
+	d.OnCorrupt(func(int, int32, int64) { n++ })
+	for i := 0; i < 10; i++ {
+		d.PageAccess(0, 1)
+	}
+	if n != 10 || d.Stats().Corruptions.Load() != 10 {
+		t.Fatalf("p=1 fired %d callbacks, %d counted", n, d.Stats().Corruptions.Load())
+	}
+}

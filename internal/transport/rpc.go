@@ -29,6 +29,7 @@ import (
 	"dmv/internal/obs/flight"
 	"dmv/internal/page"
 	"dmv/internal/replica"
+	"dmv/internal/scrub"
 	"dmv/internal/simdisk"
 	"dmv/internal/value"
 	"dmv/internal/vclock"
@@ -193,6 +194,33 @@ type RoleReply struct {
 	Status
 }
 
+// DigestArgs requests a snapshot-consistent table digest at a pinned
+// version (anti-entropy scrub, DESIGN.md §15).
+type DigestArgs struct {
+	Table     int
+	Version   uint64
+	WithPages bool
+}
+
+// DigestReply carries one table digest.
+type DigestReply struct {
+	Digest scrub.TableDigest
+	Status
+}
+
+// PageImagesArgs names the pages whose current images the scrubber wants
+// shipped for repair.
+type PageImagesArgs struct {
+	Table int
+	Pages []page.ID
+}
+
+// ImagesReply carries current page images.
+type ImagesReply struct {
+	Images []page.Image
+	Status
+}
+
 // NodeService exposes a replica.Node over net/rpc under the service name
 // "Node".
 type NodeService struct {
@@ -343,6 +371,30 @@ func (s *NodeService) ResidentPages(limit int, reply *PagesReply) error {
 	keys, err := s.node.ResidentPages(limit)
 	reply.Keys = keys
 	reply.set(err)
+	return nil
+}
+
+// Digest computes the node's snapshot digest for one table at a pinned
+// version (anti-entropy scrub).
+func (s *NodeService) Digest(args DigestArgs, reply *DigestReply) error {
+	d, err := s.node.Digest(args.Table, args.Version, args.WithPages)
+	reply.Digest = d
+	reply.set(err)
+	return nil
+}
+
+// PageImages serves current page images for changed-page repair (healthy
+// donor side).
+func (s *NodeService) PageImages(args PageImagesArgs, reply *ImagesReply) error {
+	imgs, err := s.node.PageImages(args.Table, args.Pages)
+	reply.Images = imgs
+	reply.set(err)
+	return nil
+}
+
+// RepairPages installs repair images on a diverged node.
+func (s *NodeService) RepairPages(images []page.Image, reply *Status) error {
+	reply.set(s.node.RepairPages(images))
 	return nil
 }
 
@@ -1063,6 +1115,38 @@ func (n *RemoteNode) ResidentPages(limit int) ([]simdisk.PageKey, error) {
 		return nil, err
 	}
 	return reply.Keys, reply.Err()
+}
+
+// Digest implements replica.Peer. A pure read at a pinned version, so it
+// retries transient faults; CallTimeout bounds the sweep's wait on a slow
+// or partitioned node.
+func (n *RemoteNode) Digest(table int, version uint64, withPages bool) (scrub.TableDigest, error) {
+	var reply DigestReply
+	args := DigestArgs{Table: table, Version: version, WithPages: withPages}
+	if err := n.callIdem("Node.Digest", args, &reply, n.opts.CallTimeout); err != nil {
+		return scrub.TableDigest{}, err
+	}
+	return reply.Digest, reply.Err()
+}
+
+// PageImages implements replica.Peer. Pure read on the donor, so repair
+// survives transient faults via retry.
+func (n *RemoteNode) PageImages(table int, pages []page.ID) ([]page.Image, error) {
+	var reply ImagesReply
+	if err := n.callIdem("Node.PageImages", PageImagesArgs{Table: table, Pages: pages}, &reply, n.opts.CallTimeout); err != nil {
+		return nil, err
+	}
+	return reply.Images, reply.Err()
+}
+
+// RepairPages implements replica.Peer. Replacing a page with the same image
+// twice leaves identical content, so replay is safe.
+func (n *RemoteNode) RepairPages(images []page.Image) error {
+	var st Status
+	if err := n.callIdem("Node.RepairPages", images, &st, n.opts.CallTimeout); err != nil {
+		return err
+	}
+	return st.Err()
 }
 
 // ObsSnapshot fetches the remote node's observability snapshot (not part

@@ -73,6 +73,18 @@ ls "$flight_dir"/overload/flight-*-sustained-overload.json >/dev/null 2>&1 || { 
 go run ./cmd/dmv-doctor -check "$flight_dir"/overload/flight-*-sustained-overload.json | grep -q 'sustained-overload' \
 	|| { echo "overload leg: dmv-doctor did not attribute the overload trigger" >&2; exit 1; }
 
+echo "==> scrub chaos leg (seeded silent corruption: detect, quarantine, repair, reintegrate + divergence dump)"
+# A deterministic bit flip silently diverges one slave under OLTP load; the
+# anti-entropy scrubber must detect it by digest, quarantine the node out of
+# read placement, ship the master's pages, verify convergence, and lift the
+# quarantine — twice with identical scrub timelines and zero acked-commit
+# loss — leaving a divergence flight dump that dmv-doctor attributes.
+DMV_FLIGHT_DIR="$flight_dir" go test -race -count=1 \
+	-run 'TestScrubDivergenceRepair' ./internal/cluster/
+ls "$flight_dir"/scrub/flight-*-replica-divergence.json >/dev/null 2>&1 || { echo "scrub leg: no dump written" >&2; exit 1; }
+go run ./cmd/dmv-doctor -check "$flight_dir"/scrub/flight-*-replica-divergence.json | grep -q 'replica-divergence' \
+	|| { echo "scrub leg: dmv-doctor did not attribute the divergence trigger" >&2; exit 1; }
+
 echo "==> go test -race"
 go test -race -count=1 ./...
 
